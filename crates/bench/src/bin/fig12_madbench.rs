@@ -1,0 +1,74 @@
+//! Figure 12 — MADbench2 runtime breakdown.
+//!
+//! 16 nodes x 16 processes; 256 files of 4 MiB; read/write/compute loops
+//! over the files. Runtimes are normalized to BeeGFS and broken down
+//! into read / write / init (file creation) / other (computation).
+//!
+//! Paper shape: the overall runtime is nearly identical on Pacon and
+//! BeeGFS (this is a data-intensive workload; all 4 MiB files exceed the
+//! small-file threshold and go to the DFS), with only the `init` part
+//! slightly smaller under Pacon.
+
+use std::sync::Arc;
+
+use pacon_bench::*;
+use qsim::Process;
+use simnet::{ClientId, LatencyProfile, Topology};
+use workloads::madbench::{run_madbench, verify_data, Breakdown, MadbenchConfig};
+
+fn main() {
+    let profile = Arc::new(LatencyProfile::default());
+    let topo = Topology::new(16, 16);
+    let cfg = MadbenchConfig {
+        dir: "/mad".into(),
+        procs: topo.total_clients(),
+        file_mib: 4,
+        loops: 2,
+        compute_ns_per_loop: 400_000_000,
+    };
+
+    let mut results: Vec<(Backend, Breakdown)> = Vec::new();
+    for backend in [Backend::BeeGfs, Backend::Pacon] {
+        let bed = TestBed::new(backend, Arc::clone(&profile), topo, &["/mad"]);
+        let pool = WorkerPool::claim(&bed);
+        // Long-lived commit processes shared across all four phases
+        // (empty for BeeGFS).
+        let background: Vec<Box<dyn Process>> = pool.boxed();
+        let bd = run_madbench(&cfg, |p| bed.client(ClientId(p)), CRED, background);
+        // The data must actually round-trip.
+        let probe = bed.client(ClientId(0));
+        verify_data(&cfg, probe.as_ref(), &CRED).expect("data integrity");
+        results.push((backend, bd));
+    }
+
+    let bee_total = results[0].1.total_ns() as f64;
+    let mut rows = Vec::new();
+    for (backend, bd) in &results {
+        let f = bd.fractions();
+        rows.push(vec![
+            backend.label().to_string(),
+            format!("{:.3}", bd.total_ns() as f64 / bee_total),
+            format!("{:.1}%", f[0] * 100.0),
+            format!("{:.1}%", f[1] * 100.0),
+            format!("{:.2}%", f[2] * 100.0),
+            format!("{:.1}%", f[3] * 100.0),
+        ]);
+    }
+    print_table(
+        "Fig 12: MADbench2 breakdown (normalized to BeeGFS total)",
+        &["system", "total", "read", "write", "init", "other"].map(String::from),
+        &rows,
+    );
+
+    let (_, bee) = &results[0];
+    let (_, pac) = &results[1];
+    println!(
+        "\n  init: Pacon {:.3} ms vs BeeGFS {:.3} ms (paper: Pacon slightly smaller)",
+        pac.init_ns as f64 / 1e6,
+        bee.init_ns as f64 / 1e6
+    );
+    println!(
+        "  totals within {:.1}% of each other (paper: almost the same)",
+        100.0 * ((pac.total_ns() as f64 / bee.total_ns() as f64) - 1.0).abs()
+    );
+}

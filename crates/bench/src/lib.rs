@@ -1,0 +1,10 @@
+//! Benchmark harness for the Pacon reproduction.
+//!
+//! One binary per paper figure (`src/bin/figNN_*.rs`) regenerates that
+//! figure's series on the simulated testbed; `EXPERIMENTS.md` records
+//! paper-vs-measured. The [`harness`] module holds the shared assembly:
+//! backend test beds, the phase runner, and table printing.
+
+pub mod harness;
+
+pub use harness::*;

@@ -1,0 +1,317 @@
+//! The DFS client library.
+//!
+//! Implements [`fsapi::FileSystem`] the way a real BeeGFS client does:
+//! paths are resolved component by component against the MDS, with a
+//! bounded LRU *dentry cache* absorbing repeated lookups. Every cache
+//! miss costs one lookup RPC (a storage-network round trip plus MDS
+//! service); the final operation is always an RPC of its own. This makes
+//! path depth expensive under random access — the behaviour the paper
+//! quantifies in Figures 2 and 9 and that Pacon's batch permission
+//! management avoids.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use fsapi::types::ACCESS_X;
+use fsapi::{path as fspath, Credentials, FileKind, FileStat, FsError, FsResult, Perm};
+use fsapi::FileSystem;
+use parking_lot::Mutex;
+use simnet::{charge, Counters, Station};
+
+use crate::cluster::DfsCluster;
+use crate::datasrv::CHUNK_SIZE;
+use crate::namespace::Ino;
+
+/// One cached dentry: inode, permission bits and entry kind (the kind
+/// gates descent — traversing through a file is ENOTDIR before any
+/// permission question, as in POSIX).
+#[derive(Clone, Copy)]
+struct Dentry {
+    ino: Ino,
+    perm: Perm,
+    kind: FileKind,
+}
+
+/// Bounded LRU map from normalized path to [`Dentry`].
+struct DentryCache {
+    map: HashMap<String, (Dentry, u64)>,
+    lru: BTreeMap<u64, String>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl DentryCache {
+    fn new(capacity: usize) -> Self {
+        Self { map: HashMap::new(), lru: BTreeMap::new(), tick: 0, capacity }
+    }
+
+    fn get(&mut self, path: &str) -> Option<Dentry> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(path) {
+            Some((dentry, t)) => {
+                let old = *t;
+                *t = tick;
+                let key = self.lru.remove(&old).expect("dentry lru out of sync");
+                self.lru.insert(tick, key);
+                Some(*dentry)
+            }
+            None => None,
+        }
+    }
+
+    fn insert(&mut self, path: String, dentry: Dentry) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((_, old)) = self.map.insert(path.clone(), (dentry, tick)) {
+            self.lru.remove(&old);
+        }
+        self.lru.insert(tick, path);
+        while self.map.len() > self.capacity {
+            let (&t, _) = self.lru.iter().next().expect("lru empty while over capacity");
+            let victim = self.lru.remove(&t).unwrap();
+            self.map.remove(&victim);
+        }
+    }
+
+    fn remove(&mut self, path: &str) {
+        if let Some((_, t)) = self.map.remove(path) {
+            self.lru.remove(&t);
+        }
+    }
+
+    /// Remove `path` and everything cached beneath it.
+    fn remove_subtree(&mut self, path: &str) {
+        let victims: Vec<String> = self
+            .map
+            .keys()
+            .filter(|k| fspath::is_same_or_ancestor(path, k))
+            .cloned()
+            .collect();
+        for v in victims {
+            self.remove(&v);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// A DFS client bound to one process.
+pub struct DfsClient {
+    cluster: Arc<DfsCluster>,
+    dentries: Mutex<DentryCache>,
+    pub counters: Counters,
+}
+
+impl DfsClient {
+    pub(crate) fn new(cluster: Arc<DfsCluster>, dentry_capacity: usize) -> Self {
+        Self {
+            cluster,
+            dentries: Mutex::new(DentryCache::new(dentry_capacity)),
+            counters: Counters::new(),
+        }
+    }
+
+    /// One storage-network round trip.
+    fn charge_rtt(&self) {
+        charge(Station::Network, self.cluster.profile().net_rtt_storage);
+    }
+
+    /// Resolve a normalized path to its inode, walking components through
+    /// the dentry cache and falling back to lookup RPCs.
+    fn resolve(&self, path: &str, cred: &Credentials) -> FsResult<Ino> {
+        if path == "/" {
+            return Ok(Ino::ROOT);
+        }
+        let mut cur = Dentry {
+            ino: Ino::ROOT,
+            perm: self.cluster.root_perm(),
+            kind: FileKind::Dir,
+        };
+        let mut prefix = String::with_capacity(path.len());
+        for comp in fspath::components(path) {
+            // Descending through a non-directory is ENOTDIR (before any
+            // permission consideration, as in POSIX traversal).
+            if cur.kind != FileKind::Dir {
+                return Err(FsError::NotADirectory);
+            }
+            // Search permission on the directory we descend from.
+            if !cur.perm.allows(cred, ACCESS_X) {
+                return Err(FsError::PermissionDenied);
+            }
+            prefix.push('/');
+            prefix.push_str(comp);
+            let cached = self.dentries.lock().get(&prefix);
+            cur = match cached {
+                Some(hit) => {
+                    self.counters.incr("dentry_hit");
+                    hit
+                }
+                None => {
+                    self.counters.incr("dentry_miss");
+                    self.charge_rtt();
+                    let mds = self.cluster.mds_for(cur.ino);
+                    let ino = mds.lookup(cur.ino, comp, cred)?;
+                    let (perm, kind) = self.cluster.peek_meta(ino)?;
+                    let dentry = Dentry { ino, perm, kind };
+                    self.dentries.lock().insert(prefix.clone(), dentry);
+                    dentry
+                }
+            };
+        }
+        Ok(cur.ino)
+    }
+
+    fn resolve_parent<'p>(&self, path: &'p str, cred: &Credentials) -> FsResult<(Ino, &'p str)> {
+        let parent = fspath::parent(path)
+            .ok_or_else(|| FsError::InvalidPath(format!("no parent: {path}")))?;
+        let name = fspath::basename(path)
+            .ok_or_else(|| FsError::InvalidPath(format!("no name: {path}")))?;
+        Ok((self.resolve(parent, cred)?, name))
+    }
+
+    fn create_kind(
+        &self,
+        path: &str,
+        cred: &Credentials,
+        mode: u16,
+        kind: FileKind,
+    ) -> FsResult<()> {
+        let (parent, name) = self.resolve_parent(path, cred)?;
+        self.charge_rtt();
+        let ino = self.cluster.mds_for(parent).create(parent, name, kind, mode, cred)?;
+        self.dentries.lock().insert(
+            path.to_string(),
+            Dentry { ino, perm: Perm::new(mode, cred.uid, cred.gid), kind },
+        );
+        Ok(())
+    }
+
+    /// Number of dentries currently cached (diagnostics).
+    pub fn dentry_count(&self) -> usize {
+        self.dentries.lock().len()
+    }
+
+    /// The cluster this client talks to.
+    pub fn cluster(&self) -> &Arc<DfsCluster> {
+        &self.cluster
+    }
+}
+
+impl FileSystem for DfsClient {
+    fn mkdir(&self, path: &str, cred: &Credentials, mode: u16) -> FsResult<()> {
+        self.create_kind(path, cred, mode, FileKind::Dir)
+    }
+
+    fn create(&self, path: &str, cred: &Credentials, mode: u16) -> FsResult<()> {
+        self.create_kind(path, cred, mode, FileKind::File)
+    }
+
+    fn stat(&self, path: &str, cred: &Credentials) -> FsResult<FileStat> {
+        if path == "/" {
+            self.charge_rtt();
+            return self.cluster.mds_for(Ino::ROOT).getattr(Ino::ROOT, cred);
+        }
+        // Resolve the parent chain, then one combined lookup+getattr RPC
+        // for the final component (BeeGFS stats by name with lookup
+        // intent, so a warm parent dentry means a single round trip).
+        let (parent, name) = self.resolve_parent(path, cred)?;
+        self.charge_rtt();
+        let (ino, stat) = self.cluster.mds_for(parent).lookup_stat(parent, name, cred)?;
+        self.dentries
+            .lock()
+            .insert(path.to_string(), Dentry { ino, perm: stat.perm, kind: stat.kind });
+        Ok(stat)
+    }
+
+    fn unlink(&self, path: &str, cred: &Credentials) -> FsResult<()> {
+        let (parent, name) = self.resolve_parent(path, cred)?;
+        self.charge_rtt();
+        let ino = self.cluster.mds_for(parent).unlink(parent, name, cred)?;
+        self.dentries.lock().remove(path);
+        // Chunk reclamation happens server-side in a real DFS; it is not a
+        // client-visible cost.
+        self.cluster.drop_file(ino);
+        Ok(())
+    }
+
+    fn rmdir(&self, path: &str, cred: &Credentials) -> FsResult<()> {
+        let (parent, name) = self.resolve_parent(path, cred)?;
+        self.charge_rtt();
+        let res = self.cluster.mds_for(parent).rmdir(parent, name, cred);
+        if res.is_ok() {
+            self.dentries.lock().remove_subtree(path);
+        }
+        res
+    }
+
+    fn readdir(&self, path: &str, cred: &Credentials) -> FsResult<Vec<String>> {
+        let ino = self.resolve(path, cred)?;
+        self.charge_rtt();
+        self.cluster.mds_for(ino).readdir(ino, cred)
+    }
+
+    fn write(&self, path: &str, cred: &Credentials, offset: u64, data: &[u8]) -> FsResult<usize> {
+        if data.is_empty() {
+            return Ok(0);
+        }
+        let ino = self.resolve(path, cred)?;
+        let end = offset + data.len() as u64;
+        // Stripe across data servers chunk by chunk; one round trip per
+        // contiguous chunk write.
+        let mut pos = offset;
+        let mut written = 0usize;
+        while pos < end {
+            let chunk_idx = pos / CHUNK_SIZE;
+            let in_chunk = (pos % CHUNK_SIZE) as usize;
+            let take = ((CHUNK_SIZE as usize - in_chunk) as u64).min(end - pos) as usize;
+            let server = self.cluster.data_server_for(ino, chunk_idx);
+            self.charge_rtt();
+            server.write_chunk(ino, chunk_idx, in_chunk, &data[written..written + take]);
+            written += take;
+            pos += take as u64;
+        }
+        // Size update on the MDS when the file grew.
+        let cur = self.cluster.mds_for(ino).getattr(ino, cred)?.size;
+        self.charge_rtt();
+        if end > cur {
+            self.cluster.mds_for(ino).set_size(ino, end, cred)?;
+        }
+        Ok(written)
+    }
+
+    fn read(&self, path: &str, cred: &Credentials, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        let ino = self.resolve(path, cred)?;
+        self.charge_rtt();
+        let size = self.cluster.mds_for(ino).check_read(ino, cred)?;
+        if offset >= size || len == 0 {
+            return Ok(Vec::new());
+        }
+        let end = (offset + len as u64).min(size);
+        let mut out = Vec::with_capacity((end - offset) as usize);
+        let mut pos = offset;
+        while pos < end {
+            let chunk_idx = pos / CHUNK_SIZE;
+            let in_chunk = (pos % CHUNK_SIZE) as usize;
+            let take = ((CHUNK_SIZE as usize - in_chunk) as u64).min(end - pos) as usize;
+            let server = self.cluster.data_server_for(ino, chunk_idx);
+            self.charge_rtt();
+            let mut part = server.read_chunk(ino, chunk_idx, in_chunk, take);
+            part.resize(take, 0); // zero-fill sparse holes
+            out.extend_from_slice(&part);
+            pos += take as u64;
+        }
+        Ok(out)
+    }
+
+    fn fsync(&self, path: &str, cred: &Credentials) -> FsResult<()> {
+        let _ = self.resolve(path, cred)?;
+        self.charge_rtt();
+        Ok(())
+    }
+}

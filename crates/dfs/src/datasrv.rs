@@ -1,0 +1,132 @@
+//! Chunk-striped data servers.
+//!
+//! File contents are striped across the data servers in fixed-size chunks
+//! (BeeGFS default-style striping). Each server charges its service time
+//! per MiB moved. Functional storage is a chunk map so reads return
+//! exactly what was written (MADbench2 verifies data round trips).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use simnet::{charge, LatencyProfile, Station};
+
+use crate::namespace::Ino;
+
+/// Stripe size: 512 KiB, BeeGFS's default chunk size.
+pub const CHUNK_SIZE: u64 = 512 * 1024;
+
+/// One data server holding the chunks assigned to it.
+pub struct DataServer {
+    id: u32,
+    chunks: RwLock<HashMap<(Ino, u64), Vec<u8>>>,
+    profile: Arc<LatencyProfile>,
+}
+
+impl DataServer {
+    pub fn new(id: u32, profile: Arc<LatencyProfile>) -> Arc<Self> {
+        Arc::new(Self { id, chunks: RwLock::new(HashMap::new()), profile })
+    }
+
+    fn charge_bytes(&self, bytes: usize, write: bool) {
+        let per_mib =
+            if write { self.profile.data_write_per_mib } else { self.profile.data_read_per_mib };
+        // Round up to a whole MiB so small I/O still pays a server visit.
+        let mib = (bytes as u64).div_ceil(1 << 20).max(1);
+        charge(Station::DataServer(self.id), mib * per_mib);
+    }
+
+    /// Overwrite the byte range of one chunk.
+    pub fn write_chunk(&self, ino: Ino, chunk_idx: u64, offset_in_chunk: usize, data: &[u8]) {
+        assert!(offset_in_chunk + data.len() <= CHUNK_SIZE as usize, "chunk overflow");
+        self.charge_bytes(data.len(), true);
+        let mut chunks = self.chunks.write();
+        let chunk = chunks.entry((ino, chunk_idx)).or_default();
+        if chunk.len() < offset_in_chunk + data.len() {
+            chunk.resize(offset_in_chunk + data.len(), 0);
+        }
+        chunk[offset_in_chunk..offset_in_chunk + data.len()].copy_from_slice(data);
+    }
+
+    /// Read a byte range of one chunk (zero-filled holes, truncated at the
+    /// chunk's written length).
+    pub fn read_chunk(&self, ino: Ino, chunk_idx: u64, offset_in_chunk: usize, len: usize) -> Vec<u8> {
+        self.charge_bytes(len, false);
+        let chunks = self.chunks.read();
+        match chunks.get(&(ino, chunk_idx)) {
+            Some(chunk) => {
+                if offset_in_chunk >= chunk.len() {
+                    Vec::new()
+                } else {
+                    let end = (offset_in_chunk + len).min(chunk.len());
+                    chunk[offset_in_chunk..end].to_vec()
+                }
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Drop all chunks of a deleted file.
+    pub fn drop_file(&self, ino: Ino) {
+        self.chunks.write().retain(|(i, _), _| *i != ino);
+    }
+
+    /// Bytes stored (diagnostics).
+    pub fn used_bytes(&self) -> usize {
+        self.chunks.read().values().map(|c| c.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::with_recording;
+
+    fn srv() -> Arc<DataServer> {
+        DataServer::new(0, Arc::new(LatencyProfile::default()))
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let s = srv();
+        s.write_chunk(Ino(5), 0, 10, b"hello");
+        assert_eq!(s.read_chunk(Ino(5), 0, 10, 5), b"hello");
+        // Hole before offset 10 is zero-filled.
+        assert_eq!(s.read_chunk(Ino(5), 0, 8, 2), vec![0, 0]);
+        // Reads past written length are truncated.
+        assert_eq!(s.read_chunk(Ino(5), 0, 13, 100), b"lo");
+        assert!(s.read_chunk(Ino(5), 1, 0, 4).is_empty());
+    }
+
+    #[test]
+    fn charges_per_mib() {
+        let s = srv();
+        let p = LatencyProfile::default();
+        let ((), t) = with_recording(|| {
+            s.write_chunk(Ino(1), 0, 0, &[0u8; 1000]);
+        });
+        assert_eq!(t.station_ns(Station::DataServer(0)), p.data_write_per_mib);
+        let ((), t) = with_recording(|| {
+            s.read_chunk(Ino(1), 0, 0, 1000);
+        });
+        assert_eq!(t.station_ns(Station::DataServer(0)), p.data_read_per_mib);
+    }
+
+    #[test]
+    fn drop_file_frees_space() {
+        let s = srv();
+        s.write_chunk(Ino(1), 0, 0, &[1u8; 100]);
+        s.write_chunk(Ino(1), 3, 0, &[2u8; 100]);
+        s.write_chunk(Ino(2), 0, 0, &[3u8; 100]);
+        assert_eq!(s.used_bytes(), 300);
+        s.drop_file(Ino(1));
+        assert_eq!(s.used_bytes(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk overflow")]
+    fn oversized_chunk_write_panics() {
+        let s = srv();
+        s.write_chunk(Ino(1), 0, (CHUNK_SIZE - 1) as usize, &[0u8; 2]);
+    }
+}

@@ -1,0 +1,233 @@
+//! Metadata server front end.
+//!
+//! Each public method models one RPC handler: it charges its service
+//! demand to `Station::Mds(id)` and then executes the namespace
+//! operation. Multiple MDS instances share one namespace store and split
+//! the request load (BeeGFS-style multi-MDS deployments shard by
+//! directory; the paper's testbed runs a single MDS, which is also the
+//! default here).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use fsapi::{Credentials, FileKind, FileStat, FsError, FsResult};
+use parking_lot::RwLock;
+use simnet::{charge, Counters, LatencyProfile, Station};
+
+use crate::namespace::{Ino, Namespace};
+
+/// One metadata server instance.
+pub struct Mds {
+    id: u32,
+    ns: Arc<RwLock<Namespace>>,
+    profile: Arc<LatencyProfile>,
+    pub counters: Counters,
+    /// Fault injection: the next N requests fail with a backend error
+    /// (transient MDS outage / RPC timeout).
+    inject_failures: AtomicU64,
+}
+
+impl Mds {
+    pub fn new(
+        id: u32,
+        ns: Arc<RwLock<Namespace>>,
+        profile: Arc<LatencyProfile>,
+    ) -> Arc<Self> {
+        Arc::new(Self {
+            id,
+            ns,
+            profile,
+            counters: Counters::new(),
+            inject_failures: AtomicU64::new(0),
+        })
+    }
+
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Make the next `n` requests fail transiently (tests and failure-
+    /// injection experiments).
+    pub fn inject_failures(&self, n: u64) {
+        self.inject_failures.store(n, Ordering::Release);
+    }
+
+    /// Consume one injected failure if armed.
+    fn check_fault(&self) -> FsResult<()> {
+        let mut cur = self.inject_failures.load(Ordering::Acquire);
+        while cur > 0 {
+            match self.inject_failures.compare_exchange(
+                cur,
+                cur - 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.counters.incr("injected_failures");
+                    return Err(FsError::Backend("injected MDS failure".into()));
+                }
+                Err(now) => cur = now,
+            }
+        }
+        Ok(())
+    }
+
+    fn station(&self) -> Station {
+        Station::Mds(self.id)
+    }
+
+    /// Resolve one path component under `parent`.
+    pub fn lookup(&self, parent: Ino, name: &str, cred: &Credentials) -> FsResult<Ino> {
+        charge(self.station(), self.profile.mds_lookup);
+        self.counters.incr("lookup");
+        self.check_fault()?;
+        self.ns.read().lookup(parent, name, cred)
+    }
+
+    /// Attributes of a resolved inode.
+    pub fn getattr(&self, ino: Ino, cred: &Credentials) -> FsResult<FileStat> {
+        charge(self.station(), self.profile.mds_stat);
+        self.counters.incr("getattr");
+        self.check_fault()?;
+        let _ = cred;
+        self.ns.read().getattr(ino)
+    }
+
+    /// Combined lookup + getattr of one directory entry — the single RPC
+    /// a BeeGFS-style client issues for `stat` once the parent dentry is
+    /// cached (stat-by-name with lookup intent).
+    pub fn lookup_stat(
+        &self,
+        parent: Ino,
+        name: &str,
+        cred: &Credentials,
+    ) -> FsResult<(Ino, FileStat)> {
+        charge(self.station(), self.profile.mds_stat);
+        self.counters.incr("lookup_stat");
+        self.check_fault()?;
+        let ns = self.ns.read();
+        let ino = ns.lookup(parent, name, cred)?;
+        Ok((ino, ns.getattr(ino)?))
+    }
+
+    /// Create a file or directory under `parent`.
+    pub fn create(
+        &self,
+        parent: Ino,
+        name: &str,
+        kind: FileKind,
+        mode: u16,
+        cred: &Credentials,
+    ) -> FsResult<Ino> {
+        let demand = match kind {
+            FileKind::File => self.profile.mds_create,
+            FileKind::Dir => self.profile.mds_mkdir,
+        };
+        charge(self.station(), demand);
+        self.counters.incr(match kind {
+            FileKind::File => "create",
+            FileKind::Dir => "mkdir",
+        });
+        self.check_fault()?;
+        self.ns.write().create_child(parent, name, kind, mode, cred)
+    }
+
+    /// Unlink a file; returns the removed inode for chunk reclamation.
+    pub fn unlink(&self, parent: Ino, name: &str, cred: &Credentials) -> FsResult<Ino> {
+        charge(self.station(), self.profile.mds_unlink);
+        self.counters.incr("unlink");
+        self.check_fault()?;
+        self.ns.write().unlink_child(parent, name, cred)
+    }
+
+    /// Remove an empty directory.
+    pub fn rmdir(&self, parent: Ino, name: &str, cred: &Credentials) -> FsResult<()> {
+        charge(self.station(), self.profile.mds_rmdir);
+        self.counters.incr("rmdir");
+        self.check_fault()?;
+        self.ns.write().rmdir_child(parent, name, cred)
+    }
+
+    /// List a directory.
+    pub fn readdir(&self, ino: Ino, cred: &Credentials) -> FsResult<Vec<String>> {
+        self.counters.incr("readdir");
+        self.check_fault()?;
+        let names = self.ns.read().readdir(ino, cred)?;
+        charge(
+            self.station(),
+            self.profile.mds_readdir_base
+                + names.len() as u64 * self.profile.mds_readdir_per_entry,
+        );
+        Ok(names)
+    }
+
+    /// Record a file's new size after a data-server write.
+    pub fn set_size(&self, ino: Ino, size: u64, cred: &Credentials) -> FsResult<()> {
+        charge(self.station(), self.profile.mds_stat);
+        self.counters.incr("set_size");
+        self.check_fault()?;
+        self.ns.write().set_size(ino, size, cred)
+    }
+
+    /// Validate a read and return the current size.
+    pub fn check_read(&self, ino: Ino, cred: &Credentials) -> FsResult<u64> {
+        charge(self.station(), self.profile.mds_stat);
+        self.counters.incr("check_read");
+        self.check_fault()?;
+        self.ns.read().check_read(ino, cred)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::with_recording;
+
+    fn mds() -> Arc<Mds> {
+        let ns = Arc::new(RwLock::new(Namespace::new(0o777)));
+        Mds::new(0, ns, Arc::new(LatencyProfile::default()))
+    }
+
+    #[test]
+    fn charges_service_time_per_op() {
+        let m = mds();
+        let cred = Credentials::new(1, 1);
+        let profile = LatencyProfile::default();
+        let (ino, t) = with_recording(|| {
+            m.create(Ino::ROOT, "d", FileKind::Dir, 0o755, &cred).unwrap()
+        });
+        assert_eq!(t.station_ns(Station::Mds(0)), profile.mds_mkdir);
+        let ((), t) = with_recording(|| {
+            m.getattr(ino, &cred).unwrap();
+        });
+        assert_eq!(t.station_ns(Station::Mds(0)), profile.mds_stat);
+    }
+
+    #[test]
+    fn readdir_charges_scale_with_entries() {
+        let m = mds();
+        let cred = Credentials::new(1, 1);
+        let d = m.create(Ino::ROOT, "dir", FileKind::Dir, 0o755, &cred).unwrap();
+        for i in 0..10 {
+            m.create(d, &format!("f{i}"), FileKind::File, 0o644, &cred).unwrap();
+        }
+        let profile = LatencyProfile::default();
+        let (names, t) = with_recording(|| m.readdir(d, &cred).unwrap());
+        assert_eq!(names.len(), 10);
+        assert_eq!(
+            t.station_ns(Station::Mds(0)),
+            profile.mds_readdir_base + 10 * profile.mds_readdir_per_entry
+        );
+    }
+
+    #[test]
+    fn counters_track_requests() {
+        let m = mds();
+        let cred = Credentials::new(1, 1);
+        m.create(Ino::ROOT, "a", FileKind::File, 0o644, &cred).unwrap();
+        m.lookup(Ino::ROOT, "a", &cred).unwrap();
+        m.lookup(Ino::ROOT, "a", &cred).unwrap();
+        assert_eq!(m.counters.get("create"), 1);
+        assert_eq!(m.counters.get("lookup"), 2);
+    }
+}

@@ -1,0 +1,373 @@
+//! The hierarchical namespace held by the metadata service.
+//!
+//! Pure data structure: inode table + directory trees, with POSIX-style
+//! checks (existence, kind, emptiness, permission) but no cost accounting
+//! — the [`crate::mds`] front end charges service time per request.
+
+use std::collections::{BTreeMap, HashMap};
+
+use fsapi::types::{ACCESS_R, ACCESS_W, ACCESS_X};
+use fsapi::{Credentials, FileKind, FileStat, FsError, FsResult, Perm};
+
+/// Inode number. The root is always [`Ino::ROOT`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ino(pub u64);
+
+impl Ino {
+    pub const ROOT: Ino = Ino(1);
+}
+
+#[derive(Debug, Clone)]
+pub struct Inode {
+    pub kind: FileKind,
+    pub perm: Perm,
+    pub size: u64,
+    pub mtime: u64,
+    /// Directory children (empty for files).
+    pub children: BTreeMap<String, Ino>,
+}
+
+/// The namespace: inode table rooted at `/`.
+pub struct Namespace {
+    inodes: HashMap<Ino, Inode>,
+    next_ino: u64,
+    clock: u64,
+}
+
+impl Namespace {
+    /// Fresh namespace whose root is owned by root with `root_mode`.
+    pub fn new(root_mode: u16) -> Self {
+        let mut inodes = HashMap::new();
+        inodes.insert(
+            Ino::ROOT,
+            Inode {
+                kind: FileKind::Dir,
+                perm: Perm::new(root_mode, 0, 0),
+                size: 0,
+                mtime: 0,
+                children: BTreeMap::new(),
+            },
+        );
+        Self { inodes, next_ino: 2, clock: 1 }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    pub fn get(&self, ino: Ino) -> FsResult<&Inode> {
+        self.inodes.get(&ino).ok_or(FsError::NotFound)
+    }
+
+    fn get_mut(&mut self, ino: Ino) -> FsResult<&mut Inode> {
+        self.inodes.get_mut(&ino).ok_or(FsError::NotFound)
+    }
+
+    /// Look up one child by name, enforcing search (x) permission on the
+    /// parent directory — the per-component check real path traversal pays.
+    pub fn lookup(&self, parent: Ino, name: &str, cred: &Credentials) -> FsResult<Ino> {
+        let dir = self.get(parent)?;
+        if dir.kind != FileKind::Dir {
+            return Err(FsError::NotADirectory);
+        }
+        if !dir.perm.allows(cred, ACCESS_X) {
+            return Err(FsError::PermissionDenied);
+        }
+        dir.children.get(name).copied().ok_or(FsError::NotFound)
+    }
+
+    /// Attributes of an inode (no permission needed beyond having resolved
+    /// the path, per POSIX stat semantics).
+    pub fn getattr(&self, ino: Ino) -> FsResult<FileStat> {
+        let inode = self.get(ino)?;
+        Ok(FileStat {
+            kind: inode.kind,
+            perm: inode.perm,
+            size: inode.size,
+            mtime: inode.mtime,
+            nlink: if inode.kind == FileKind::Dir {
+                inode.children.len() as u64 + 2
+            } else {
+                1
+            },
+        })
+    }
+
+    /// Create a child (file or directory) under `parent`.
+    pub fn create_child(
+        &mut self,
+        parent: Ino,
+        name: &str,
+        kind: FileKind,
+        mode: u16,
+        cred: &Credentials,
+    ) -> FsResult<Ino> {
+        if name.is_empty() || name.contains('/') {
+            return Err(FsError::InvalidPath(name.to_string()));
+        }
+        let mtime = self.tick();
+        let dir = self.get(parent)?;
+        if dir.kind != FileKind::Dir {
+            return Err(FsError::NotADirectory);
+        }
+        if !dir.perm.allows(cred, ACCESS_W | ACCESS_X) {
+            return Err(FsError::PermissionDenied);
+        }
+        if dir.children.contains_key(name) {
+            return Err(FsError::AlreadyExists);
+        }
+        let ino = Ino(self.next_ino);
+        self.next_ino += 1;
+        self.inodes.insert(
+            ino,
+            Inode {
+                kind,
+                perm: Perm::new(mode, cred.uid, cred.gid),
+                size: 0,
+                mtime,
+                children: BTreeMap::new(),
+            },
+        );
+        let dir = self.get_mut(parent).expect("parent vanished mid-create");
+        dir.children.insert(name.to_string(), ino);
+        dir.mtime = mtime;
+        Ok(ino)
+    }
+
+    /// Unlink a file child; returns the removed inode number so the data
+    /// path can reclaim its chunks.
+    pub fn unlink_child(&mut self, parent: Ino, name: &str, cred: &Credentials) -> FsResult<Ino> {
+        let mtime = self.tick();
+        let dir = self.get(parent)?;
+        if dir.kind != FileKind::Dir {
+            return Err(FsError::NotADirectory);
+        }
+        if !dir.perm.allows(cred, ACCESS_W | ACCESS_X) {
+            return Err(FsError::PermissionDenied);
+        }
+        let &ino = dir.children.get(name).ok_or(FsError::NotFound)?;
+        if self.get(ino)?.kind != FileKind::File {
+            return Err(FsError::IsADirectory);
+        }
+        self.inodes.remove(&ino);
+        let dir = self.get_mut(parent)?;
+        dir.children.remove(name);
+        dir.mtime = mtime;
+        Ok(ino)
+    }
+
+    /// Remove an *empty* directory child (POSIX rmdir).
+    pub fn rmdir_child(&mut self, parent: Ino, name: &str, cred: &Credentials) -> FsResult<()> {
+        let mtime = self.tick();
+        let dir = self.get(parent)?;
+        if dir.kind != FileKind::Dir {
+            return Err(FsError::NotADirectory);
+        }
+        if !dir.perm.allows(cred, ACCESS_W | ACCESS_X) {
+            return Err(FsError::PermissionDenied);
+        }
+        let &ino = dir.children.get(name).ok_or(FsError::NotFound)?;
+        let target = self.get(ino)?;
+        if target.kind != FileKind::Dir {
+            return Err(FsError::NotADirectory);
+        }
+        if !target.children.is_empty() {
+            return Err(FsError::NotEmpty);
+        }
+        self.inodes.remove(&ino);
+        let dir = self.get_mut(parent)?;
+        dir.children.remove(name);
+        dir.mtime = mtime;
+        Ok(())
+    }
+
+    /// Names in a directory (requires read permission).
+    pub fn readdir(&self, ino: Ino, cred: &Credentials) -> FsResult<Vec<String>> {
+        let dir = self.get(ino)?;
+        if dir.kind != FileKind::Dir {
+            return Err(FsError::NotADirectory);
+        }
+        if !dir.perm.allows(cred, ACCESS_R) {
+            return Err(FsError::PermissionDenied);
+        }
+        Ok(dir.children.keys().cloned().collect())
+    }
+
+    /// Update file size after a data write (requires write permission).
+    pub fn set_size(&mut self, ino: Ino, size: u64, cred: &Credentials) -> FsResult<()> {
+        let mtime = self.tick();
+        let inode = self.get_mut(ino)?;
+        if inode.kind != FileKind::File {
+            return Err(FsError::IsADirectory);
+        }
+        if !inode.perm.allows(cred, ACCESS_W) {
+            return Err(FsError::PermissionDenied);
+        }
+        inode.size = size;
+        inode.mtime = mtime;
+        Ok(())
+    }
+
+    /// Check read permission on a file (used by the data path).
+    pub fn check_read(&self, ino: Ino, cred: &Credentials) -> FsResult<u64> {
+        let inode = self.get(ino)?;
+        if inode.kind != FileKind::File {
+            return Err(FsError::IsADirectory);
+        }
+        if !inode.perm.allows(cred, ACCESS_R) {
+            return Err(FsError::PermissionDenied);
+        }
+        Ok(inode.size)
+    }
+
+    /// Number of live inodes (diagnostics / leak tests).
+    pub fn inode_count(&self) -> usize {
+        self.inodes.len()
+    }
+
+    /// Sorted `(path, kind, size)` listing of the whole tree — test and
+    /// checkpoint helper, never part of the charged fast path.
+    pub fn snapshot(&self) -> Vec<(String, FileKind, u64)> {
+        let mut out = Vec::with_capacity(self.inodes.len());
+        let mut stack: Vec<(Ino, String)> = vec![(Ino::ROOT, "/".to_string())];
+        while let Some((ino, path)) = stack.pop() {
+            let inode = match self.inodes.get(&ino) {
+                Some(i) => i,
+                None => continue,
+            };
+            out.push((path.clone(), inode.kind, inode.size));
+            for (name, child) in &inode.children {
+                stack.push((*child, fsapi::path::join(&path, name)));
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns() -> Namespace {
+        Namespace::new(0o777)
+    }
+    fn cred() -> Credentials {
+        Credentials::new(100, 100)
+    }
+
+    #[test]
+    fn create_lookup_getattr() {
+        let mut n = ns();
+        let c = cred();
+        let d = n.create_child(Ino::ROOT, "work", FileKind::Dir, 0o755, &c).unwrap();
+        let f = n.create_child(d, "data.bin", FileKind::File, 0o644, &c).unwrap();
+        assert_eq!(n.lookup(Ino::ROOT, "work", &c).unwrap(), d);
+        assert_eq!(n.lookup(d, "data.bin", &c).unwrap(), f);
+        let st = n.getattr(f).unwrap();
+        assert_eq!(st.kind, FileKind::File);
+        assert_eq!(st.perm.uid, 100);
+        assert!(n.getattr(d).unwrap().is_dir());
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let mut n = ns();
+        let c = cred();
+        n.create_child(Ino::ROOT, "x", FileKind::File, 0o644, &c).unwrap();
+        assert_eq!(
+            n.create_child(Ino::ROOT, "x", FileKind::Dir, 0o755, &c),
+            Err(FsError::AlreadyExists)
+        );
+    }
+
+    #[test]
+    fn lookup_needs_search_permission() {
+        let mut n = ns();
+        let owner = cred();
+        let d = n.create_child(Ino::ROOT, "private", FileKind::Dir, 0o700, &owner).unwrap();
+        n.create_child(d, "secret", FileKind::File, 0o644, &owner).unwrap();
+        let stranger = Credentials::new(200, 200);
+        assert_eq!(n.lookup(d, "secret", &stranger), Err(FsError::PermissionDenied));
+        assert!(n.lookup(d, "secret", &owner).is_ok());
+    }
+
+    #[test]
+    fn create_needs_write_permission() {
+        let mut n = ns();
+        let owner = cred();
+        let d = n.create_child(Ino::ROOT, "ro", FileKind::Dir, 0o555, &owner).unwrap();
+        assert_eq!(
+            n.create_child(d, "f", FileKind::File, 0o644, &owner),
+            Err(FsError::PermissionDenied)
+        );
+    }
+
+    #[test]
+    fn unlink_and_rmdir_enforce_kinds() {
+        let mut n = ns();
+        let c = cred();
+        let d = n.create_child(Ino::ROOT, "d", FileKind::Dir, 0o755, &c).unwrap();
+        n.create_child(Ino::ROOT, "f", FileKind::File, 0o644, &c).unwrap();
+        assert_eq!(n.unlink_child(Ino::ROOT, "d", &c), Err(FsError::IsADirectory));
+        assert_eq!(n.rmdir_child(Ino::ROOT, "f", &c), Err(FsError::NotADirectory));
+        // Non-empty dir cannot be removed.
+        n.create_child(d, "inner", FileKind::File, 0o644, &c).unwrap();
+        assert_eq!(n.rmdir_child(Ino::ROOT, "d", &c), Err(FsError::NotEmpty));
+        n.unlink_child(d, "inner", &c).unwrap();
+        n.rmdir_child(Ino::ROOT, "d", &c).unwrap();
+        n.unlink_child(Ino::ROOT, "f", &c).unwrap();
+        assert_eq!(n.inode_count(), 1, "only the root must remain");
+    }
+
+    #[test]
+    fn readdir_sorted_and_checked() {
+        let mut n = ns();
+        let c = cred();
+        let d = n.create_child(Ino::ROOT, "dir", FileKind::Dir, 0o700, &c).unwrap();
+        for name in ["zeta", "alpha", "mid"] {
+            n.create_child(d, name, FileKind::File, 0o644, &c).unwrap();
+        }
+        assert_eq!(n.readdir(d, &c).unwrap(), vec!["alpha", "mid", "zeta"]);
+        let stranger = Credentials::new(9, 9);
+        assert_eq!(n.readdir(d, &stranger), Err(FsError::PermissionDenied));
+    }
+
+    #[test]
+    fn set_size_and_mtime_advance() {
+        let mut n = ns();
+        let c = cred();
+        let f = n.create_child(Ino::ROOT, "f", FileKind::File, 0o644, &c).unwrap();
+        let before = n.getattr(f).unwrap().mtime;
+        n.set_size(f, 4096, &c).unwrap();
+        let st = n.getattr(f).unwrap();
+        assert_eq!(st.size, 4096);
+        assert!(st.mtime > before);
+    }
+
+    #[test]
+    fn invalid_names_rejected() {
+        let mut n = ns();
+        let c = cred();
+        assert!(matches!(
+            n.create_child(Ino::ROOT, "a/b", FileKind::File, 0o644, &c),
+            Err(FsError::InvalidPath(_))
+        ));
+        assert!(matches!(
+            n.create_child(Ino::ROOT, "", FileKind::Dir, 0o755, &c),
+            Err(FsError::InvalidPath(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_lists_whole_tree() {
+        let mut n = ns();
+        let c = cred();
+        let d = n.create_child(Ino::ROOT, "a", FileKind::Dir, 0o755, &c).unwrap();
+        n.create_child(d, "b", FileKind::File, 0o644, &c).unwrap();
+        let snap = n.snapshot();
+        let paths: Vec<&str> = snap.iter().map(|(p, _, _)| p.as_str()).collect();
+        assert_eq!(paths, vec!["/", "/a", "/a/b"]);
+    }
+}

@@ -1,0 +1,123 @@
+//! The backend-agnostic [`FileSystem`] trait.
+
+use crate::error::FsResult;
+use crate::types::{Credentials, FileStat};
+
+/// The metadata + file surface the paper's workloads exercise (mdtest,
+/// MADbench2). Implemented by the BeeGFS-like `dfs`, the IndexFS baseline,
+/// and Pacon itself.
+///
+/// All paths must be normalized absolute paths (see [`crate::path`]); the
+/// caller is responsible for normalization so that hot paths avoid
+/// re-parsing.
+///
+/// `rename`/hard links are intentionally absent: the paper's design and
+/// evaluation do not cover them, and Pacon's full-path cache keying would
+/// require a rename-specific invalidation protocol the paper does not
+/// specify.
+pub trait FileSystem: Send + Sync {
+    /// Create a directory. The parent must exist and be writable.
+    fn mkdir(&self, path: &str, cred: &Credentials, mode: u16) -> FsResult<()>;
+
+    /// Create an empty regular file. The parent must exist and be
+    /// writable; the file must not exist.
+    fn create(&self, path: &str, cred: &Credentials, mode: u16) -> FsResult<()>;
+
+    /// Get attributes of a file or directory.
+    fn stat(&self, path: &str, cred: &Credentials) -> FsResult<FileStat>;
+
+    /// Remove a regular file.
+    fn unlink(&self, path: &str, cred: &Credentials) -> FsResult<()>;
+
+    /// Remove a directory and (for Pacon, per Section III.D) everything
+    /// beneath it. The plain DFS backend requires the directory to be
+    /// empty, matching POSIX.
+    fn rmdir(&self, path: &str, cred: &Credentials) -> FsResult<()>;
+
+    /// List the names (not paths) of entries in a directory, sorted.
+    fn readdir(&self, path: &str, cred: &Credentials) -> FsResult<Vec<String>>;
+
+    /// Write `data` at `offset`, extending the file as needed. Returns the
+    /// number of bytes written.
+    fn write(&self, path: &str, cred: &Credentials, offset: u64, data: &[u8]) -> FsResult<usize>;
+
+    /// Read up to `len` bytes at `offset`. Short reads happen at EOF.
+    fn read(&self, path: &str, cred: &Credentials, offset: u64, len: usize) -> FsResult<Vec<u8>>;
+
+    /// Flush buffered data of `path` to durable storage.
+    fn fsync(&self, path: &str, cred: &Credentials) -> FsResult<()>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::FsError;
+    use crate::types::{FileKind, Perm};
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    /// Minimal in-memory FileSystem proving the trait is implementable and
+    /// object-safe.
+    struct MemFs {
+        entries: Mutex<BTreeMap<String, FileKind>>,
+    }
+
+    impl MemFs {
+        fn new() -> Self {
+            let mut m = BTreeMap::new();
+            m.insert("/".to_string(), FileKind::Dir);
+            Self { entries: Mutex::new(m) }
+        }
+        fn stat_of(kind: FileKind) -> FileStat {
+            FileStat { kind, perm: Perm::new(0o755, 0, 0), size: 0, mtime: 0, nlink: 1 }
+        }
+    }
+
+    impl FileSystem for MemFs {
+        fn mkdir(&self, path: &str, _c: &Credentials, _m: u16) -> FsResult<()> {
+            self.entries.lock().unwrap().insert(path.to_string(), FileKind::Dir);
+            Ok(())
+        }
+        fn create(&self, path: &str, _c: &Credentials, _m: u16) -> FsResult<()> {
+            self.entries.lock().unwrap().insert(path.to_string(), FileKind::File);
+            Ok(())
+        }
+        fn stat(&self, path: &str, _c: &Credentials) -> FsResult<FileStat> {
+            self.entries
+                .lock()
+                .unwrap()
+                .get(path)
+                .map(|k| Self::stat_of(*k))
+                .ok_or(FsError::NotFound)
+        }
+        fn unlink(&self, path: &str, _c: &Credentials) -> FsResult<()> {
+            self.entries.lock().unwrap().remove(path).map(|_| ()).ok_or(FsError::NotFound)
+        }
+        fn rmdir(&self, path: &str, _c: &Credentials) -> FsResult<()> {
+            self.entries.lock().unwrap().remove(path).map(|_| ()).ok_or(FsError::NotFound)
+        }
+        fn readdir(&self, _p: &str, _c: &Credentials) -> FsResult<Vec<String>> {
+            Ok(vec![])
+        }
+        fn write(&self, _p: &str, _c: &Credentials, _o: u64, d: &[u8]) -> FsResult<usize> {
+            Ok(d.len())
+        }
+        fn read(&self, _p: &str, _c: &Credentials, _o: u64, _l: usize) -> FsResult<Vec<u8>> {
+            Ok(vec![])
+        }
+        fn fsync(&self, _p: &str, _c: &Credentials) -> FsResult<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_usable() {
+        let fs: Box<dyn FileSystem> = Box::new(MemFs::new());
+        let cred = Credentials::root();
+        fs.mkdir("/a", &cred, 0o755).unwrap();
+        fs.create("/a/f", &cred, 0o644).unwrap();
+        assert_eq!(fs.stat("/a/f", &cred).unwrap().kind, FileKind::File);
+        fs.unlink("/a/f", &cred).unwrap();
+        assert_eq!(fs.stat("/a/f", &cred), Err(FsError::NotFound));
+    }
+}

@@ -1,0 +1,20 @@
+//! Backend-agnostic file-system interface for the Pacon reproduction.
+//!
+//! The paper compares three systems that expose the same POSIX-ish
+//! metadata surface: native BeeGFS, IndexFS-on-BeeGFS, and Pacon-on-
+//! BeeGFS. This crate defines the common [`FileSystem`] trait those
+//! backends implement, the metadata types ([`FileStat`], [`Perm`],
+//! [`Credentials`]), the error taxonomy ([`FsError`]), and normalized
+//! [`path`] helpers, so the `workloads` crate can drive any backend
+//! generically.
+
+pub mod error;
+pub mod fs;
+pub mod mount;
+pub mod path;
+pub mod types;
+
+pub use error::{FsError, FsResult};
+pub use fs::FileSystem;
+pub use mount::MountTable;
+pub use types::{Credentials, FileKind, FileStat, Perm};

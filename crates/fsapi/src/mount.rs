@@ -1,0 +1,217 @@
+//! A mount table: route one namespace across several backends.
+//!
+//! The paper deploys Pacon by hooking the file-system calls of an
+//! application, so requests under the workspace go to Pacon while
+//! everything else reaches the DFS client untouched. [`MountTable`] is
+//! that interception layer as a composable object: mount any
+//! [`FileSystem`] at a prefix; each call routes to the longest matching
+//! mount. Tests and examples use it to present "the node's view" — a
+//! raw DFS at `/` with Pacon regions spliced over the workspaces.
+
+use crate::error::{FsError, FsResult};
+use crate::fs::FileSystem;
+use crate::path as fspath;
+use crate::types::{Credentials, FileStat};
+
+/// One mounted backend.
+struct Mount {
+    prefix: String,
+    fs: Box<dyn FileSystem>,
+}
+
+/// Longest-prefix router over mounted [`FileSystem`]s.
+///
+/// A `MountTable` itself implements [`FileSystem`], so tables nest.
+pub struct MountTable {
+    mounts: Vec<Mount>,
+}
+
+impl Default for MountTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MountTable {
+    pub fn new() -> Self {
+        Self { mounts: Vec::new() }
+    }
+
+    /// Mount `fs` at `prefix` (normalized absolute path). Fails on a
+    /// duplicate prefix; nesting under an existing mount is allowed and
+    /// the deeper mount wins.
+    pub fn mount(&mut self, prefix: &str, fs: Box<dyn FileSystem>) -> FsResult<()> {
+        let prefix = fspath::normalize(prefix)?;
+        if self.mounts.iter().any(|m| m.prefix == prefix) {
+            return Err(FsError::AlreadyExists);
+        }
+        self.mounts.push(Mount { prefix, fs });
+        // Longest prefix first, so routing can take the first match.
+        self.mounts.sort_by_key(|m| std::cmp::Reverse(fspath::depth(&m.prefix)));
+        Ok(())
+    }
+
+    /// Remove the mount at exactly `prefix`; returns the backend.
+    pub fn unmount(&mut self, prefix: &str) -> FsResult<Box<dyn FileSystem>> {
+        let prefix = fspath::normalize(prefix)?;
+        match self.mounts.iter().position(|m| m.prefix == prefix) {
+            Some(i) => Ok(self.mounts.remove(i).fs),
+            None => Err(FsError::NotFound),
+        }
+    }
+
+    /// Prefixes currently mounted, longest first.
+    pub fn mounted_prefixes(&self) -> Vec<&str> {
+        self.mounts.iter().map(|m| m.prefix.as_str()).collect()
+    }
+
+    fn route(&self, path: &str) -> FsResult<&dyn FileSystem> {
+        self.mounts
+            .iter()
+            .find(|m| fspath::is_same_or_ancestor(&m.prefix, path))
+            .map(|m| m.fs.as_ref())
+            .ok_or(FsError::NotFound)
+    }
+}
+
+impl FileSystem for MountTable {
+    fn mkdir(&self, path: &str, cred: &Credentials, mode: u16) -> FsResult<()> {
+        self.route(path)?.mkdir(path, cred, mode)
+    }
+    fn create(&self, path: &str, cred: &Credentials, mode: u16) -> FsResult<()> {
+        self.route(path)?.create(path, cred, mode)
+    }
+    fn stat(&self, path: &str, cred: &Credentials) -> FsResult<FileStat> {
+        self.route(path)?.stat(path, cred)
+    }
+    fn unlink(&self, path: &str, cred: &Credentials) -> FsResult<()> {
+        self.route(path)?.unlink(path, cred)
+    }
+    fn rmdir(&self, path: &str, cred: &Credentials) -> FsResult<()> {
+        self.route(path)?.rmdir(path, cred)
+    }
+    fn readdir(&self, path: &str, cred: &Credentials) -> FsResult<Vec<String>> {
+        self.route(path)?.readdir(path, cred)
+    }
+    fn write(&self, path: &str, cred: &Credentials, offset: u64, data: &[u8]) -> FsResult<usize> {
+        self.route(path)?.write(path, cred, offset, data)
+    }
+    fn read(&self, path: &str, cred: &Credentials, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        self.route(path)?.read(path, cred, offset, len)
+    }
+    fn fsync(&self, path: &str, cred: &Credentials) -> FsResult<()> {
+        self.route(path)?.fsync(path, cred)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::FileKind;
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    /// Tiny labelled in-memory FS to observe routing.
+    struct TaggedFs {
+        label: &'static str,
+        entries: Mutex<BTreeMap<String, FileKind>>,
+    }
+
+    impl TaggedFs {
+        fn boxed(label: &'static str) -> Box<dyn FileSystem> {
+            Box::new(Self { label, entries: Mutex::new(BTreeMap::new()) })
+        }
+    }
+
+    impl FileSystem for TaggedFs {
+        fn mkdir(&self, path: &str, _c: &Credentials, _m: u16) -> FsResult<()> {
+            self.entries.lock().unwrap().insert(path.into(), FileKind::Dir);
+            Ok(())
+        }
+        fn create(&self, path: &str, _c: &Credentials, _m: u16) -> FsResult<()> {
+            self.entries.lock().unwrap().insert(path.into(), FileKind::File);
+            Ok(())
+        }
+        fn stat(&self, path: &str, _c: &Credentials) -> FsResult<FileStat> {
+            self.entries.lock().unwrap().get(path).ok_or(FsError::NotFound)?;
+            Ok(FileStat {
+                kind: FileKind::File,
+                perm: crate::types::Perm::new(0o644, 0, 0),
+                size: 0,
+                mtime: 0,
+                nlink: 1,
+            })
+        }
+        fn unlink(&self, path: &str, _c: &Credentials) -> FsResult<()> {
+            self.entries.lock().unwrap().remove(path).map(|_| ()).ok_or(FsError::NotFound)
+        }
+        fn rmdir(&self, path: &str, _c: &Credentials) -> FsResult<()> {
+            self.unlink(path, _c)
+        }
+        fn readdir(&self, _p: &str, _c: &Credentials) -> FsResult<Vec<String>> {
+            Ok(vec![self.label.to_string()])
+        }
+        fn write(&self, _p: &str, _c: &Credentials, _o: u64, d: &[u8]) -> FsResult<usize> {
+            Ok(d.len())
+        }
+        fn read(&self, _p: &str, _c: &Credentials, _o: u64, _l: usize) -> FsResult<Vec<u8>> {
+            Ok(self.label.as_bytes().to_vec())
+        }
+        fn fsync(&self, _p: &str, _c: &Credentials) -> FsResult<()> {
+            Ok(())
+        }
+    }
+
+    fn cred() -> Credentials {
+        Credentials::root()
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut mt = MountTable::new();
+        mt.mount("/", TaggedFs::boxed("root")).unwrap();
+        mt.mount("/app", TaggedFs::boxed("app")).unwrap();
+        mt.mount("/app/deep", TaggedFs::boxed("deep")).unwrap();
+        assert_eq!(mt.read("/other", &cred(), 0, 8).unwrap(), b"root");
+        assert_eq!(mt.read("/app/file", &cred(), 0, 8).unwrap(), b"app");
+        assert_eq!(mt.read("/app/deep/x", &cred(), 0, 8).unwrap(), b"deep");
+        // Exact mount point routes to its own backend.
+        assert_eq!(mt.read("/app", &cred(), 0, 8).unwrap(), b"app");
+        // Name-prefix sibling does not leak into the mount.
+        assert_eq!(mt.read("/application", &cred(), 0, 8).unwrap(), b"root");
+    }
+
+    #[test]
+    fn unrouted_paths_error_without_a_root_mount() {
+        let mut mt = MountTable::new();
+        mt.mount("/app", TaggedFs::boxed("app")).unwrap();
+        assert_eq!(mt.stat("/elsewhere", &cred()), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn duplicate_mount_rejected_and_unmount_restores_routing() {
+        let mut mt = MountTable::new();
+        mt.mount("/", TaggedFs::boxed("root")).unwrap();
+        mt.mount("/app", TaggedFs::boxed("app")).unwrap();
+        assert_eq!(
+            mt.mount("/app", TaggedFs::boxed("dup")).unwrap_err(),
+            FsError::AlreadyExists
+        );
+        let _old = mt.unmount("/app").unwrap();
+        assert_eq!(mt.read("/app/file", &cred(), 0, 8).unwrap(), b"root");
+        assert!(mt.unmount("/app").is_err());
+        assert_eq!(mt.mounted_prefixes(), vec!["/"]);
+    }
+
+    #[test]
+    fn operations_land_in_the_routed_backend() {
+        let mut mt = MountTable::new();
+        mt.mount("/", TaggedFs::boxed("root")).unwrap();
+        mt.mount("/w", TaggedFs::boxed("w")).unwrap();
+        mt.create("/w/f", &cred(), 0o644).unwrap();
+        assert!(mt.stat("/w/f", &cred()).is_ok());
+        // The root backend never saw it.
+        let _ = mt.unmount("/w").unwrap();
+        assert_eq!(mt.stat("/w/f", &cred()), Err(FsError::NotFound));
+    }
+}

@@ -1,0 +1,169 @@
+//! Normalized absolute-path helpers.
+//!
+//! All backends key metadata by normalized absolute path strings: a
+//! leading `/`, no trailing `/` (except the root itself), no empty / `.` /
+//! `..` components. Pacon additionally uses full paths as distributed-
+//! cache keys (Section III.A), so the helpers here are on the hot path of
+//! every operation.
+
+use crate::error::{FsError, FsResult};
+
+/// Normalize `path` into canonical absolute form.
+///
+/// Accepts redundant slashes and `.` components; rejects relative paths,
+/// empty paths, and `..` (the paper's workloads never traverse upward and
+/// supporting `..` would complicate consistent-region containment checks).
+pub fn normalize(path: &str) -> FsResult<String> {
+    if !path.starts_with('/') {
+        return Err(FsError::InvalidPath(format!("not absolute: {path}")));
+    }
+    let mut out = String::with_capacity(path.len());
+    for comp in path.split('/') {
+        match comp {
+            "" | "." => continue,
+            ".." => return Err(FsError::InvalidPath(format!("'..' not supported: {path}"))),
+            c => {
+                out.push('/');
+                out.push_str(c);
+            }
+        }
+    }
+    if out.is_empty() {
+        out.push('/');
+    }
+    Ok(out)
+}
+
+/// Split a normalized path into its components (root => empty iterator).
+pub fn components(path: &str) -> impl Iterator<Item = &str> {
+    path.split('/').filter(|c| !c.is_empty())
+}
+
+/// Parent of a normalized path. The root has no parent.
+pub fn parent(path: &str) -> Option<&str> {
+    if path == "/" {
+        return None;
+    }
+    match path.rfind('/') {
+        Some(0) => Some("/"),
+        Some(i) => Some(&path[..i]),
+        None => None,
+    }
+}
+
+/// Final component of a normalized path (`None` for the root).
+pub fn basename(path: &str) -> Option<&str> {
+    if path == "/" {
+        return None;
+    }
+    path.rfind('/').map(|i| &path[i + 1..])
+}
+
+/// Depth of a normalized path (root = 0, `/a` = 1, `/a/b` = 2, ...).
+pub fn depth(path: &str) -> usize {
+    components(path).count()
+}
+
+/// True if `ancestor` is `path` itself or a prefix directory of it
+/// (both must be normalized).
+pub fn is_same_or_ancestor(ancestor: &str, path: &str) -> bool {
+    if ancestor == "/" {
+        return true;
+    }
+    if path == ancestor {
+        return true;
+    }
+    path.starts_with(ancestor) && path.as_bytes().get(ancestor.len()) == Some(&b'/')
+}
+
+/// Join a normalized directory path with a single child name.
+pub fn join(dir: &str, name: &str) -> String {
+    debug_assert!(!name.contains('/'), "join expects a single component");
+    if dir == "/" {
+        format!("/{name}")
+    } else {
+        format!("{dir}/{name}")
+    }
+}
+
+/// All proper ancestors of a normalized path, outermost first
+/// (`/a/b/c` -> `["/", "/a", "/a/b"]`).
+pub fn ancestors(path: &str) -> Vec<&str> {
+    let mut out = vec!["/"];
+    if path == "/" {
+        return out;
+    }
+    let bytes = path.as_bytes();
+    for i in 1..bytes.len() {
+        if bytes[i] == b'/' {
+            out.push(&path[..i]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_canonicalizes() {
+        assert_eq!(normalize("/").unwrap(), "/");
+        assert_eq!(normalize("//a//b/").unwrap(), "/a/b");
+        assert_eq!(normalize("/a/./b").unwrap(), "/a/b");
+        assert_eq!(normalize("/a/b/c").unwrap(), "/a/b/c");
+    }
+
+    #[test]
+    fn normalize_rejects_bad_paths() {
+        assert!(matches!(normalize("a/b"), Err(FsError::InvalidPath(_))));
+        assert!(matches!(normalize(""), Err(FsError::InvalidPath(_))));
+        assert!(matches!(normalize("/a/../b"), Err(FsError::InvalidPath(_))));
+    }
+
+    #[test]
+    fn parent_and_basename() {
+        assert_eq!(parent("/"), None);
+        assert_eq!(parent("/a"), Some("/"));
+        assert_eq!(parent("/a/b/c"), Some("/a/b"));
+        assert_eq!(basename("/"), None);
+        assert_eq!(basename("/a"), Some("a"));
+        assert_eq!(basename("/a/b/c"), Some("c"));
+    }
+
+    #[test]
+    fn depth_counts_components() {
+        assert_eq!(depth("/"), 0);
+        assert_eq!(depth("/a"), 1);
+        assert_eq!(depth("/a/b/c/d"), 4);
+    }
+
+    #[test]
+    fn ancestor_containment() {
+        assert!(is_same_or_ancestor("/", "/anything/below"));
+        assert!(is_same_or_ancestor("/a/b", "/a/b"));
+        assert!(is_same_or_ancestor("/a/b", "/a/b/c/d"));
+        assert!(!is_same_or_ancestor("/a/b", "/a/bc"));
+        assert!(!is_same_or_ancestor("/a/b", "/a"));
+    }
+
+    #[test]
+    fn join_handles_root() {
+        assert_eq!(join("/", "x"), "/x");
+        assert_eq!(join("/a/b", "x"), "/a/b/x");
+    }
+
+    #[test]
+    fn ancestors_outermost_first() {
+        assert_eq!(ancestors("/"), vec!["/"]);
+        assert_eq!(ancestors("/a"), vec!["/"]);
+        assert_eq!(ancestors("/a/b/c"), vec!["/", "/a", "/a/b"]);
+    }
+
+    #[test]
+    fn components_iterates() {
+        let v: Vec<_> = components("/a/b/c").collect();
+        assert_eq!(v, vec!["a", "b", "c"]);
+        assert_eq!(components("/").count(), 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Metadata types shared by every backend.
+
+/// Kind of a namespace entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FileKind {
+    File,
+    Dir,
+}
+
+/// Unix-style permission bits plus ownership.
+///
+/// Modes use the usual octal layout (`0o755`); only the lower 9 bits are
+/// interpreted. The HPC setting of the paper maps one system user per
+/// application, so `uid`/`gid` identify the owning application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Perm {
+    pub mode: u16,
+    pub uid: u32,
+    pub gid: u32,
+}
+
+impl Perm {
+    pub fn new(mode: u16, uid: u32, gid: u32) -> Self {
+        Self { mode: mode & 0o777, uid, gid }
+    }
+
+    /// Check an access request (`want` = bitmask of 4 read / 2 write /
+    /// 1 execute) against these bits for the given credentials, using the
+    /// standard owner/group/other precedence.
+    pub fn allows(&self, cred: &Credentials, want: u8) -> bool {
+        let want = (want & 0o7) as u16;
+        let class_shift = if cred.uid == self.uid {
+            6
+        } else if cred.gid == self.gid {
+            3
+        } else {
+            0
+        };
+        let granted = (self.mode >> class_shift) & 0o7;
+        granted & want == want
+    }
+}
+
+/// Identity an operation runs as. One HPC application = one system user
+/// (Section II.A of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Credentials {
+    pub uid: u32,
+    pub gid: u32,
+}
+
+impl Credentials {
+    pub fn new(uid: u32, gid: u32) -> Self {
+        Self { uid, gid }
+    }
+
+    /// The superuser, used by administrative tooling in tests.
+    pub fn root() -> Self {
+        Self { uid: 0, gid: 0 }
+    }
+}
+
+/// Read access bit for [`Perm::allows`].
+pub const ACCESS_R: u8 = 0o4;
+/// Write access bit.
+pub const ACCESS_W: u8 = 0o2;
+/// Execute/search access bit.
+pub const ACCESS_X: u8 = 0o1;
+
+/// Stat result returned by every backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileStat {
+    pub kind: FileKind,
+    pub perm: Perm,
+    /// File size in bytes (0 for directories).
+    pub size: u64,
+    /// Modification timestamp (backend-defined monotonic ticks).
+    pub mtime: u64,
+    /// Number of directory entries for dirs, 1 for files.
+    pub nlink: u64,
+}
+
+impl FileStat {
+    pub fn is_dir(&self) -> bool {
+        self.kind == FileKind::Dir
+    }
+    pub fn is_file(&self) -> bool {
+        self.kind == FileKind::File
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_is_masked_to_9_bits() {
+        let p = Perm::new(0o40755, 1, 1);
+        assert_eq!(p.mode, 0o755);
+    }
+
+    #[test]
+    fn owner_class_takes_precedence() {
+        // Owner has no read bit but group does: owner is still denied.
+        let p = Perm::new(0o075, 10, 20);
+        let owner = Credentials::new(10, 20);
+        assert!(!p.allows(&owner, ACCESS_R));
+        let group_member = Credentials::new(11, 20);
+        assert!(group_member.uid != p.uid);
+        assert!(p.allows(&group_member, ACCESS_R));
+    }
+
+    #[test]
+    fn other_class_used_for_strangers() {
+        let p = Perm::new(0o750, 10, 20);
+        let stranger = Credentials::new(99, 99);
+        assert!(!p.allows(&stranger, ACCESS_R));
+        let open = Perm::new(0o755, 10, 20);
+        assert!(open.allows(&stranger, ACCESS_R | ACCESS_X));
+        assert!(!open.allows(&stranger, ACCESS_W));
+    }
+
+    #[test]
+    fn combined_bits_require_all() {
+        let p = Perm::new(0o600, 1, 1);
+        let me = Credentials::new(1, 1);
+        assert!(p.allows(&me, ACCESS_R | ACCESS_W));
+        assert!(!p.allows(&me, ACCESS_R | ACCESS_X));
+    }
+
+    #[test]
+    fn stat_kind_helpers() {
+        let s = FileStat {
+            kind: FileKind::Dir,
+            perm: Perm::new(0o755, 0, 0),
+            size: 0,
+            mtime: 0,
+            nlink: 2,
+        };
+        assert!(s.is_dir());
+        assert!(!s.is_file());
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests of the path algebra every backend depends on.
+
+use fsapi::path::*;
+use proptest::prelude::*;
+
+/// Strategy for path components (no slashes, non-empty, not "." / "..").
+fn component() -> impl Strategy<Value = String> {
+    "[a-z0-9_.-]{1,12}".prop_filter("not dot dirs", |s| s != "." && s != "..")
+}
+
+fn abs_path() -> impl Strategy<Value = String> {
+    proptest::collection::vec(component(), 0..6)
+        .prop_map(|cs| if cs.is_empty() { "/".to_string() } else { format!("/{}", cs.join("/")) })
+}
+
+proptest! {
+    #[test]
+    fn normalize_is_idempotent(p in abs_path()) {
+        let once = normalize(&p).unwrap();
+        let twice = normalize(&once).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn normalize_strips_noise(cs in proptest::collection::vec(component(), 1..5)) {
+        let clean = format!("/{}", cs.join("/"));
+        let noisy = format!("//{}/./", cs.join("//./"));
+        prop_assert_eq!(normalize(&noisy).unwrap(), clean);
+    }
+
+    #[test]
+    fn parent_join_roundtrip(p in abs_path()) {
+        if let (Some(par), Some(base)) = (parent(&p), basename(&p)) {
+            prop_assert_eq!(join(par, base), p.clone());
+        } else {
+            prop_assert_eq!(p.as_str(), "/");
+        }
+    }
+
+    #[test]
+    fn depth_matches_component_count(p in abs_path()) {
+        prop_assert_eq!(depth(&p), components(&p).count());
+    }
+
+    #[test]
+    fn ancestors_are_ancestors(p in abs_path()) {
+        for a in ancestors(&p) {
+            prop_assert!(is_same_or_ancestor(a, &p));
+            if p != "/" {
+                prop_assert_ne!(a, p.as_str(), "proper ancestors only (non-root)");
+            }
+        }
+        prop_assert_eq!(ancestors(&p).len(), depth(&p).max(1));
+    }
+
+    #[test]
+    fn ancestor_relation_is_transitive(a in abs_path(), suffix in component(), suffix2 in component()) {
+        let b = join(&a, &suffix);
+        let c = join(&b, &suffix2);
+        prop_assert!(is_same_or_ancestor(&a, &b));
+        prop_assert!(is_same_or_ancestor(&b, &c));
+        prop_assert!(is_same_or_ancestor(&a, &c));
+        // And never the reverse for proper descendants.
+        prop_assert!(!is_same_or_ancestor(&c, &a));
+    }
+
+    #[test]
+    fn sibling_name_prefixes_are_not_ancestors(a in abs_path(), name in component()) {
+        prop_assume!(a != "/");
+        let sib1 = format!("{a}x");
+        prop_assert!(!is_same_or_ancestor(&a, &sib1));
+        let child = join(&a, &name);
+        let extended = format!("{child}y");
+        prop_assert!(!is_same_or_ancestor(&child, &extended));
+    }
+}

@@ -1,0 +1,338 @@
+//! The IndexFS client: lease-cached path resolution over partitioned
+//! flattened metadata, plus optional bulk-insertion mode.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use fsapi::types::ACCESS_X;
+use fsapi::{path as fspath, Credentials, FileKind, FileStat, FsError, FsResult, Perm};
+use fsapi::FileSystem;
+use parking_lot::Mutex;
+use simnet::{charge, Counters, NodeId, Station};
+
+use crate::cluster::{IndexFsCluster, ROOT_DIR_ID};
+use crate::codec::{entry_key, Record};
+use crate::lease::{LeaseCache, LeaseEntry};
+use crate::server::Server;
+
+/// Buffered creates awaiting a bulk flush (BatchFS/DeltaFS-style).
+struct BulkState {
+    /// `(dir_id, name)` -> record, insertion-ordered within a directory by
+    /// the BTreeMap key encoding.
+    buffer: BTreeMap<Vec<u8>, Record>,
+}
+
+/// An IndexFS client bound to one node.
+pub struct IndexFsClient {
+    cluster: Arc<IndexFsCluster>,
+    local: NodeId,
+    leases: Mutex<LeaseCache>,
+    bulk: Mutex<Option<BulkState>>,
+    pub counters: Counters,
+}
+
+impl IndexFsClient {
+    pub(crate) fn new(cluster: Arc<IndexFsCluster>, local: NodeId, lease_capacity: usize) -> Self {
+        Self {
+            cluster,
+            local,
+            leases: Mutex::new(LeaseCache::new(lease_capacity)),
+            bulk: Mutex::new(None),
+            counters: Counters::new(),
+        }
+    }
+
+    fn charge_hop(&self, server: &Server) {
+        let p = self.cluster.profile();
+        let hop =
+            if server.node() == self.local.0 { p.net_local } else { p.net_hop_remote };
+        charge(Station::Network, hop);
+    }
+
+    /// RPC wrapper: network hop + server call.
+    fn rpc<T>(&self, server: &Arc<Server>, f: impl FnOnce(&Server) -> FsResult<T>) -> FsResult<T> {
+        self.charge_hop(server);
+        f(server)
+    }
+
+    fn bulk_lookup(&self, dir_id: u64, name: &str) -> Option<Record> {
+        let bulk = self.bulk.lock();
+        bulk.as_ref().and_then(|b| b.buffer.get(&entry_key(dir_id, name)).cloned())
+    }
+
+    /// Resolve a normalized *directory* path to its directory id + perm.
+    fn resolve_dir(&self, path: &str, cred: &Credentials) -> FsResult<(u64, Perm)> {
+        let mut cur = ROOT_DIR_ID;
+        let mut cur_perm = self.cluster.root_perm();
+        if path == "/" {
+            return Ok((cur, cur_perm));
+        }
+        let mut prefix = String::with_capacity(path.len());
+        for comp in fspath::components(path) {
+            if !cur_perm.allows(cred, ACCESS_X) {
+                return Err(FsError::PermissionDenied);
+            }
+            prefix.push('/');
+            prefix.push_str(comp);
+            let cached = self.leases.lock().get(&prefix);
+            let (dir_id, perm) = match cached {
+                Some(LeaseEntry { dir_id: Some(id), perm }) => {
+                    self.counters.incr("lease_hit");
+                    (id, perm)
+                }
+                Some(LeaseEntry { dir_id: None, .. }) => return Err(FsError::NotADirectory),
+                None => {
+                    self.counters.incr("lease_miss");
+                    let rec = match self.bulk_lookup(cur, comp) {
+                        Some(rec) => rec,
+                        None => {
+                            let server = self.cluster.server_for_entry(cur, comp);
+                            self.rpc(server, |s| s.lookup(cur, comp))?
+                        }
+                    };
+                    let entry = LeaseEntry {
+                        dir_id: (rec.kind == FileKind::Dir).then_some(rec.dir_id),
+                        perm: rec.perm,
+                    };
+                    self.leases.lock().insert(prefix.clone(), entry);
+                    match entry.dir_id {
+                        Some(id) => (id, rec.perm),
+                        None => return Err(FsError::NotADirectory),
+                    }
+                }
+            };
+            cur = dir_id;
+            cur_perm = perm;
+        }
+        Ok((cur, cur_perm))
+    }
+
+    fn resolve_parent<'p>(
+        &self,
+        path: &'p str,
+        cred: &Credentials,
+    ) -> FsResult<(u64, Perm, &'p str)> {
+        let parent = fspath::parent(path)
+            .ok_or_else(|| FsError::InvalidPath(format!("no parent: {path}")))?;
+        let name = fspath::basename(path)
+            .ok_or_else(|| FsError::InvalidPath(format!("no name: {path}")))?;
+        let (id, perm) = self.resolve_dir(parent, cred)?;
+        // Accessing any entry inside the parent requires search permission
+        // on the parent itself.
+        if !perm.allows(cred, ACCESS_X) {
+            return Err(FsError::PermissionDenied);
+        }
+        Ok((id, perm, name))
+    }
+
+    fn check_write(perm: &Perm, cred: &Credentials) -> FsResult<()> {
+        use fsapi::types::ACCESS_W;
+        if perm.allows(cred, ACCESS_W | ACCESS_X) {
+            Ok(())
+        } else {
+            Err(FsError::PermissionDenied)
+        }
+    }
+
+    /// Enter bulk-insertion mode: creates are buffered locally until
+    /// [`IndexFsClient::bulk_flush`].
+    pub fn bulk_begin(&self) {
+        let mut bulk = self.bulk.lock();
+        assert!(bulk.is_none(), "bulk mode already active");
+        *bulk = Some(BulkState { buffer: BTreeMap::new() });
+    }
+
+    /// Flush buffered creates to their owning servers as sorted batches.
+    /// Returns the number of records flushed.
+    pub fn bulk_flush(&self) -> FsResult<usize> {
+        /// Encoded `(key, record)` pairs grouped per owning server node.
+        type PerServerBatches = BTreeMap<u32, Vec<(Vec<u8>, Vec<u8>)>>;
+        let state = self.bulk.lock().take().expect("bulk mode not active");
+        // Group by owning server, preserving sorted key order.
+        let mut per_server: PerServerBatches = BTreeMap::new();
+        let mut total = 0usize;
+        for (key, rec) in state.buffer {
+            let dir_id = u64::from_be_bytes(key[..8].try_into().unwrap());
+            let name = crate::codec::name_from_key(&key).unwrap_or("");
+            let server = self.cluster.server_for_entry(dir_id, name);
+            per_server.entry(server.node()).or_default().push((key, rec.encode()));
+            total += 1;
+        }
+        for (node, batch) in per_server {
+            // server_for hashes dir ids, so re-find by node index.
+            let server = self.cluster.server_by_node(node);
+            self.rpc(&server, |s| s.bulk_ingest(&batch))?;
+        }
+        Ok(total)
+    }
+
+    /// Whether bulk mode is active.
+    pub fn bulk_active(&self) -> bool {
+        self.bulk.lock().is_some()
+    }
+
+    fn mtime(&self) -> u64 {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static CLOCK: AtomicU64 = AtomicU64::new(1);
+        CLOCK.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+impl FileSystem for IndexFsClient {
+    fn mkdir(&self, path: &str, cred: &Credentials, mode: u16) -> FsResult<()> {
+        let (parent, parent_perm, name) = self.resolve_parent(path, cred)?;
+        Self::check_write(&parent_perm, cred)?;
+        let dir_id = self.cluster.alloc_dir_id();
+        let rec =
+            Record::new_dir(Perm::new(mode, cred.uid, cred.gid), dir_id, self.mtime());
+        {
+            let mut bulk = self.bulk.lock();
+            if let Some(b) = bulk.as_mut() {
+                let key = entry_key(parent, name);
+                if b.buffer.contains_key(&key) {
+                    return Err(FsError::AlreadyExists);
+                }
+                b.buffer.insert(key, rec.clone());
+                self.leases.lock().insert(
+                    path.to_string(),
+                    LeaseEntry { dir_id: Some(dir_id), perm: rec.perm },
+                );
+                return Ok(());
+            }
+        }
+        let server = self.cluster.server_for_entry(parent, name);
+        self.rpc(server, |s| s.insert(parent, name, &rec))?;
+        self.leases
+            .lock()
+            .insert(path.to_string(), LeaseEntry { dir_id: Some(dir_id), perm: rec.perm });
+        Ok(())
+    }
+
+    fn create(&self, path: &str, cred: &Credentials, mode: u16) -> FsResult<()> {
+        let (parent, parent_perm, name) = self.resolve_parent(path, cred)?;
+        Self::check_write(&parent_perm, cred)?;
+        let rec = Record::new_file(Perm::new(mode, cred.uid, cred.gid), self.mtime());
+        {
+            let mut bulk = self.bulk.lock();
+            if let Some(b) = bulk.as_mut() {
+                let key = entry_key(parent, name);
+                if b.buffer.contains_key(&key) {
+                    return Err(FsError::AlreadyExists);
+                }
+                b.buffer.insert(key, rec);
+                return Ok(());
+            }
+        }
+        let server = self.cluster.server_for_entry(parent, name);
+        self.rpc(server, |s| s.insert(parent, name, &rec))
+    }
+
+    fn stat(&self, path: &str, cred: &Credentials) -> FsResult<FileStat> {
+        if path == "/" {
+            return Ok(FileStat {
+                kind: FileKind::Dir,
+                perm: self.cluster.root_perm(),
+                size: 0,
+                mtime: 0,
+                nlink: 2,
+            });
+        }
+        let (parent, _perm, name) = self.resolve_parent(path, cred)?;
+        if let Some(rec) = self.bulk_lookup(parent, name) {
+            return Ok(rec.to_stat());
+        }
+        let server = self.cluster.server_for_entry(parent, name);
+        let rec = self.rpc(server, |s| s.get(parent, name))?;
+        Ok(rec.to_stat())
+    }
+
+    fn unlink(&self, path: &str, cred: &Credentials) -> FsResult<()> {
+        let (parent, parent_perm, name) = self.resolve_parent(path, cred)?;
+        Self::check_write(&parent_perm, cred)?;
+        let server = self.cluster.server_for_entry(parent, name);
+        self.rpc(server, |s| s.delete(parent, name, FileKind::File))?;
+        self.leases.lock().remove(path);
+        Ok(())
+    }
+
+    fn rmdir(&self, path: &str, cred: &Credentials) -> FsResult<()> {
+        let (parent, parent_perm, name) = self.resolve_parent(path, cred)?;
+        Self::check_write(&parent_perm, cred)?;
+        let parent_server = self.cluster.server_for_entry(parent, name);
+        let rec = self.rpc(parent_server, |s| s.lookup(parent, name))?;
+        if rec.kind != FileKind::Dir {
+            return Err(FsError::NotADirectory);
+        }
+        // GIGA+ partitioning: the directory's entries may live on every
+        // server; emptiness requires checking all partitions.
+        for dir_server in self.cluster.servers().to_vec() {
+            if !self.rpc(&dir_server, |s| s.dir_is_empty(rec.dir_id))? {
+                return Err(FsError::NotEmpty);
+            }
+        }
+        self.rpc(parent_server, |s| s.delete(parent, name, FileKind::Dir))?;
+        self.leases.lock().remove_subtree(path);
+        Ok(())
+    }
+
+    fn readdir(&self, path: &str, cred: &Credentials) -> FsResult<Vec<String>> {
+        let (dir_id, perm) = self.resolve_dir(path, cred)?;
+        if !perm.allows(cred, fsapi::types::ACCESS_R) && path != "/" {
+            return Err(FsError::PermissionDenied);
+        }
+        // Aggregate the GIGA+ partitions from every server.
+        let mut names: Vec<String> = Vec::new();
+        for server in self.cluster.servers().to_vec() {
+            let rows = self.rpc(&server, |s| s.readdir(dir_id))?;
+            names.extend(rows.into_iter().map(|(n, _)| n));
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn write(&self, path: &str, cred: &Credentials, offset: u64, data: &[u8]) -> FsResult<usize> {
+        let (parent, _pp, name) = self.resolve_parent(path, cred)?;
+        let server = self.cluster.server_for_entry(parent, name);
+        let mut rec = self.rpc(server, |s| s.get(parent, name))?;
+        if rec.kind != FileKind::File {
+            return Err(FsError::IsADirectory);
+        }
+        if !rec.perm.allows(cred, fsapi::types::ACCESS_W) {
+            return Err(FsError::PermissionDenied);
+        }
+        let end = offset as usize + data.len();
+        if rec.data.len() < end {
+            rec.data.resize(end, 0);
+        }
+        rec.data[offset as usize..end].copy_from_slice(data);
+        rec.size = rec.data.len() as u64;
+        rec.mtime = self.mtime();
+        self.rpc(server, |s| s.update(parent, name, &rec))?;
+        Ok(data.len())
+    }
+
+    fn read(&self, path: &str, cred: &Credentials, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        let (parent, _pp, name) = self.resolve_parent(path, cred)?;
+        let server = self.cluster.server_for_entry(parent, name);
+        let rec = self.rpc(server, |s| s.get(parent, name))?;
+        if rec.kind != FileKind::File {
+            return Err(FsError::IsADirectory);
+        }
+        if !rec.perm.allows(cred, fsapi::types::ACCESS_R) {
+            return Err(FsError::PermissionDenied);
+        }
+        let start = (offset as usize).min(rec.data.len());
+        let end = (start + len).min(rec.data.len());
+        Ok(rec.data[start..end].to_vec())
+    }
+
+    fn fsync(&self, path: &str, cred: &Credentials) -> FsResult<()> {
+        let (parent, _pp, name) = self.resolve_parent(path, cred)?;
+        let server = self.cluster.server_for_entry(parent, name);
+        self.rpc(server, |s| {
+            s.counters.incr("fsync");
+            let _ = name;
+            Ok(())
+        })
+    }
+}

@@ -1,0 +1,163 @@
+//! Binary record format for flattened metadata.
+//!
+//! Key:   `dir_id (u64 BE) | 0x00 | name bytes` — big-endian ids keep one
+//! directory's entries contiguous for prefix scans (readdir).
+//! Value:  fixed header + optional inline file data.
+
+use fsapi::{FileKind, FileStat, Perm};
+
+/// Decoded metadata record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    pub kind: FileKind,
+    pub perm: Perm,
+    pub size: u64,
+    pub mtime: u64,
+    /// Directory id allocated to this entry if it is a directory.
+    pub dir_id: u64,
+    /// Inline file contents (IndexFS embeds small files in the record;
+    /// this reproduction embeds all file data since the paper's IndexFS
+    /// workloads are metadata-only).
+    pub data: Vec<u8>,
+}
+
+impl Record {
+    pub fn new_dir(perm: Perm, dir_id: u64, mtime: u64) -> Self {
+        Self { kind: FileKind::Dir, perm, size: 0, mtime, dir_id, data: Vec::new() }
+    }
+
+    pub fn new_file(perm: Perm, mtime: u64) -> Self {
+        Self { kind: FileKind::File, perm, size: 0, mtime, dir_id: 0, data: Vec::new() }
+    }
+
+    pub fn to_stat(&self) -> FileStat {
+        FileStat {
+            kind: self.kind,
+            perm: self.perm,
+            size: self.size,
+            mtime: self.mtime,
+            nlink: 1,
+        }
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(31 + self.data.len());
+        out.push(match self.kind {
+            FileKind::File => 0,
+            FileKind::Dir => 1,
+        });
+        out.extend_from_slice(&self.perm.mode.to_le_bytes());
+        out.extend_from_slice(&self.perm.uid.to_le_bytes());
+        out.extend_from_slice(&self.perm.gid.to_le_bytes());
+        out.extend_from_slice(&self.size.to_le_bytes());
+        out.extend_from_slice(&self.mtime.to_le_bytes());
+        out.extend_from_slice(&self.dir_id.to_le_bytes());
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 35 {
+            return None;
+        }
+        let kind = match bytes[0] {
+            0 => FileKind::File,
+            1 => FileKind::Dir,
+            _ => return None,
+        };
+        let mode = u16::from_le_bytes(bytes[1..3].try_into().ok()?);
+        let uid = u32::from_le_bytes(bytes[3..7].try_into().ok()?);
+        let gid = u32::from_le_bytes(bytes[7..11].try_into().ok()?);
+        let size = u64::from_le_bytes(bytes[11..19].try_into().ok()?);
+        let mtime = u64::from_le_bytes(bytes[19..27].try_into().ok()?);
+        let dir_id = u64::from_le_bytes(bytes[27..35].try_into().ok()?);
+        Some(Self {
+            kind,
+            perm: Perm::new(mode, uid, gid),
+            size,
+            mtime,
+            dir_id,
+            data: bytes[35..].to_vec(),
+        })
+    }
+}
+
+/// Key for an entry `name` inside directory `dir_id`.
+pub fn entry_key(dir_id: u64, name: &str) -> Vec<u8> {
+    let mut k = Vec::with_capacity(9 + name.len());
+    k.extend_from_slice(&dir_id.to_be_bytes());
+    k.push(0);
+    k.extend_from_slice(name.as_bytes());
+    k
+}
+
+/// Prefix covering every entry of directory `dir_id`.
+pub fn dir_prefix(dir_id: u64) -> Vec<u8> {
+    let mut k = Vec::with_capacity(9);
+    k.extend_from_slice(&dir_id.to_be_bytes());
+    k.push(0);
+    k
+}
+
+/// Extract the entry name back out of a key.
+pub fn name_from_key(key: &[u8]) -> Option<&str> {
+    if key.len() < 9 || key[8] != 0 {
+        return None;
+    }
+    std::str::from_utf8(&key[9..]).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrip() {
+        let r = Record {
+            kind: FileKind::Dir,
+            perm: Perm::new(0o750, 10, 20),
+            size: 0,
+            mtime: 42,
+            dir_id: 7,
+            data: Vec::new(),
+        };
+        assert_eq!(Record::decode(&r.encode()), Some(r));
+        let f = Record {
+            kind: FileKind::File,
+            perm: Perm::new(0o644, 1, 1),
+            size: 5,
+            mtime: 9,
+            dir_id: 0,
+            data: b"hello".to_vec(),
+        };
+        let decoded = Record::decode(&f.encode()).unwrap();
+        assert_eq!(decoded.data, b"hello");
+        assert_eq!(decoded.size, 5);
+    }
+
+    #[test]
+    fn decode_rejects_short_or_bad_kind() {
+        assert_eq!(Record::decode(&[]), None);
+        assert_eq!(Record::decode(&[9; 35]), None);
+    }
+
+    #[test]
+    fn keys_group_by_directory() {
+        let a = entry_key(5, "alpha");
+        let b = entry_key(5, "beta");
+        let other = entry_key(6, "alpha");
+        let prefix = dir_prefix(5);
+        assert!(a.starts_with(&prefix));
+        assert!(b.starts_with(&prefix));
+        assert!(!other.starts_with(&prefix));
+        assert!(a < b, "names sort within a directory");
+        assert!(b < other, "directories sort by id");
+        assert_eq!(name_from_key(&a), Some("alpha"));
+    }
+
+    #[test]
+    fn big_endian_ids_keep_scan_order() {
+        // dir 256 must sort after dir 1 (would fail with LE encoding).
+        assert!(entry_key(1, "z") < entry_key(256, "a"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Client-side lookup-state cache.
+//!
+//! IndexFS clients cache directory lookup state so path resolution rarely
+//! needs a server round trip per component. This reproduction keeps the
+//! cache as a bounded LRU over normalized paths; entries carry the
+//! directory id (for dirs) and the permission bits used for client-side
+//! search checks.
+
+use std::collections::{BTreeMap, HashMap};
+
+use fsapi::{path as fspath, Perm};
+
+/// Cached resolution of one path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseEntry {
+    /// Directory id when the path is a directory (`None` = regular file).
+    pub dir_id: Option<u64>,
+    pub perm: Perm,
+}
+
+/// Bounded LRU path -> [`LeaseEntry`] map.
+pub struct LeaseCache {
+    map: HashMap<String, (LeaseEntry, u64)>,
+    lru: BTreeMap<u64, String>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl LeaseCache {
+    pub fn new(capacity: usize) -> Self {
+        Self { map: HashMap::new(), lru: BTreeMap::new(), tick: 0, capacity }
+    }
+
+    pub fn get(&mut self, path: &str) -> Option<LeaseEntry> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(path) {
+            Some((entry, t)) => {
+                let old = *t;
+                *t = tick;
+                let k = self.lru.remove(&old).expect("lease lru out of sync");
+                self.lru.insert(tick, k);
+                Some(*entry)
+            }
+            None => None,
+        }
+    }
+
+    pub fn insert(&mut self, path: String, entry: LeaseEntry) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((_, old)) = self.map.insert(path.clone(), (entry, tick)) {
+            self.lru.remove(&old);
+        }
+        self.lru.insert(tick, path);
+        while self.map.len() > self.capacity {
+            let (&t, _) = self.lru.iter().next().expect("lru empty over capacity");
+            let victim = self.lru.remove(&t).unwrap();
+            self.map.remove(&victim);
+        }
+    }
+
+    pub fn remove(&mut self, path: &str) {
+        if let Some((_, t)) = self.map.remove(path) {
+            self.lru.remove(&t);
+        }
+    }
+
+    pub fn remove_subtree(&mut self, path: &str) {
+        let victims: Vec<String> = self
+            .map
+            .keys()
+            .filter(|k| fspath::is_same_or_ancestor(path, k))
+            .cloned()
+            .collect();
+        for v in victims {
+            self.remove(&v);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(dir: Option<u64>) -> LeaseEntry {
+        LeaseEntry { dir_id: dir, perm: Perm::new(0o755, 1, 1) }
+    }
+
+    #[test]
+    fn insert_get_and_lru_eviction() {
+        let mut c = LeaseCache::new(2);
+        c.insert("/a".into(), entry(Some(1)));
+        c.insert("/b".into(), entry(Some(2)));
+        assert!(c.get("/a").is_some()); // refresh /a; /b is now coldest
+        c.insert("/c".into(), entry(Some(3)));
+        assert!(c.get("/b").is_none(), "coldest entry must be evicted");
+        assert!(c.get("/a").is_some());
+        assert!(c.get("/c").is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn subtree_removal() {
+        let mut c = LeaseCache::new(16);
+        for p in ["/w", "/w/a", "/w/a/f", "/w2"] {
+            c.insert(p.into(), entry(Some(0)));
+        }
+        c.remove_subtree("/w/a");
+        assert!(c.get("/w/a").is_none());
+        assert!(c.get("/w/a/f").is_none());
+        assert!(c.get("/w").is_some());
+        assert!(c.get("/w2").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut c = LeaseCache::new(0);
+        c.insert("/a".into(), entry(None));
+        assert!(c.get("/a").is_none());
+        assert!(c.is_empty());
+    }
+}

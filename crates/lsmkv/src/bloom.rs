@@ -1,0 +1,133 @@
+//! A simple double-hashing Bloom filter for SSTable key membership.
+//!
+//! Uses the Kirsch–Mitzenmacher construction: two independent 64-bit
+//! FNV-1a style hashes combined as `h1 + i*h2`. ~10 bits per key and 7
+//! probes give a ~1% false-positive rate, matching LevelDB's default
+//! policy closely enough for this reproduction.
+
+/// Immutable bloom filter over a fixed key set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bloom {
+    bits: Vec<u8>,
+    probes: u32,
+}
+
+const BITS_PER_KEY: usize = 10;
+
+fn hash64(data: &[u8], seed: u64) -> u64 {
+    // FNV-1a with a seed mixed in; cheap and good enough for bloom probes.
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Bloom {
+    /// Build a filter sized for `keys`.
+    pub fn build<'a>(keys: impl Iterator<Item = &'a [u8]> + Clone) -> Self {
+        let n = keys.clone().count().max(1);
+        let nbits = (n * BITS_PER_KEY).max(64);
+        let nbytes = nbits.div_ceil(8);
+        let nbits = nbytes * 8;
+        let mut bits = vec![0u8; nbytes];
+        let probes = ((BITS_PER_KEY as f64) * 0.69).round().max(1.0) as u32; // ln 2
+        for key in keys {
+            let h1 = hash64(key, 0x5bf0_3635);
+            let h2 = hash64(key, 0xc2b2_ae35) | 1;
+            for i in 0..probes {
+                let bit = (h1.wrapping_add((i as u64).wrapping_mul(h2)) % nbits as u64) as usize;
+                bits[bit / 8] |= 1 << (bit % 8);
+            }
+        }
+        Self { bits, probes }
+    }
+
+    /// May the key be present? (No false negatives.)
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let nbits = self.bits.len() * 8;
+        if nbits == 0 {
+            return true;
+        }
+        let h1 = hash64(key, 0x5bf0_3635);
+        let h2 = hash64(key, 0xc2b2_ae35) | 1;
+        for i in 0..self.probes {
+            let bit = (h1.wrapping_add((i as u64).wrapping_mul(h2)) % nbits as u64) as usize;
+            if self.bits[bit / 8] & (1 << (bit % 8)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Serialize: `probes u32 | bits`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.bits.len());
+        out.extend_from_slice(&self.probes.to_le_bytes());
+        out.extend_from_slice(&self.bits);
+        out
+    }
+
+    /// Deserialize a filter produced by [`Bloom::encode`].
+    pub fn decode(data: &[u8]) -> Option<Self> {
+        if data.len() < 4 {
+            return None;
+        }
+        let probes = u32::from_le_bytes(data[..4].try_into().ok()?);
+        if probes == 0 || probes > 64 {
+            return None;
+        }
+        Some(Self { bits: data[4..].to_vec(), probes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let keys: Vec<Vec<u8>> = (0..500u32).map(|i| format!("key-{i}").into_bytes()).collect();
+        let bloom = Bloom::build(keys.iter().map(|k| k.as_slice()));
+        for k in &keys {
+            assert!(bloom.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let keys: Vec<Vec<u8>> = (0..1000u32).map(|i| format!("key-{i}").into_bytes()).collect();
+        let bloom = Bloom::build(keys.iter().map(|k| k.as_slice()));
+        let mut fp = 0;
+        let trials = 10_000;
+        for i in 0..trials {
+            if bloom.may_contain(format!("absent-{i}").as_bytes()) {
+                fp += 1;
+            }
+        }
+        let rate = fp as f64 / trials as f64;
+        assert!(rate < 0.05, "false positive rate too high: {rate}");
+    }
+
+    #[test]
+    fn roundtrip_encode_decode() {
+        let keys: Vec<Vec<u8>> = (0..64u32).map(|i| vec![i as u8, 1, 2]).collect();
+        let bloom = Bloom::build(keys.iter().map(|k| k.as_slice()));
+        let decoded = Bloom::decode(&bloom.encode()).unwrap();
+        assert_eq!(bloom, decoded);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Bloom::decode(&[]).is_none());
+        assert!(Bloom::decode(&[0, 0, 0, 0, 1]).is_none()); // probes == 0
+    }
+
+    #[test]
+    fn empty_key_set_still_works() {
+        let bloom = Bloom::build(std::iter::empty());
+        // Must not panic; spurious positives are acceptable.
+        let _ = bloom.may_contain(b"x");
+    }
+}

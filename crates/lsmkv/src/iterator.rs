@@ -1,0 +1,198 @@
+//! K-way merge iteration across memtable and SSTables.
+//!
+//! Yields the *newest version* of each key in ascending key order,
+//! tombstones included (callers decide whether to filter them — scans
+//! drop them, last-level compaction drops them, other compactions keep
+//! them). Sources must each be internally sorted by key with unique
+//! keys; across sources, the entry with the highest sequence number wins.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::error::LsmResult;
+use crate::sstable::SstEntry;
+
+/// An ordered stream of entries (an SSTable iterator or a memtable
+/// adapter).
+pub trait EntrySource {
+    /// Next entry in ascending key order, or `None` at the end.
+    fn next_entry(&mut self) -> LsmResult<Option<SstEntry>>;
+}
+
+impl EntrySource for crate::sstable::SstIter<'_> {
+    fn next_entry(&mut self) -> LsmResult<Option<SstEntry>> {
+        crate::sstable::SstIter::next_entry(self)
+    }
+}
+
+/// Adapter over a sorted vector of owned entries (memtable snapshots,
+/// tests).
+pub struct VecSource {
+    entries: std::vec::IntoIter<SstEntry>,
+}
+
+impl VecSource {
+    /// `entries` must already be sorted by key, unique.
+    pub fn new(entries: Vec<SstEntry>) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].key < w[1].key));
+        Self { entries: entries.into_iter() }
+    }
+}
+
+impl EntrySource for VecSource {
+    fn next_entry(&mut self) -> LsmResult<Option<SstEntry>> {
+        Ok(self.entries.next())
+    }
+}
+
+/// Heap node: ordered so the smallest key pops first; ties broken by
+/// higher sequence first (newest version surfaces before its shadows).
+struct Head {
+    entry: SstEntry,
+    source: usize,
+}
+
+impl PartialEq for Head {
+    fn eq(&self, other: &Self) -> bool {
+        self.entry.key == other.entry.key && self.entry.seq == other.entry.seq
+    }
+}
+impl Eq for Head {}
+impl Ord for Head {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert key order, keep seq order so
+        // the *highest* seq of equal keys pops first.
+        other
+            .entry
+            .key
+            .cmp(&self.entry.key)
+            .then(self.entry.seq.cmp(&other.entry.seq))
+    }
+}
+impl PartialOrd for Head {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The merge iterator.
+pub struct MergeIter<'s> {
+    sources: Vec<Box<dyn EntrySource + 's>>,
+    heap: BinaryHeap<Head>,
+    primed: bool,
+}
+
+impl<'s> MergeIter<'s> {
+    pub fn new(sources: Vec<Box<dyn EntrySource + 's>>) -> Self {
+        Self { sources, heap: BinaryHeap::new(), primed: false }
+    }
+
+    fn prime(&mut self) -> LsmResult<()> {
+        for i in 0..self.sources.len() {
+            if let Some(entry) = self.sources[i].next_entry()? {
+                self.heap.push(Head { entry, source: i });
+            }
+        }
+        self.primed = true;
+        Ok(())
+    }
+
+    fn refill(&mut self, source: usize) -> LsmResult<()> {
+        if let Some(entry) = self.sources[source].next_entry()? {
+            self.heap.push(Head { entry, source });
+        }
+        Ok(())
+    }
+
+    /// Next newest-version entry in key order (tombstones included).
+    pub fn next_merged(&mut self) -> LsmResult<Option<SstEntry>> {
+        if !self.primed {
+            self.prime()?;
+        }
+        let Some(winner) = self.heap.pop() else {
+            return Ok(None);
+        };
+        self.refill(winner.source)?;
+        // Drain older versions of the same key.
+        while let Some(head) = self.heap.peek() {
+            if head.entry.key != winner.entry.key {
+                break;
+            }
+            debug_assert!(head.entry.seq < winner.entry.seq, "duplicate (key, seq)");
+            let shadowed = self.heap.pop().expect("peeked");
+            self.refill(shadowed.source)?;
+        }
+        Ok(Some(winner.entry))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(key: &str, seq: u64, val: Option<&str>) -> SstEntry {
+        SstEntry {
+            key: key.as_bytes().to_vec(),
+            seq,
+            value: val.map(|v| v.as_bytes().to_vec()),
+        }
+    }
+
+    fn collect(mut it: MergeIter<'_>) -> Vec<SstEntry> {
+        let mut out = Vec::new();
+        while let Some(x) = it.next_merged().unwrap() {
+            out.push(x);
+        }
+        out
+    }
+
+    #[test]
+    fn merges_in_key_order() {
+        let a = VecSource::new(vec![e("a", 1, Some("1")), e("c", 2, Some("2"))]);
+        let b = VecSource::new(vec![e("b", 3, Some("3")), e("d", 4, Some("4"))]);
+        let merged = collect(MergeIter::new(vec![Box::new(a), Box::new(b)]));
+        let keys: Vec<&[u8]> = merged.iter().map(|x| x.key.as_slice()).collect();
+        assert_eq!(keys, vec![b"a" as &[u8], b"b", b"c", b"d"]);
+    }
+
+    #[test]
+    fn newest_version_wins_and_shadows_are_dropped() {
+        let old = VecSource::new(vec![e("k", 1, Some("old")), e("z", 2, Some("zz"))]);
+        let new = VecSource::new(vec![e("k", 9, Some("new"))]);
+        let merged = collect(MergeIter::new(vec![Box::new(old), Box::new(new)]));
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].value.as_deref(), Some(&b"new"[..]));
+        assert_eq!(merged[0].seq, 9);
+    }
+
+    #[test]
+    fn tombstones_surface_as_newest() {
+        let data = VecSource::new(vec![e("k", 5, Some("live"))]);
+        let tomb = VecSource::new(vec![e("k", 8, None)]);
+        let merged = collect(MergeIter::new(vec![Box::new(data), Box::new(tomb)]));
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].value, None);
+    }
+
+    #[test]
+    fn three_way_shadowing() {
+        let s1 = VecSource::new(vec![e("k", 1, Some("v1")), e("m", 10, Some("m"))]);
+        let s2 = VecSource::new(vec![e("k", 2, Some("v2"))]);
+        let s3 = VecSource::new(vec![e("k", 3, Some("v3"))]);
+        let merged =
+            collect(MergeIter::new(vec![Box::new(s1), Box::new(s2), Box::new(s3)]));
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].value.as_deref(), Some(&b"v3"[..]));
+        assert_eq!(merged[1].key, b"m");
+    }
+
+    #[test]
+    fn empty_sources_are_fine() {
+        let a = VecSource::new(vec![]);
+        let b = VecSource::new(vec![e("x", 1, Some("v"))]);
+        let merged = collect(MergeIter::new(vec![Box::new(a), Box::new(b)]));
+        assert_eq!(merged.len(), 1);
+        let none = collect(MergeIter::new(vec![]));
+        assert!(none.is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! The in-memory write buffer.
+//!
+//! A sorted map from key to the *newest* mutation (put or tombstone) with
+//! its sequence number. Older in-memtable versions are overwritten in
+//! place — the WAL retains full history until the next flush.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A single mutation value: `None` is a tombstone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    pub seq: u64,
+    pub value: Option<Vec<u8>>,
+}
+
+/// Sorted in-memory buffer of the newest mutations.
+#[derive(Debug, Default)]
+pub struct Memtable {
+    map: BTreeMap<Vec<u8>, Entry>,
+    approx_bytes: usize,
+}
+
+impl Memtable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a put or tombstone. `seq` must increase across calls for the
+    /// same key (guaranteed by the Db's global sequence counter).
+    pub fn insert(&mut self, key: &[u8], seq: u64, value: Option<&[u8]>) {
+        let vlen = value.map(|v| v.len()).unwrap_or(0);
+        let entry = Entry { seq, value: value.map(|v| v.to_vec()) };
+        if let Some(old) = self.map.insert(key.to_vec(), entry) {
+            debug_assert!(old.seq < seq, "sequence numbers must be monotonic per key");
+            let old_vlen = old.value.map(|v| v.len()).unwrap_or(0);
+            self.approx_bytes = self.approx_bytes - old_vlen + vlen;
+        } else {
+            self.approx_bytes += key.len() + vlen + 24;
+        }
+    }
+
+    /// Newest mutation for `key`, if buffered here.
+    pub fn get(&self, key: &[u8]) -> Option<&Entry> {
+        self.map.get(key)
+    }
+
+    /// Number of distinct keys buffered.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Rough memory footprint, used for the flush threshold.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Iterate all buffered mutations in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], &Entry)> {
+        self.map.iter().map(|(k, e)| (k.as_slice(), e))
+    }
+
+    /// Iterate mutations whose key starts with `prefix`, in key order.
+    pub fn iter_prefix<'a>(&'a self, prefix: &'a [u8]) -> impl Iterator<Item = (&'a [u8], &'a Entry)> {
+        self.map
+            .range::<[u8], _>((Bound::Included(prefix), Bound::Unbounded))
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, e)| (k.as_slice(), e))
+    }
+
+    /// Iterate mutations with keys in `[start, end)`, in key order.
+    pub fn iter_range<'a>(
+        &'a self,
+        start: &'a [u8],
+        end: &'a [u8],
+    ) -> impl Iterator<Item = (&'a [u8], &'a Entry)> {
+        self.map
+            .range::<[u8], _>((Bound::Included(start), Bound::Excluded(end)))
+            .map(|(k, e)| (k.as_slice(), e))
+    }
+
+    /// Drop everything (after a successful flush).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.approx_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut m = Memtable::new();
+        m.insert(b"a", 1, Some(b"v1"));
+        m.insert(b"a", 2, Some(b"v2"));
+        let e = m.get(b"a").unwrap();
+        assert_eq!(e.seq, 2);
+        assert_eq!(e.value.as_deref(), Some(&b"v2"[..]));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn tombstone_is_stored() {
+        let mut m = Memtable::new();
+        m.insert(b"a", 1, Some(b"v"));
+        m.insert(b"a", 2, None);
+        assert_eq!(m.get(b"a").unwrap().value, None);
+    }
+
+    #[test]
+    fn prefix_iteration_is_sorted_and_bounded() {
+        let mut m = Memtable::new();
+        m.insert(b"dir/1/a", 1, Some(b"x"));
+        m.insert(b"dir/1/b", 2, Some(b"x"));
+        m.insert(b"dir/2/a", 3, Some(b"x"));
+        m.insert(b"dir0", 4, Some(b"x"));
+        let keys: Vec<_> = m.iter_prefix(b"dir/1/").map(|(k, _)| k.to_vec()).collect();
+        assert_eq!(keys, vec![b"dir/1/a".to_vec(), b"dir/1/b".to_vec()]);
+    }
+
+    #[test]
+    fn approx_bytes_tracks_growth_and_clear() {
+        let mut m = Memtable::new();
+        assert_eq!(m.approx_bytes(), 0);
+        m.insert(b"key", 1, Some(&[0u8; 100]));
+        let after_one = m.approx_bytes();
+        assert!(after_one >= 100);
+        m.insert(b"key", 2, Some(&[0u8; 10])); // shrinks value
+        assert!(m.approx_bytes() < after_one);
+        m.clear();
+        assert_eq!(m.approx_bytes(), 0);
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,511 @@
+//! Immutable sorted table files.
+//!
+//! Layout (all integers little endian):
+//!
+//! ```text
+//! entries:  ( u32 klen | u32 vlen | u64 seq | u8 kind | key | value )*
+//! index:    ( u32 klen | u64 offset | key )*        every Nth entry
+//! bloom:    encoded bloom filter over all keys
+//! footer:   u64 index_off | u64 index_len | u64 bloom_off | u64 bloom_len
+//!           | u64 count | u64 max_seq | u64 magic
+//! ```
+//!
+//! The sparse index holds every [`INDEX_INTERVAL`]-th key with its file
+//! offset; a point lookup binary-searches the index, then scans at most
+//! one interval of entries with a single positioned read. Keys within one
+//! table are unique (flushes and compactions deduplicate), so the first
+//! match wins.
+
+use std::fs::File;
+use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+use crate::bloom::Bloom;
+use crate::error::{LsmError, LsmResult};
+
+const MAGIC: u64 = 0x7061_636f_6e5f_7373; // "pacon_ss"
+const FOOTER_LEN: u64 = 56;
+/// One sparse-index entry per this many data entries.
+pub const INDEX_INTERVAL: usize = 16;
+
+/// Per-entry header length before key/value bytes.
+const ENTRY_HDR: usize = 4 + 4 + 8 + 1;
+
+/// Summary of a written table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SstMeta {
+    pub count: u64,
+    pub max_seq: u64,
+    pub min_key: Vec<u8>,
+    pub max_key: Vec<u8>,
+}
+
+/// Streaming SSTable builder: feed strictly increasing unique keys with
+/// [`SstWriter::add`], then [`SstWriter::finish`]. Compaction streams a
+/// merge iterator through this without materializing the table.
+pub struct SstWriter {
+    w: BufWriter<File>,
+    index: Vec<(Vec<u8>, u64)>,
+    keys: Vec<Vec<u8>>,
+    offset: u64,
+    count: u64,
+    max_seq: u64,
+    min_key: Vec<u8>,
+    max_key: Vec<u8>,
+    prev_key: Option<Vec<u8>>,
+}
+
+impl SstWriter {
+    pub fn create(path: &Path) -> LsmResult<Self> {
+        Ok(Self {
+            w: BufWriter::new(File::create(path)?),
+            index: Vec::new(),
+            keys: Vec::new(),
+            offset: 0,
+            count: 0,
+            max_seq: 0,
+            min_key: Vec::new(),
+            max_key: Vec::new(),
+            prev_key: None,
+        })
+    }
+
+    /// Append one entry; keys must arrive in strictly increasing order.
+    pub fn add(&mut self, key: &[u8], seq: u64, value: Option<&[u8]>) -> LsmResult<()> {
+        if let Some(prev) = &self.prev_key {
+            if prev.as_slice() >= key {
+                return Err(LsmError::InvalidArgument(
+                    "sstable entries must be strictly increasing".into(),
+                ));
+            }
+        }
+        if self.count.is_multiple_of(INDEX_INTERVAL as u64) {
+            self.index.push((key.to_vec(), self.offset));
+        }
+        let vlen = value.map(|v| v.len()).unwrap_or(0);
+        self.w.write_all(&(key.len() as u32).to_le_bytes())?;
+        self.w.write_all(&(vlen as u32).to_le_bytes())?;
+        self.w.write_all(&seq.to_le_bytes())?;
+        self.w.write_all(&[if value.is_some() { 1 } else { 0 }])?;
+        self.w.write_all(key)?;
+        if let Some(v) = value {
+            self.w.write_all(v)?;
+        }
+        self.offset += (ENTRY_HDR + key.len() + vlen) as u64;
+        if self.count == 0 {
+            self.min_key = key.to_vec();
+        }
+        self.max_key = key.to_vec();
+        self.max_seq = self.max_seq.max(seq);
+        self.count += 1;
+        self.keys.push(key.to_vec());
+        self.prev_key = Some(key.to_vec());
+        Ok(())
+    }
+
+    /// Entries added so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Bytes of entry data written so far (for size-based file cutting).
+    pub fn data_bytes(&self) -> u64 {
+        self.offset
+    }
+
+    /// Write index, bloom and footer; sync; return the table summary.
+    pub fn finish(mut self) -> LsmResult<SstMeta> {
+        let index_off = self.offset;
+        let mut index_len = 0u64;
+        for (key, off) in &self.index {
+            self.w.write_all(&(key.len() as u32).to_le_bytes())?;
+            self.w.write_all(&off.to_le_bytes())?;
+            self.w.write_all(key)?;
+            index_len += (4 + 8 + key.len()) as u64;
+        }
+        let bloom = Bloom::build(self.keys.iter().map(|k| k.as_slice()));
+        let bloom_bytes = bloom.encode();
+        let bloom_off = index_off + index_len;
+        self.w.write_all(&bloom_bytes)?;
+
+        self.w.write_all(&index_off.to_le_bytes())?;
+        self.w.write_all(&index_len.to_le_bytes())?;
+        self.w.write_all(&bloom_off.to_le_bytes())?;
+        self.w.write_all(&(bloom_bytes.len() as u64).to_le_bytes())?;
+        self.w.write_all(&self.count.to_le_bytes())?;
+        self.w.write_all(&self.max_seq.to_le_bytes())?;
+        self.w.write_all(&MAGIC.to_le_bytes())?;
+        self.w.flush()?;
+        self.w.get_ref().sync_data()?;
+        Ok(SstMeta {
+            count: self.count,
+            max_seq: self.max_seq,
+            min_key: self.min_key,
+            max_key: self.max_key,
+        })
+    }
+}
+
+/// Write a new SSTable from an iterator of strictly increasing unique
+/// keys. `value = None` writes a tombstone.
+pub fn write_sstable<'a>(
+    path: &Path,
+    entries: impl Iterator<Item = (&'a [u8], u64, Option<&'a [u8]>)>,
+) -> LsmResult<SstMeta> {
+    let mut w = SstWriter::create(path)?;
+    for (key, seq, value) in entries {
+        w.add(key, seq, value)?;
+    }
+    w.finish()
+}
+
+/// One decoded entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SstEntry {
+    pub key: Vec<u8>,
+    pub seq: u64,
+    /// `None` = tombstone.
+    pub value: Option<Vec<u8>>,
+}
+
+/// Read-side handle of one SSTable; index and bloom live in memory.
+pub struct SstReader {
+    file: File,
+    path: PathBuf,
+    index: Vec<(Vec<u8>, u64)>,
+    bloom: Bloom,
+    data_len: u64,
+    pub meta: SstMeta,
+}
+
+impl SstReader {
+    pub fn open(path: &Path) -> LsmResult<Self> {
+        let mut file = File::open(path)?;
+        let file_len = file.seek(SeekFrom::End(0))?;
+        if file_len < FOOTER_LEN {
+            return Err(LsmError::Corrupt(format!("{} too short", path.display())));
+        }
+        let mut footer = [0u8; FOOTER_LEN as usize];
+        file.read_exact_at(&mut footer, file_len - FOOTER_LEN)?;
+        let rd = |i: usize| u64::from_le_bytes(footer[i * 8..i * 8 + 8].try_into().unwrap());
+        let (index_off, index_len, bloom_off, bloom_len, count, max_seq, magic) =
+            (rd(0), rd(1), rd(2), rd(3), rd(4), rd(5), rd(6));
+        if magic != MAGIC {
+            return Err(LsmError::Corrupt(format!("{} bad magic", path.display())));
+        }
+        if bloom_off + bloom_len + FOOTER_LEN != file_len || index_off + index_len != bloom_off {
+            return Err(LsmError::Corrupt(format!("{} bad section layout", path.display())));
+        }
+
+        let mut index_bytes = vec![0u8; index_len as usize];
+        file.read_exact_at(&mut index_bytes, index_off)?;
+        let mut index = Vec::new();
+        let mut pos = 0usize;
+        while pos < index_bytes.len() {
+            if pos + 12 > index_bytes.len() {
+                return Err(LsmError::Corrupt("truncated index entry".into()));
+            }
+            let klen = u32::from_le_bytes(index_bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            let off = u64::from_le_bytes(index_bytes[pos + 4..pos + 12].try_into().unwrap());
+            let kstart = pos + 12;
+            if kstart + klen > index_bytes.len() {
+                return Err(LsmError::Corrupt("truncated index key".into()));
+            }
+            index.push((index_bytes[kstart..kstart + klen].to_vec(), off));
+            pos = kstart + klen;
+        }
+
+        let mut bloom_bytes = vec![0u8; bloom_len as usize];
+        file.read_exact_at(&mut bloom_bytes, bloom_off)?;
+        let bloom = Bloom::decode(&bloom_bytes)
+            .ok_or_else(|| LsmError::Corrupt("undecodable bloom filter".into()))?;
+
+        let (min_key, max_key) = if count == 0 {
+            (Vec::new(), Vec::new())
+        } else {
+            // min = first index key; max needs a scan of the last interval.
+            let min = index.first().map(|(k, _)| k.clone()).unwrap_or_default();
+            let last_off = index.last().map(|(_, o)| *o).unwrap_or(0);
+            let mut max = min.clone();
+            let mut iter = RegionIter::new(&file, last_off, index_off);
+            while let Some(e) = iter.next_entry()? {
+                max = e.key;
+            }
+            (min, max)
+        };
+
+        Ok(Self {
+            file,
+            path: path.to_path_buf(),
+            index,
+            bloom,
+            data_len: index_off,
+            meta: SstMeta { count, max_seq, min_key, max_key },
+        })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Point lookup. Returns the entry (which may be a tombstone).
+    pub fn get(&self, key: &[u8]) -> LsmResult<Option<SstEntry>> {
+        if self.meta.count == 0 || !self.bloom.may_contain(key) {
+            return Ok(None);
+        }
+        if key < self.meta.min_key.as_slice() || key > self.meta.max_key.as_slice() {
+            return Ok(None);
+        }
+        let slot = match self.index.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+            Ok(i) => i,
+            Err(0) => return Ok(None),
+            Err(i) => i - 1,
+        };
+        let start = self.index[slot].1;
+        let end = self.index.get(slot + 1).map(|(_, o)| *o).unwrap_or(self.data_len);
+        let mut iter = RegionIter::new(&self.file, start, end);
+        while let Some(e) = iter.next_entry()? {
+            match e.key.as_slice().cmp(key) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => return Ok(Some(e)),
+                std::cmp::Ordering::Greater => return Ok(None),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Iterate every entry in key order starting at the first key >= `from`
+    /// (or the whole table when `from` is empty).
+    pub fn iter_from(&self, from: &[u8]) -> LsmResult<SstIter<'_>> {
+        let start = if from.is_empty() || self.index.is_empty() {
+            0
+        } else {
+            match self.index.binary_search_by(|(k, _)| k.as_slice().cmp(from)) {
+                Ok(i) => self.index[i].1,
+                Err(0) => 0,
+                Err(i) => self.index[i - 1].1,
+            }
+        };
+        Ok(SstIter {
+            inner: RegionIter::new(&self.file, start, self.data_len),
+            from: from.to_vec(),
+            skipping: true,
+        })
+    }
+}
+
+/// Streaming decoder over a byte region of the data section.
+struct RegionIter<'f> {
+    file: &'f File,
+    pos: u64,
+    end: u64,
+    buf: Vec<u8>,
+    buf_base: u64,
+}
+
+const READ_CHUNK: usize = 64 * 1024;
+
+impl<'f> RegionIter<'f> {
+    fn new(file: &'f File, pos: u64, end: u64) -> Self {
+        Self { file, pos, end, buf: Vec::new(), buf_base: 0 }
+    }
+
+    fn ensure(&mut self, need: usize) -> LsmResult<bool> {
+        let have_from = (self.pos - self.buf_base) as usize;
+        if !self.buf.is_empty() && have_from + need <= self.buf.len() {
+            return Ok(true);
+        }
+        if self.pos + need as u64 > self.end {
+            return Ok(false);
+        }
+        let len = ((self.end - self.pos) as usize).min(READ_CHUNK.max(need));
+        let mut buf = vec![0u8; len];
+        self.file.read_exact_at(&mut buf, self.pos)?;
+        self.buf = buf;
+        self.buf_base = self.pos;
+        Ok(true)
+    }
+
+    fn next_entry(&mut self) -> LsmResult<Option<SstEntry>> {
+        if self.pos >= self.end {
+            return Ok(None);
+        }
+        if !self.ensure(ENTRY_HDR)? {
+            return Err(LsmError::Corrupt("truncated entry header".into()));
+        }
+        let base = (self.pos - self.buf_base) as usize;
+        let hdr = &self.buf[base..base + ENTRY_HDR];
+        let klen = u32::from_le_bytes(hdr[0..4].try_into().unwrap()) as usize;
+        let vlen = u32::from_le_bytes(hdr[4..8].try_into().unwrap()) as usize;
+        let seq = u64::from_le_bytes(hdr[8..16].try_into().unwrap());
+        let kind = hdr[16];
+        let total = ENTRY_HDR + klen + vlen;
+        if !self.ensure(total)? {
+            return Err(LsmError::Corrupt("truncated entry body".into()));
+        }
+        let base = (self.pos - self.buf_base) as usize;
+        let key = self.buf[base + ENTRY_HDR..base + ENTRY_HDR + klen].to_vec();
+        let value = match kind {
+            1 => Some(self.buf[base + ENTRY_HDR + klen..base + total].to_vec()),
+            0 => None,
+            k => return Err(LsmError::Corrupt(format!("bad entry kind {k}"))),
+        };
+        self.pos += total as u64;
+        Ok(Some(SstEntry { key, seq, value }))
+    }
+}
+
+/// Iterator returned by [`SstReader::iter_from`].
+pub struct SstIter<'f> {
+    inner: RegionIter<'f>,
+    from: Vec<u8>,
+    skipping: bool,
+}
+
+impl SstIter<'_> {
+    /// Next entry in key order, or `None` at end of table.
+    pub fn next_entry(&mut self) -> LsmResult<Option<SstEntry>> {
+        loop {
+            let e = match self.inner.next_entry()? {
+                Some(e) => e,
+                None => return Ok(None),
+            };
+            if self.skipping && e.key.as_slice() < self.from.as_slice() {
+                continue;
+            }
+            self.skipping = false;
+            return Ok(Some(e));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("lsmkv-sst-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d.join(name)
+    }
+
+    fn sample_entries(n: u32) -> Vec<(Vec<u8>, u64, Option<Vec<u8>>)> {
+        (0..n)
+            .map(|i| {
+                let key = format!("key-{i:06}").into_bytes();
+                let value =
+                    if i % 7 == 3 { None } else { Some(format!("value-{i}").into_bytes()) };
+                (key, i as u64 + 1, value)
+            })
+            .collect()
+    }
+
+    fn write_sample(path: &Path, n: u32) -> SstMeta {
+        let entries = sample_entries(n);
+        write_sstable(path, entries.iter().map(|(k, s, v)| (k.as_slice(), *s, v.as_deref())))
+            .unwrap()
+    }
+
+    #[test]
+    fn write_and_point_lookup() {
+        let path = tmpfile("basic.sst");
+        let meta = write_sample(&path, 100);
+        assert_eq!(meta.count, 100);
+        assert_eq!(meta.max_seq, 100);
+        let r = SstReader::open(&path).unwrap();
+        assert_eq!(r.meta, meta);
+        let e = r.get(b"key-000042").unwrap().unwrap();
+        assert_eq!(e.value.as_deref(), Some(&b"value-42"[..]));
+        assert_eq!(e.seq, 43);
+        // Tombstone is returned as an entry with value None.
+        let t = r.get(b"key-000003").unwrap().unwrap();
+        assert_eq!(t.value, None);
+        // Absent keys.
+        assert!(r.get(b"key-000100").unwrap().is_none());
+        assert!(r.get(b"aaa").unwrap().is_none());
+        assert!(r.get(b"zzz").unwrap().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unsorted_input_rejected() {
+        let path = tmpfile("unsorted.sst");
+        let res = write_sstable(
+            &path,
+            vec![(b"b".as_slice(), 1, None), (b"a".as_slice(), 2, None)].into_iter(),
+        );
+        assert!(matches!(res, Err(LsmError::InvalidArgument(_))));
+        // Duplicate keys also rejected.
+        let res = write_sstable(
+            &path,
+            vec![(b"a".as_slice(), 1, None), (b"a".as_slice(), 2, None)].into_iter(),
+        );
+        assert!(matches!(res, Err(LsmError::InvalidArgument(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn iter_from_scans_in_order() {
+        let path = tmpfile("iter.sst");
+        write_sample(&path, 60);
+        let r = SstReader::open(&path).unwrap();
+        let mut it = r.iter_from(b"key-000050").unwrap();
+        let mut seen = Vec::new();
+        while let Some(e) = it.next_entry().unwrap() {
+            seen.push(String::from_utf8(e.key).unwrap());
+        }
+        assert_eq!(seen.len(), 10);
+        assert_eq!(seen[0], "key-000050");
+        assert!(seen.windows(2).all(|w| w[0] < w[1]));
+
+        // Full scan from the beginning.
+        let mut it = r.iter_from(b"").unwrap();
+        let mut count = 0;
+        while it.next_entry().unwrap().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 60);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_table_roundtrips() {
+        let path = tmpfile("empty.sst");
+        let meta = write_sstable(&path, std::iter::empty()).unwrap();
+        assert_eq!(meta.count, 0);
+        let r = SstReader::open(&path).unwrap();
+        assert!(r.get(b"x").unwrap().is_none());
+        let mut it = r.iter_from(b"").unwrap();
+        assert!(it.next_entry().unwrap().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let path = tmpfile("badmagic.sst");
+        write_sample(&path, 10);
+        let mut data = std::fs::read(&path).unwrap();
+        let n = data.len();
+        data[n - 1] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        assert!(matches!(SstReader::open(&path), Err(LsmError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn large_values_cross_read_chunks() {
+        let path = tmpfile("large.sst");
+        let big = vec![0xABu8; 200_000]; // > READ_CHUNK
+        let entries: Vec<(Vec<u8>, u64, Option<Vec<u8>>)> = vec![
+            (b"a".to_vec(), 1, Some(big.clone())),
+            (b"b".to_vec(), 2, Some(b"small".to_vec())),
+        ];
+        write_sstable(&path, entries.iter().map(|(k, s, v)| (k.as_slice(), *s, v.as_deref())))
+            .unwrap();
+        let r = SstReader::open(&path).unwrap();
+        assert_eq!(r.get(b"a").unwrap().unwrap().value.as_deref(), Some(big.as_slice()));
+        assert_eq!(r.get(b"b").unwrap().unwrap().value.as_deref(), Some(&b"small"[..]));
+        std::fs::remove_file(&path).ok();
+    }
+}

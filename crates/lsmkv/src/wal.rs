@@ -1,0 +1,260 @@
+//! Write-ahead log.
+//!
+//! Every mutation is appended as one framed record before it reaches the
+//! memtable. Frame layout (little endian):
+//!
+//! ```text
+//! u32 payload_len | u32 crc32(payload) | payload
+//! payload := u64 seq | u8 kind (1=put 0=del) | u32 klen | key | u32 vlen | value
+//! ```
+//!
+//! Replay stops at the first torn or corrupt record (standard LevelDB
+//! behaviour for a crashed tail).
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::error::{LsmError, LsmResult};
+
+/// CRC-32 (IEEE) implemented locally to avoid extra dependencies.
+pub fn crc32(data: &[u8]) -> u32 {
+    const POLY: u32 = 0xEDB8_8320;
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (POLY & mask);
+        }
+    }
+    !crc
+}
+
+/// A replayed WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    pub seq: u64,
+    pub key: Vec<u8>,
+    /// `None` = tombstone.
+    pub value: Option<Vec<u8>>,
+}
+
+/// Append-side handle of the WAL.
+pub struct Wal {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    /// Whether to fsync after every append (durable but slow; tests use
+    /// buffered mode).
+    sync: bool,
+}
+
+impl Wal {
+    /// Open (creating or appending to) the log at `path`.
+    pub fn open(path: &Path, sync: bool) -> LsmResult<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Self { path: path.to_path_buf(), writer: BufWriter::new(file), sync })
+    }
+
+    /// Append one mutation record.
+    pub fn append(&mut self, seq: u64, key: &[u8], value: Option<&[u8]>) -> LsmResult<()> {
+        let vlen = value.map(|v| v.len()).unwrap_or(0);
+        let mut payload = Vec::with_capacity(8 + 1 + 4 + key.len() + 4 + vlen);
+        payload.extend_from_slice(&seq.to_le_bytes());
+        payload.push(if value.is_some() { 1 } else { 0 });
+        payload.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        payload.extend_from_slice(key);
+        payload.extend_from_slice(&(vlen as u32).to_le_bytes());
+        if let Some(v) = value {
+            payload.extend_from_slice(v);
+        }
+        self.writer.write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.writer.write_all(&crc32(&payload).to_le_bytes())?;
+        self.writer.write_all(&payload)?;
+        if self.sync {
+            self.writer.flush()?;
+            self.writer.get_ref().sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Flush buffered records to the OS.
+    pub fn flush(&mut self) -> LsmResult<()> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Truncate the log (after its contents were flushed into an SSTable).
+    pub fn reset(&mut self) -> LsmResult<()> {
+        self.writer.flush()?;
+        let file = OpenOptions::new().write(true).truncate(true).open(&self.path)?;
+        self.writer = BufWriter::new(file);
+        Ok(())
+    }
+
+    /// Replay all intact records from a log file. Missing file = empty.
+    /// A torn/corrupt tail ends replay silently; corruption *before* valid
+    /// data is reported.
+    pub fn replay(path: &Path) -> LsmResult<Vec<WalRecord>> {
+        let mut data = Vec::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut data)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        }
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        while pos + 8 <= data.len() {
+            let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+            let start = pos + 8;
+            if start + len > data.len() {
+                break; // torn tail
+            }
+            let payload = &data[start..start + len];
+            if crc32(payload) != crc {
+                break; // corrupt tail
+            }
+            match parse_payload(payload) {
+                Some(rec) => records.push(rec),
+                None => {
+                    return Err(LsmError::Corrupt(format!(
+                        "wal record at offset {pos} has valid crc but bad framing"
+                    )))
+                }
+            }
+            pos = start + len;
+        }
+        Ok(records)
+    }
+}
+
+fn parse_payload(p: &[u8]) -> Option<WalRecord> {
+    if p.len() < 13 {
+        return None;
+    }
+    let seq = u64::from_le_bytes(p[0..8].try_into().ok()?);
+    let kind = p[8];
+    let klen = u32::from_le_bytes(p[9..13].try_into().ok()?) as usize;
+    let key_end = 13 + klen;
+    if p.len() < key_end + 4 {
+        return None;
+    }
+    let key = p[13..key_end].to_vec();
+    let vlen = u32::from_le_bytes(p[key_end..key_end + 4].try_into().ok()?) as usize;
+    if p.len() != key_end + 4 + vlen {
+        return None;
+    }
+    let value = match kind {
+        1 => Some(p[key_end + 4..].to_vec()),
+        0 => {
+            if vlen != 0 {
+                return None;
+            }
+            None
+        }
+        _ => return None,
+    };
+    Some(WalRecord { seq, key, value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("lsmkv-wal-{}-{}", name, std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // Standard test vector: CRC32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_and_replay() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("wal.log");
+        {
+            let mut w = Wal::open(&path, false).unwrap();
+            w.append(1, b"a", Some(b"va")).unwrap();
+            w.append(2, b"b", None).unwrap();
+            w.append(3, b"c", Some(&[])).unwrap();
+            w.flush().unwrap();
+        }
+        let recs = Wal::replay(&path).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0], WalRecord { seq: 1, key: b"a".to_vec(), value: Some(b"va".to_vec()) });
+        assert_eq!(recs[1].value, None);
+        assert_eq!(recs[2].value.as_deref(), Some(&[][..]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_replays_empty() {
+        let dir = tmpdir("missing");
+        assert!(Wal::replay(&dir.join("nope.log")).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_ignored() {
+        let dir = tmpdir("torn");
+        let path = dir.join("wal.log");
+        {
+            let mut w = Wal::open(&path, false).unwrap();
+            w.append(1, b"a", Some(b"va")).unwrap();
+            w.flush().unwrap();
+        }
+        // Append garbage that looks like the start of a record.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[200, 0, 0, 0, 1, 2, 3, 4, 9, 9]).unwrap();
+        }
+        let recs = Wal::replay(&path).unwrap();
+        assert_eq!(recs.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_crc_ends_replay() {
+        let dir = tmpdir("crc");
+        let path = dir.join("wal.log");
+        {
+            let mut w = Wal::open(&path, false).unwrap();
+            w.append(1, b"a", Some(b"va")).unwrap();
+            w.append(2, b"b", Some(b"vb")).unwrap();
+            w.flush().unwrap();
+        }
+        // Flip a byte in the second record's payload.
+        let mut data = std::fs::read(&path).unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        let recs = Wal::replay(&path).unwrap();
+        assert_eq!(recs.len(), 1, "replay must stop at the corrupt record");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reset_truncates() {
+        let dir = tmpdir("reset");
+        let path = dir.join("wal.log");
+        let mut w = Wal::open(&path, false).unwrap();
+        w.append(1, b"a", Some(b"va")).unwrap();
+        w.reset().unwrap();
+        w.append(2, b"b", Some(b"vb")).unwrap();
+        w.flush().unwrap();
+        let recs = Wal::replay(&path).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].seq, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,103 @@
+//! Model-based property test: a random sequence of puts/deletes/flushes/
+//! reopens against `Db` must match a plain `BTreeMap` reference model,
+//! both for point lookups and prefix scans.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use lsmkv::{Db, Options};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, Vec<u8>),
+    Delete(u8),
+    Flush,
+    Reopen,
+    Ingest(Vec<(u8, Vec<u8>)>),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..32))
+            .prop_map(|(k, v)| Op::Put(k, v)),
+        3 => any::<u8>().prop_map(Op::Delete),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Reopen),
+        1 => proptest::collection::btree_map(any::<u8>(), proptest::collection::vec(any::<u8>(), 0..8), 0..6)
+            .prop_map(|m| Op::Ingest(m.into_iter().collect())),
+    ]
+}
+
+fn key_bytes(k: u8) -> Vec<u8> {
+    // Two-byte keys give prefix structure: high nibble acts as a "directory".
+    vec![k >> 4, k & 0xF]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn db_matches_btreemap_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let dir: PathBuf = std::env::temp_dir().join(format!(
+            "lsmkv-model-{}-{:x}",
+            std::process::id(),
+            rand_suffix()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let mut db = Some(Db::open(&dir, Options::small()).unwrap());
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    db.as_ref().unwrap().put(&key_bytes(*k), v).unwrap();
+                    model.insert(key_bytes(*k), v.clone());
+                }
+                Op::Delete(k) => {
+                    db.as_ref().unwrap().delete(&key_bytes(*k)).unwrap();
+                    model.remove(&key_bytes(*k));
+                }
+                Op::Flush => db.as_ref().unwrap().flush().unwrap(),
+                Op::Reopen => {
+                    drop(db.take());
+                    db = Some(Db::open(&dir, Options::small()).unwrap());
+                }
+                Op::Ingest(batch) => {
+                    let batch: Vec<(Vec<u8>, Vec<u8>)> = batch
+                        .iter()
+                        .map(|(k, v)| (key_bytes(*k), v.clone()))
+                        .collect();
+                    db.as_ref().unwrap().ingest_sorted(&batch).unwrap();
+                    for (k, v) in batch {
+                        model.insert(k, v);
+                    }
+                }
+            }
+        }
+
+        let db = db.unwrap();
+        // Point lookups across the whole key space.
+        for k in 0..=255u8 {
+            let kb = key_bytes(k);
+            prop_assert_eq!(db.get(&kb).unwrap(), model.get(&kb).cloned());
+        }
+        // Prefix scans per "directory" nibble.
+        for hi in 0..=0xFu8 {
+            let got = db.scan_prefix(&[hi]).unwrap();
+            let want: Vec<(Vec<u8>, Vec<u8>)> = model
+                .range(vec![hi]..vec![hi + 1])
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            prop_assert_eq!(got, want);
+        }
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+fn rand_suffix() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now().duration_since(UNIX_EPOCH).unwrap().subsec_nanos() as u64
+        ^ (std::process::id() as u64) << 32
+}

@@ -1,0 +1,336 @@
+//! Cluster facade and the per-node client handle.
+//!
+//! A [`KvCluster`] owns one [`Shard`] per node of the topology (the paper
+//! launches one Memcached instance per application node). A [`KvClient`]
+//! is bound to the node its owner runs on and charges simulated costs for
+//! every request: a same-node access pays `net_local`, a remote shard pays
+//! `net_hop_remote`, and every request pays the shard's `kv_op` service
+//! (plus a per-KiB payload charge for inline small-file data).
+
+use std::sync::Arc;
+
+use simnet::{charge, LatencyProfile, NodeId, Station, Topology};
+
+use crate::ring::Ring;
+use crate::shard::{CasOutcome, Shard, ShardStats};
+
+/// A distributed cache: one shard per node plus the hash ring.
+pub struct KvCluster {
+    shards: Vec<Arc<Shard>>,
+    node_ids: Vec<NodeId>,
+    ring: Ring,
+    profile: Arc<LatencyProfile>,
+    /// Offset added to shard indices when charging `Station::KvShard` —
+    /// distinct cache clusters (one per consistent region) must map to
+    /// distinct stations in the queueing model.
+    station_base: u32,
+}
+
+impl KvCluster {
+    /// Spin up one unbounded shard per node of `topology`.
+    pub fn new(topology: Topology, profile: Arc<LatencyProfile>) -> Arc<Self> {
+        Self::with_options(topology, profile, None, 0)
+    }
+
+    /// As [`KvCluster::new`] with a station-id base for the shards (used
+    /// when several cache clusters coexist in one simulation).
+    pub fn with_station_base(
+        topology: Topology,
+        profile: Arc<LatencyProfile>,
+        station_base: u32,
+    ) -> Arc<Self> {
+        Self::with_options(topology, profile, None, station_base)
+    }
+
+    /// As [`KvCluster::new`] but with a per-shard byte budget.
+    pub fn with_shard_budget(
+        topology: Topology,
+        profile: Arc<LatencyProfile>,
+        shard_max_bytes: Option<usize>,
+    ) -> Arc<Self> {
+        Self::with_options(topology, profile, shard_max_bytes, 0)
+    }
+
+    /// Full-control constructor.
+    pub fn with_options(
+        topology: Topology,
+        profile: Arc<LatencyProfile>,
+        shard_max_bytes: Option<usize>,
+        station_base: u32,
+    ) -> Arc<Self> {
+        let node_ids: Vec<NodeId> = topology.node_ids().collect();
+        let shards = node_ids.iter().map(|_| Arc::new(Shard::new(shard_max_bytes))).collect();
+        let ring = Ring::new(&node_ids);
+        Arc::new(Self { shards, node_ids, ring, profile, station_base })
+    }
+
+    /// Station-id base of this cluster's shards.
+    pub fn station_base(&self) -> u32 {
+        self.station_base
+    }
+
+    /// Client handle for a process living on `local` node.
+    pub fn client(self: &Arc<Self>, local: NodeId) -> KvClient {
+        assert!(
+            self.node_ids.contains(&local),
+            "node {local:?} is not part of this cache cluster"
+        );
+        KvClient { cluster: Arc::clone(self), local: Some(local) }
+    }
+
+    /// Client handle for a process *outside* this cluster's nodes (merged
+    /// consistent regions, Section III.D-4): every access pays the remote
+    /// hop.
+    pub fn remote_client(self: &Arc<Self>) -> KvClient {
+        KvClient { cluster: Arc::clone(self), local: None }
+    }
+
+    /// Which node's shard stores `key`.
+    pub fn shard_node(&self, key: &[u8]) -> NodeId {
+        self.ring.node_for(key)
+    }
+
+    fn shard(&self, node: NodeId) -> &Shard {
+        let idx = self
+            .node_ids
+            .iter()
+            .position(|n| *n == node)
+            .expect("ring returned a node outside the cluster");
+        &self.shards[idx]
+    }
+
+    /// Total bytes across all shards.
+    pub fn used_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.used_bytes()).sum()
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All keys with `prefix`, across shards, sorted (management surface
+    /// for region eviction / subtree cleanup; not charged — callers charge
+    /// the individual deletions they then perform).
+    pub fn keys_with_prefix(&self, prefix: &[u8]) -> Vec<Vec<u8>> {
+        let mut all: Vec<Vec<u8>> = Vec::new();
+        for s in &self.shards {
+            all.extend(s.keys_with_prefix(prefix));
+        }
+        all.sort_unstable();
+        all
+    }
+
+    /// Wipe every shard (failure-recovery cache rebuild).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.clear();
+        }
+    }
+
+    /// Aggregated shard statistics.
+    pub fn stats(&self) -> ShardStats {
+        let mut agg = ShardStats::default();
+        for s in &self.shards {
+            let st = s.stats();
+            agg.gets += st.gets;
+            agg.hits += st.hits;
+            agg.sets += st.sets;
+            agg.cas_ok += st.cas_ok;
+            agg.cas_conflicts += st.cas_conflicts;
+            agg.deletes += st.deletes;
+            agg.evictions += st.evictions;
+        }
+        agg
+    }
+
+    pub fn profile(&self) -> &Arc<LatencyProfile> {
+        &self.profile
+    }
+
+    /// Nodes backing this cluster.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.node_ids
+    }
+}
+
+/// Per-node client handle; all methods charge simulated costs.
+#[derive(Clone)]
+pub struct KvClient {
+    cluster: Arc<KvCluster>,
+    /// `None` for clients outside the cluster (always-remote access).
+    local: Option<NodeId>,
+}
+
+impl KvClient {
+    fn charge_access(&self, key: &[u8], payload_len: usize) -> NodeId {
+        let target = self.cluster.shard_node(key);
+        let p = &self.cluster.profile;
+        let hop = match self.local {
+            Some(local) if target == local => p.net_local,
+            _ => p.net_hop_remote,
+        };
+        charge(Station::Network, hop);
+        let payload = (payload_len as u64).div_ceil(1024) * p.kv_payload_per_kib;
+        charge(
+            Station::KvShard(self.cluster.station_base + target.0),
+            p.kv_op + payload,
+        );
+        target
+    }
+
+    /// `gets`: value and CAS version.
+    pub fn get(&self, key: &[u8]) -> Option<(Vec<u8>, u64)> {
+        let node = self.charge_access(key, 0);
+        self.cluster.shard(node).get(key)
+    }
+
+    /// Unconditional store; returns the new version.
+    pub fn set(&self, key: &[u8], value: &[u8]) -> u64 {
+        let node = self.charge_access(key, value.len());
+        self.cluster.shard(node).set(key, value)
+    }
+
+    /// Store if absent.
+    pub fn add(&self, key: &[u8], value: &[u8]) -> Option<u64> {
+        let node = self.charge_access(key, value.len());
+        self.cluster.shard(node).add(key, value)
+    }
+
+    /// Check-and-swap.
+    pub fn cas(&self, key: &[u8], expected_version: u64, value: &[u8]) -> CasOutcome {
+        let node = self.charge_access(key, value.len());
+        self.cluster.shard(node).cas(key, expected_version, value)
+    }
+
+    /// Delete; true if the key existed.
+    pub fn delete(&self, key: &[u8]) -> bool {
+        let node = self.charge_access(key, 0);
+        self.cluster.shard(node).delete(key)
+    }
+
+    /// The cluster this client talks to.
+    pub fn cluster(&self) -> &Arc<KvCluster> {
+        &self.cluster
+    }
+
+    /// Node this client runs on (`None` for remote/merged clients).
+    pub fn local_node(&self) -> Option<NodeId> {
+        self.local
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::with_recording;
+
+    fn cluster(nodes: u32) -> Arc<KvCluster> {
+        KvCluster::new(Topology::new(nodes, 4), Arc::new(LatencyProfile::default()))
+    }
+
+    #[test]
+    fn routes_consistently_across_clients() {
+        let c = cluster(4);
+        let a = c.client(NodeId(0));
+        let b = c.client(NodeId(3));
+        a.set(b"/w/f1", b"hello");
+        assert_eq!(b.get(b"/w/f1").unwrap().0, b"hello");
+        assert!(b.delete(b"/w/f1"));
+        assert_eq!(a.get(b"/w/f1"), None);
+    }
+
+    #[test]
+    fn charges_local_vs_remote_hops() {
+        let c = cluster(4);
+        let profile = c.profile().clone();
+        // Find a key owned by node 0.
+        let mut local_key = None;
+        for i in 0..1000 {
+            let k = format!("/probe/{i}");
+            if c.shard_node(k.as_bytes()) == NodeId(0) {
+                local_key = Some(k);
+                break;
+            }
+        }
+        let local_key = local_key.expect("some key must land on node 0");
+        let client = c.client(NodeId(0));
+        let ((), t) = with_recording(|| {
+            client.get(local_key.as_bytes());
+        });
+        assert_eq!(t.station_ns(Station::Network), profile.net_local);
+        assert_eq!(t.station_ns(Station::KvShard(0)), profile.kv_op);
+
+        // A key owned by another node pays the remote hop.
+        let mut remote_key = None;
+        for i in 0..1000 {
+            let k = format!("/probe2/{i}");
+            if c.shard_node(k.as_bytes()) != NodeId(0) {
+                remote_key = Some(k);
+                break;
+            }
+        }
+        let remote_key = remote_key.unwrap();
+        let ((), t) = with_recording(|| {
+            client.get(remote_key.as_bytes());
+        });
+        assert_eq!(t.station_ns(Station::Network), profile.net_hop_remote);
+    }
+
+    #[test]
+    fn payload_charge_scales_with_size() {
+        let c = cluster(1);
+        let p = c.profile().clone();
+        let client = c.client(NodeId(0));
+        let ((), small) = with_recording(|| {
+            client.set(b"k", &[0u8; 100]);
+        });
+        let ((), big) = with_recording(|| {
+            client.set(b"k", &[0u8; 4096]);
+        });
+        let shard = Station::KvShard(0);
+        assert_eq!(small.station_ns(shard), p.kv_op + p.kv_payload_per_kib);
+        assert_eq!(big.station_ns(shard), p.kv_op + 4 * p.kv_payload_per_kib);
+    }
+
+    #[test]
+    fn cluster_wide_prefix_and_clear() {
+        let c = cluster(4);
+        let client = c.client(NodeId(1));
+        for i in 0..40 {
+            client.set(format!("/ws/a/f{i:02}").as_bytes(), b"m");
+        }
+        for i in 0..10 {
+            client.set(format!("/other/f{i:02}").as_bytes(), b"m");
+        }
+        let keys = c.keys_with_prefix(b"/ws/a/");
+        assert_eq!(keys.len(), 40);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not part of this cache cluster")]
+    fn foreign_node_client_rejected() {
+        let c = cluster(2);
+        let _ = c.client(NodeId(7));
+    }
+
+    #[test]
+    fn aggregated_stats() {
+        let c = cluster(2);
+        let client = c.client(NodeId(0));
+        client.set(b"a", b"1");
+        client.get(b"a");
+        client.get(b"nope");
+        let st = c.stats();
+        assert_eq!(st.sets, 1);
+        assert_eq!(st.gets, 2);
+        assert_eq!(st.hits, 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! `memkv` — a memcached-like distributed in-memory KV store.
+//!
+//! Pacon (Section III.A of the paper) builds its distributed metadata
+//! cache from a Memcached cluster co-located with the application's
+//! client nodes, sharded by a DHT over full-path keys, and relies on
+//! Memcached's CAS (check-and-swap) for lock-free concurrent updates
+//! (Section III.D-3). This crate is that substrate:
+//!
+//! * [`ring`] — a consistent-hash ring with virtual nodes mapping keys to
+//!   shard nodes,
+//! * [`shard`] — one in-memory shard: versioned entries, CAS, LRU
+//!   eviction, byte accounting,
+//! * [`cluster`] — the cluster facade plus the per-node client handle
+//!   that charges simulated network/service costs.
+//!
+//! Two small extensions beyond memcached's wire surface exist because
+//! Pacon's design needs them: prefix enumeration (for consistent-region
+//! eviction and rmdir subtree cleanup, which the paper performs over its
+//! own metadata) and byte-usage introspection (for the eviction
+//! threshold).
+
+pub mod cluster;
+pub mod ring;
+pub mod shard;
+
+pub use cluster::{KvClient, KvCluster};
+pub use ring::Ring;
+pub use shard::{CasOutcome, Shard, ShardStats};

@@ -1,0 +1,472 @@
+//! One in-memory shard: versioned entries with CAS and LRU eviction.
+//!
+//! Versions implement memcached's `gets`/`cas` pair: every successful
+//! mutation bumps the entry version; a CAS succeeds only when the caller
+//! presents the version it read. Pacon retries conflicting updates until
+//! they succeed (Section III.D-3), so the shard never blocks writers.
+
+use std::collections::{BTreeMap, HashMap};
+
+use parking_lot::Mutex;
+
+/// Result of a CAS attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CasOutcome {
+    /// Update applied; the entry now has this version.
+    Stored { new_version: u64 },
+    /// Version mismatch; the caller's copy is stale.
+    Conflict { current_version: u64 },
+    /// The key vanished between `gets` and `cas`.
+    NotFound,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    value: Vec<u8>,
+    version: u64,
+    lru_tick: u64,
+}
+
+/// Counters exposed for tests and experiment reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    pub gets: u64,
+    pub hits: u64,
+    pub sets: u64,
+    pub cas_ok: u64,
+    pub cas_conflicts: u64,
+    pub deletes: u64,
+    pub evictions: u64,
+}
+
+struct Inner {
+    map: HashMap<Vec<u8>, Entry>,
+    /// LRU index: tick -> key. Ticks are unique (monotonic counter).
+    lru: BTreeMap<u64, Vec<u8>>,
+    tick: u64,
+    next_version: u64,
+    used_bytes: usize,
+    stats: ShardStats,
+}
+
+/// A single cache shard. Thread-safe.
+pub struct Shard {
+    inner: Mutex<Inner>,
+    /// Byte budget; `None` = unbounded (Pacon does its own region-level
+    /// eviction and keeps shards unbounded, per Section III.F).
+    max_bytes: Option<usize>,
+}
+
+fn entry_cost(key: &[u8], value: &[u8]) -> usize {
+    key.len() + value.len() + 48
+}
+
+impl Shard {
+    pub fn new(max_bytes: Option<usize>) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                lru: BTreeMap::new(),
+                tick: 0,
+                next_version: 1,
+                used_bytes: 0,
+                stats: ShardStats::default(),
+            }),
+            max_bytes,
+        }
+    }
+
+    /// `gets`: value together with its CAS version.
+    pub fn get(&self, key: &[u8]) -> Option<(Vec<u8>, u64)> {
+        let mut g = self.inner.lock();
+        g.stats.gets += 1;
+        g.tick += 1;
+        let tick = g.tick;
+        let (out, old_tick) = match g.map.get_mut(key) {
+            Some(e) => {
+                let old = e.lru_tick;
+                e.lru_tick = tick;
+                (Some((e.value.clone(), e.version)), Some(old))
+            }
+            None => (None, None),
+        };
+        if let Some(old) = old_tick {
+            let key = g.lru.remove(&old).expect("lru index out of sync");
+            g.lru.insert(tick, key);
+            g.stats.hits += 1;
+        }
+        out
+    }
+
+    /// Unconditional store. Returns the new version.
+    pub fn set(&self, key: &[u8], value: &[u8]) -> u64 {
+        let mut g = self.inner.lock();
+        g.stats.sets += 1;
+        let v = self.store(&mut g, key, value);
+        self.maybe_evict(&mut g);
+        v
+    }
+
+    /// `add`: store only if absent. Returns the version, or `None` if the
+    /// key already exists.
+    pub fn add(&self, key: &[u8], value: &[u8]) -> Option<u64> {
+        let mut g = self.inner.lock();
+        if g.map.contains_key(key) {
+            return None;
+        }
+        g.stats.sets += 1;
+        let v = self.store(&mut g, key, value);
+        self.maybe_evict(&mut g);
+        Some(v)
+    }
+
+    /// Check-and-swap against the version obtained from [`Shard::get`].
+    pub fn cas(&self, key: &[u8], expected_version: u64, value: &[u8]) -> CasOutcome {
+        let mut g = self.inner.lock();
+        match g.map.get(key).map(|e| e.version) {
+            None => CasOutcome::NotFound,
+            Some(current) if current != expected_version => {
+                g.stats.cas_conflicts += 1;
+                CasOutcome::Conflict { current_version: current }
+            }
+            Some(_) => {
+                g.stats.cas_ok += 1;
+                let v = self.store(&mut g, key, value);
+                self.maybe_evict(&mut g);
+                CasOutcome::Stored { new_version: v }
+            }
+        }
+    }
+
+    /// `replace`: store only if present. Returns the new version, or
+    /// `None` if the key is absent.
+    pub fn replace(&self, key: &[u8], value: &[u8]) -> Option<u64> {
+        let mut g = self.inner.lock();
+        if !g.map.contains_key(key) {
+            return None;
+        }
+        g.stats.sets += 1;
+        let v = self.store(&mut g, key, value);
+        self.maybe_evict(&mut g);
+        Some(v)
+    }
+
+    /// `append`: concatenate bytes onto an existing value. Returns the
+    /// new version, or `None` if the key is absent (memcached semantics:
+    /// append never creates).
+    pub fn append(&self, key: &[u8], suffix: &[u8]) -> Option<u64> {
+        let mut g = self.inner.lock();
+        let mut value = g.map.get(key)?.value.clone();
+        value.extend_from_slice(suffix);
+        g.stats.sets += 1;
+        let v = self.store(&mut g, key, &value);
+        self.maybe_evict(&mut g);
+        Some(v)
+    }
+
+    /// `prepend`: concatenate bytes in front of an existing value.
+    pub fn prepend(&self, key: &[u8], prefix: &[u8]) -> Option<u64> {
+        let mut g = self.inner.lock();
+        let old = g.map.get(key)?.value.clone();
+        let mut value = prefix.to_vec();
+        value.extend_from_slice(&old);
+        g.stats.sets += 1;
+        let v = self.store(&mut g, key, &value);
+        self.maybe_evict(&mut g);
+        Some(v)
+    }
+
+    /// `incr`/`decr`: treat the value as an ASCII decimal counter and add
+    /// `delta` (may be negative; clamps at zero like memcached's decr).
+    /// Returns the new counter value, or `None` if the key is absent or
+    /// not numeric.
+    pub fn incr(&self, key: &[u8], delta: i64) -> Option<u64> {
+        let mut g = self.inner.lock();
+        let current: u64 = std::str::from_utf8(&g.map.get(key)?.value).ok()?.parse().ok()?;
+        let next = if delta >= 0 {
+            current.saturating_add(delta as u64)
+        } else {
+            current.saturating_sub(delta.unsigned_abs())
+        };
+        let bytes = next.to_string().into_bytes();
+        self.store(&mut g, key, &bytes);
+        Some(next)
+    }
+
+    /// Remove a key. True if it existed.
+    pub fn delete(&self, key: &[u8]) -> bool {
+        let mut g = self.inner.lock();
+        g.stats.deletes += 1;
+        match g.map.remove(key) {
+            Some(e) => {
+                g.lru.remove(&e.lru_tick);
+                g.used_bytes -= entry_cost(key, &e.value);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Keys starting with `prefix` (management extension used for
+    /// region eviction and subtree cleanup).
+    pub fn keys_with_prefix(&self, prefix: &[u8]) -> Vec<Vec<u8>> {
+        let g = self.inner.lock();
+        let mut keys: Vec<Vec<u8>> =
+            g.map.keys().filter(|k| k.starts_with(prefix)).cloned().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Bytes currently accounted to live entries.
+    pub fn used_bytes(&self) -> usize {
+        self.inner.lock().used_bytes
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop everything (cache rebuild after failure recovery).
+    pub fn clear(&self) {
+        let mut g = self.inner.lock();
+        g.map.clear();
+        g.lru.clear();
+        g.used_bytes = 0;
+    }
+
+    pub fn stats(&self) -> ShardStats {
+        self.inner.lock().stats.clone()
+    }
+
+    fn store(&self, g: &mut Inner, key: &[u8], value: &[u8]) -> u64 {
+        g.tick += 1;
+        g.next_version += 1;
+        let (tick, version) = (g.tick, g.next_version);
+        match g.map.get_mut(key) {
+            Some(e) => {
+                g.used_bytes = g.used_bytes - e.value.len() + value.len();
+                let old_tick = e.lru_tick;
+                e.value = value.to_vec();
+                e.version = version;
+                e.lru_tick = tick;
+                let k = g.lru.remove(&old_tick).expect("lru index out of sync");
+                g.lru.insert(tick, k);
+            }
+            None => {
+                g.used_bytes += entry_cost(key, value);
+                g.map.insert(
+                    key.to_vec(),
+                    Entry { value: value.to_vec(), version, lru_tick: tick },
+                );
+                g.lru.insert(tick, key.to_vec());
+            }
+        }
+        version
+    }
+
+    fn maybe_evict(&self, g: &mut Inner) {
+        let Some(max) = self.max_bytes else { return };
+        while g.used_bytes > max && g.map.len() > 1 {
+            let Some((&tick, _)) = g.lru.iter().next() else { break };
+            let key = g.lru.remove(&tick).unwrap();
+            if let Some(e) = g.map.remove(&key) {
+                g.used_bytes -= entry_cost(&key, &e.value);
+                g.stats.evictions += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_versions_increase() {
+        let s = Shard::new(None);
+        assert_eq!(s.get(b"k"), None);
+        let v1 = s.set(b"k", b"a");
+        let (val, ver) = s.get(b"k").unwrap();
+        assert_eq!(val, b"a");
+        assert_eq!(ver, v1);
+        let v2 = s.set(b"k", b"b");
+        assert!(v2 > v1);
+    }
+
+    #[test]
+    fn add_only_if_absent() {
+        let s = Shard::new(None);
+        assert!(s.add(b"k", b"a").is_some());
+        assert!(s.add(b"k", b"b").is_none());
+        assert_eq!(s.get(b"k").unwrap().0, b"a");
+    }
+
+    #[test]
+    fn cas_happy_path_and_conflict() {
+        let s = Shard::new(None);
+        s.set(b"k", b"v0");
+        let (_, ver) = s.get(b"k").unwrap();
+        match s.cas(b"k", ver, b"v1") {
+            CasOutcome::Stored { new_version } => assert!(new_version > ver),
+            other => panic!("expected Stored, got {other:?}"),
+        }
+        // Stale version now conflicts.
+        match s.cas(b"k", ver, b"v2") {
+            CasOutcome::Conflict { current_version } => assert!(current_version > ver),
+            other => panic!("expected Conflict, got {other:?}"),
+        }
+        assert_eq!(s.get(b"k").unwrap().0, b"v1");
+        assert_eq!(s.cas(b"missing", 1, b"x"), CasOutcome::NotFound);
+        let st = s.stats();
+        assert_eq!(st.cas_ok, 1);
+        assert_eq!(st.cas_conflicts, 1);
+    }
+
+    #[test]
+    fn delete_and_prefix_listing() {
+        let s = Shard::new(None);
+        s.set(b"/a/x", b"1");
+        s.set(b"/a/y", b"2");
+        s.set(b"/b/z", b"3");
+        assert_eq!(s.keys_with_prefix(b"/a/"), vec![b"/a/x".to_vec(), b"/a/y".to_vec()]);
+        assert!(s.delete(b"/a/x"));
+        assert!(!s.delete(b"/a/x"));
+        assert_eq!(s.keys_with_prefix(b"/a/"), vec![b"/a/y".to_vec()]);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_cold_keys() {
+        // Budget for roughly 3 entries of this size.
+        let s = Shard::new(Some(3 * entry_cost(b"key-0", b"0123456789")));
+        s.set(b"key-0", b"0123456789");
+        s.set(b"key-1", b"0123456789");
+        s.set(b"key-2", b"0123456789");
+        // Touch key-0 so key-1 is the coldest.
+        s.get(b"key-0");
+        s.set(b"key-3", b"0123456789");
+        assert!(s.get(b"key-1").is_none(), "coldest key must be evicted");
+        assert!(s.get(b"key-0").is_some());
+        assert!(s.get(b"key-3").is_some());
+        assert!(s.stats().evictions >= 1);
+        assert!(s.used_bytes() <= 3 * entry_cost(b"key-0", b"0123456789"));
+    }
+
+    #[test]
+    fn byte_accounting_balances() {
+        let s = Shard::new(None);
+        s.set(b"k1", b"aaaa");
+        s.set(b"k2", b"bbbb");
+        let full = s.used_bytes();
+        s.set(b"k1", b"c"); // shrink
+        assert!(s.used_bytes() < full);
+        s.delete(b"k1");
+        s.delete(b"k2");
+        assert_eq!(s.used_bytes(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let s = Shard::new(None);
+        for i in 0..10u8 {
+            s.set(&[i], b"v");
+        }
+        assert_eq!(s.len(), 10);
+        s.clear();
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.used_bytes(), 0);
+    }
+
+    #[test]
+    fn concurrent_cas_retry_converges() {
+        // 4 threads increment a counter via CAS-with-retry 250 times each.
+        let s = std::sync::Arc::new(Shard::new(None));
+        s.set(b"ctr", b"0");
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..250 {
+                    loop {
+                        let (val, ver) = s.get(b"ctr").unwrap();
+                        let n: u64 = String::from_utf8(val).unwrap().parse().unwrap();
+                        let next = (n + 1).to_string();
+                        match s.cas(b"ctr", ver, next.as_bytes()) {
+                            CasOutcome::Stored { .. } => break,
+                            CasOutcome::Conflict { .. } => continue,
+                            CasOutcome::NotFound => panic!("counter vanished"),
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (val, _) = s.get(b"ctr").unwrap();
+        assert_eq!(String::from_utf8(val).unwrap(), "1000");
+    }
+}
+
+#[cfg(test)]
+mod extended_op_tests {
+    use super::*;
+
+    #[test]
+    fn replace_only_updates_existing() {
+        let s = Shard::new(None);
+        assert!(s.replace(b"k", b"v").is_none());
+        s.set(b"k", b"v0");
+        assert!(s.replace(b"k", b"v1").is_some());
+        assert_eq!(s.get(b"k").unwrap().0, b"v1");
+    }
+
+    #[test]
+    fn append_and_prepend_respect_absence() {
+        let s = Shard::new(None);
+        assert!(s.append(b"k", b"x").is_none());
+        assert!(s.prepend(b"k", b"x").is_none());
+        s.set(b"k", b"mid");
+        s.append(b"k", b"-end").unwrap();
+        s.prepend(b"k", b"start-").unwrap();
+        assert_eq!(s.get(b"k").unwrap().0, b"start-mid-end");
+    }
+
+    #[test]
+    fn append_bumps_version_for_cas() {
+        let s = Shard::new(None);
+        s.set(b"k", b"a");
+        let (_, v1) = s.get(b"k").unwrap();
+        s.append(b"k", b"b").unwrap();
+        // Old version must now conflict.
+        assert!(matches!(s.cas(b"k", v1, b"zz"), CasOutcome::Conflict { .. }));
+    }
+
+    #[test]
+    fn incr_decr_counter_semantics() {
+        let s = Shard::new(None);
+        assert!(s.incr(b"ctr", 1).is_none(), "incr never creates");
+        s.set(b"ctr", b"10");
+        assert_eq!(s.incr(b"ctr", 5), Some(15));
+        assert_eq!(s.incr(b"ctr", -20), Some(0), "decr clamps at zero");
+        assert_eq!(s.get(b"ctr").unwrap().0, b"0");
+        s.set(b"text", b"not-a-number");
+        assert!(s.incr(b"text", 1).is_none());
+    }
+
+    #[test]
+    fn byte_accounting_survives_append() {
+        let s = Shard::new(None);
+        s.set(b"k", b"1234");
+        let before = s.used_bytes();
+        s.append(b"k", b"5678").unwrap();
+        assert_eq!(s.used_bytes(), before + 4);
+        s.delete(b"k");
+        assert_eq!(s.used_bytes(), 0);
+    }
+}

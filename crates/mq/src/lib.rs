@@ -1,0 +1,24 @@
+//! `mq` — a ZeroMQ-like in-process message queue.
+//!
+//! The paper implements Pacon's commit queue with ZeroMQ (Section III.D,
+//! Fig. 5): every client in a consistent region is a *publisher*, and the
+//! per-node commit process is the *subscriber* that applies operations to
+//! the DFS. This crate provides the two socket patterns that design
+//! needs:
+//!
+//! * [`queue::push_pull`] — a bounded multi-producer single-or-multi-
+//!   consumer pipeline where each message is delivered to exactly one
+//!   consumer (ZeroMQ PUSH/PULL). This carries the commit traffic.
+//! * [`pubsub::PubSub`] — fan-out broadcast where every subscriber sees
+//!   every message (ZeroMQ PUB/SUB). Pacon uses it to announce region
+//!   merges and checkpoints to all nodes.
+//!
+//! Both patterns expose non-blocking receives and backlog inspection so
+//! they can be driven by the discrete-event harness as well as by real
+//! threads.
+
+pub mod pubsub;
+pub mod queue;
+
+pub use pubsub::PubSub;
+pub use queue::{push_pull, Consumer, Publisher, RecvError, TryRecvError};

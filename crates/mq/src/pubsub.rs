@@ -1,0 +1,163 @@
+//! PUB/SUB broadcast: every subscriber sees every message published after
+//! it subscribed (ZeroMQ semantics — no replay of history).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+struct SubQueue<T> {
+    buf: VecDeque<T>,
+    alive: bool,
+}
+
+struct Shared<T> {
+    subs: Mutex<Vec<Arc<Mutex<SubQueue<T>>>>>,
+}
+
+/// Broadcast hub. Messages are cloned to each live subscriber's buffer.
+pub struct PubSub<T: Clone> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T: Clone> Default for PubSub<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone> PubSub<T> {
+    pub fn new() -> Self {
+        Self { shared: Arc::new(Shared { subs: Mutex::new(Vec::new()) }) }
+    }
+
+    /// Publish to every current subscriber.
+    pub fn publish(&self, msg: T) {
+        let mut subs = self.shared.subs.lock();
+        subs.retain(|s| s.lock().alive);
+        for s in subs.iter() {
+            s.lock().buf.push_back(msg.clone());
+        }
+    }
+
+    /// Register a new subscriber; it sees messages published from now on.
+    pub fn subscribe(&self) -> Subscriber<T> {
+        let q = Arc::new(Mutex::new(SubQueue { buf: VecDeque::new(), alive: true }));
+        self.shared.subs.lock().push(Arc::clone(&q));
+        Subscriber { queue: q }
+    }
+
+    /// Current number of live subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        let mut subs = self.shared.subs.lock();
+        subs.retain(|s| s.lock().alive);
+        subs.len()
+    }
+}
+
+impl<T: Clone> Clone for PubSub<T> {
+    fn clone(&self) -> Self {
+        Self { shared: Arc::clone(&self.shared) }
+    }
+}
+
+/// Receiving end of a subscription.
+pub struct Subscriber<T> {
+    queue: Arc<Mutex<SubQueue<T>>>,
+}
+
+impl<T> Subscriber<T> {
+    /// Next buffered message, if any.
+    pub fn try_recv(&self) -> Option<T> {
+        self.queue.lock().buf.pop_front()
+    }
+
+    /// Drain everything currently buffered.
+    pub fn drain(&self) -> Vec<T> {
+        let mut q = self.queue.lock();
+        q.buf.drain(..).collect()
+    }
+
+    /// Buffered message count.
+    pub fn backlog(&self) -> usize {
+        self.queue.lock().buf.len()
+    }
+}
+
+impl<T> Drop for Subscriber<T> {
+    fn drop(&mut self) {
+        self.queue.lock().alive = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_subscriber_sees_every_message() {
+        let hub = PubSub::new();
+        let a = hub.subscribe();
+        let b = hub.subscribe();
+        hub.publish(1u32);
+        hub.publish(2);
+        assert_eq!(a.drain(), vec![1, 2]);
+        assert_eq!(b.drain(), vec![1, 2]);
+    }
+
+    #[test]
+    fn no_history_replay() {
+        let hub = PubSub::new();
+        hub.publish(1u32);
+        let late = hub.subscribe();
+        hub.publish(2);
+        assert_eq!(late.drain(), vec![2]);
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned() {
+        let hub = PubSub::new();
+        let a = hub.subscribe();
+        {
+            let _b = hub.subscribe();
+            assert_eq!(hub.subscriber_count(), 2);
+        }
+        hub.publish(5u32);
+        assert_eq!(hub.subscriber_count(), 1);
+        assert_eq!(a.try_recv(), Some(5));
+        assert_eq!(a.try_recv(), None);
+    }
+
+    #[test]
+    fn clone_shares_the_hub() {
+        let hub = PubSub::new();
+        let hub2 = hub.clone();
+        let s = hub.subscribe();
+        hub2.publish(9u32);
+        assert_eq!(s.backlog(), 1);
+        assert_eq!(s.try_recv(), Some(9));
+    }
+
+    #[test]
+    fn concurrent_publish_is_complete() {
+        let hub = PubSub::new();
+        let s = hub.subscribe();
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let hub = hub.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    hub.publish(t * 100 + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got = s.drain();
+        got.sort_unstable();
+        assert_eq!(got.len(), 200);
+        got.dedup();
+        assert_eq!(got.len(), 200);
+    }
+}

@@ -1,0 +1,333 @@
+//! Bounded PUSH/PULL pipeline.
+//!
+//! Built on a mutex-protected ring plus condvars rather than an external
+//! channel so the queue can expose backlog length (the commit process and
+//! the eviction policy both need it) and precise disconnect semantics:
+//! consumers drain everything that was sent before the last publisher
+//! dropped.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Error from a blocking receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// All publishers dropped and the queue is empty.
+    Disconnected,
+    /// `recv_timeout` elapsed.
+    Timeout,
+}
+
+/// Error from a non-blocking receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Queue currently empty (publishers still connected).
+    Empty,
+    /// All publishers dropped and the queue is empty.
+    Disconnected,
+}
+
+struct State<T> {
+    buf: VecDeque<T>,
+    publishers: usize,
+    consumers: usize,
+    sent: u64,
+    received: u64,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// Create a bounded PUSH/PULL pair.
+pub fn push_pull<T>(capacity: usize) -> (Publisher<T>, Consumer<T>) {
+    assert!(capacity > 0, "queue capacity must be positive");
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            buf: VecDeque::with_capacity(capacity.min(1024)),
+            publishers: 1,
+            consumers: 1,
+            sent: 0,
+            received: 0,
+        }),
+        capacity,
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Publisher { shared: Arc::clone(&shared) }, Consumer { shared })
+}
+
+/// Sending side. Clone to add publishers.
+pub struct Publisher<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Publisher<T> {
+    /// Block until there is room, then enqueue. Returns `Err(msg)` when
+    /// every consumer is gone.
+    pub fn send(&self, msg: T) -> Result<(), T> {
+        let mut st = self.shared.state.lock();
+        loop {
+            if st.consumers == 0 {
+                return Err(msg);
+            }
+            if st.buf.len() < self.shared.capacity {
+                st.buf.push_back(msg);
+                st.sent += 1;
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            self.shared.not_full.wait(&mut st);
+        }
+    }
+
+    /// Enqueue without blocking; `Err(msg)` if full or no consumers.
+    pub fn try_send(&self, msg: T) -> Result<(), T> {
+        let mut st = self.shared.state.lock();
+        if st.consumers == 0 || st.buf.len() >= self.shared.capacity {
+            return Err(msg);
+        }
+        st.buf.push_back(msg);
+        st.sent += 1;
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Messages currently waiting.
+    pub fn backlog(&self) -> usize {
+        self.shared.state.lock().buf.len()
+    }
+}
+
+impl<T> Clone for Publisher<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().publishers += 1;
+        Self { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Publisher<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock();
+        st.publishers -= 1;
+        if st.publishers == 0 {
+            // Wake consumers so they can observe the disconnect.
+            drop(st);
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+/// Receiving side. Clone to add competing consumers (each message goes to
+/// exactly one).
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Consumer<T> {
+    /// Block until a message arrives or all publishers disconnect.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.shared.state.lock();
+        loop {
+            if let Some(msg) = st.buf.pop_front() {
+                st.received += 1;
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if st.publishers == 0 {
+                return Err(RecvError::Disconnected);
+            }
+            self.shared.not_empty.wait(&mut st);
+        }
+    }
+
+    /// Block with a timeout.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.shared.state.lock();
+        loop {
+            if let Some(msg) = st.buf.pop_front() {
+                st.received += 1;
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if st.publishers == 0 {
+                return Err(RecvError::Disconnected);
+            }
+            if self.shared.not_empty.wait_until(&mut st, deadline).timed_out() {
+                return Err(RecvError::Timeout);
+            }
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.shared.state.lock();
+        if let Some(msg) = st.buf.pop_front() {
+            st.received += 1;
+            self.shared.not_full.notify_one();
+            return Ok(msg);
+        }
+        if st.publishers == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Messages currently waiting.
+    pub fn backlog(&self) -> usize {
+        self.shared.state.lock().buf.len()
+    }
+
+    /// (sent, received) totals since creation.
+    pub fn counters(&self) -> (u64, u64) {
+        let st = self.shared.state.lock();
+        (st.sent, st.received)
+    }
+}
+
+impl<T> Clone for Consumer<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().consumers += 1;
+        Self { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock();
+        st.consumers -= 1;
+        if st.consumers == 0 {
+            drop(st);
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_single_thread() {
+        let (tx, rx) = push_pull::<u32>(16);
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.backlog(), 10);
+        for i in 0..10 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        assert_eq!(rx.counters(), (10, 10));
+    }
+
+    #[test]
+    fn disconnect_after_drain() {
+        let (tx, rx) = push_pull::<u32>(4);
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv(), Err(RecvError::Disconnected));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_without_consumers() {
+        let (tx, rx) = push_pull::<u32>(4);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(7));
+        assert_eq!(tx.try_send(8), Err(8));
+    }
+
+    #[test]
+    fn try_send_respects_capacity() {
+        let (tx, _rx) = push_pull::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(3));
+    }
+
+    #[test]
+    fn backpressure_blocks_and_releases() {
+        let (tx, rx) = push_pull::<u32>(1);
+        tx.send(0).unwrap();
+        let t = std::thread::spawn(move || {
+            tx.send(1).unwrap(); // blocks until consumer pops
+            drop(tx);
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv().unwrap(), 0);
+        assert_eq!(rx.recv().unwrap(), 1);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = push_pull::<u32>(4);
+        let start = std::time::Instant::now();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(30)), Err(RecvError::Timeout));
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn many_publishers_one_consumer() {
+        let (tx, rx) = push_pull::<u32>(64);
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(t * 1000 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(got.len(), 400);
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), 400, "no message may be duplicated or lost");
+    }
+
+    #[test]
+    fn competing_consumers_partition_messages() {
+        let (tx, rx1) = push_pull::<u32>(256);
+        let rx2 = rx1.clone();
+        for i in 0..200 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let h1 = std::thread::spawn(move || {
+            let mut v = Vec::new();
+            while let Ok(m) = rx1.recv() {
+                v.push(m);
+            }
+            v
+        });
+        let h2 = std::thread::spawn(move || {
+            let mut v = Vec::new();
+            while let Ok(m) = rx2.recv() {
+                v.push(m);
+            }
+            v
+        });
+        let mut all = h1.join().unwrap();
+        all.extend(h2.join().unwrap());
+        all.sort_unstable();
+        assert_eq!(all, (0..200).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,59 @@
+//! Ordering and loss-freedom properties of the commit queue.
+//!
+//! Pacon's correctness argument leans on two queue properties: messages
+//! from one publisher are delivered in publish order (program order per
+//! client), and nothing is lost or duplicated under concurrency.
+
+use mq::push_pull;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn single_publisher_fifo(n in 1usize..400, capacity in 1usize..64) {
+        let (tx, rx) = push_pull::<usize>(capacity);
+        let producer = std::thread::spawn(move || {
+            for i in 0..n {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::with_capacity(n);
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        producer.join().unwrap();
+        prop_assert_eq!(got, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn per_publisher_order_is_preserved_under_interleaving(
+        counts in proptest::collection::vec(1usize..120, 2..5),
+    ) {
+        let (tx0, rx) = push_pull::<(usize, usize)>(32);
+        let mut producers = Vec::new();
+        for (p, n) in counts.iter().enumerate() {
+            let tx = tx0.clone();
+            let n = *n;
+            producers.push(std::thread::spawn(move || {
+                for i in 0..n {
+                    tx.send((p, i)).unwrap();
+                }
+            }));
+        }
+        drop(tx0);
+        let mut per_publisher: Vec<Vec<usize>> = vec![Vec::new(); counts.len()];
+        let mut total = 0usize;
+        while let Ok((p, i)) = rx.recv() {
+            per_publisher[p].push(i);
+            total += 1;
+        }
+        for h in producers {
+            h.join().unwrap();
+        }
+        prop_assert_eq!(total, counts.iter().sum::<usize>());
+        for (p, seq) in per_publisher.iter().enumerate() {
+            prop_assert_eq!(seq, &(0..counts[p]).collect::<Vec<_>>(),
+                "publisher {} order violated", p);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! The distributed metadata cache facade.
+//!
+//! Thin layer over a [`memkv::KvClient`]: full paths as keys,
+//! [`CachedMeta`] records as values, and the lock-free CAS-retry update
+//! loop of Section III.D-3 ("when multiple write operations conflict ...
+//! Pacon will re-execute it until the update is successful").
+
+use fsapi::{FsError, FsResult};
+use memkv::{CasOutcome, KvClient};
+
+use crate::metadata::CachedMeta;
+
+/// Give up a CAS loop after this many conflicts; reaching it means a
+/// livelock-grade pathology rather than normal contention.
+const MAX_CAS_ATTEMPTS: u32 = 1_000;
+
+/// Per-client handle onto the region's distributed metadata cache.
+#[derive(Clone)]
+pub struct MetaCache {
+    kv: KvClient,
+}
+
+impl MetaCache {
+    pub fn new(kv: KvClient) -> Self {
+        Self { kv }
+    }
+
+    /// Fetch a record and its CAS version.
+    pub fn get(&self, path: &str) -> Option<(CachedMeta, u64)> {
+        self.kv
+            .get(path.as_bytes())
+            .and_then(|(bytes, ver)| CachedMeta::decode(&bytes).map(|m| (m, ver)))
+    }
+
+    /// Insert a brand-new record; fails if the path is already cached.
+    pub fn add_new(&self, path: &str, meta: &CachedMeta) -> FsResult<u64> {
+        self.kv
+            .add(path.as_bytes(), &meta.encode())
+            .ok_or(FsError::AlreadyExists)
+    }
+
+    /// Unconditional store (used when loading DFS entries into the cache;
+    /// last writer wins is fine because both writers hold the same
+    /// DFS-derived truth).
+    pub fn put(&self, path: &str, meta: &CachedMeta) -> u64 {
+        self.kv.set(path.as_bytes(), &meta.encode())
+    }
+
+    /// CAS-retry update loop. `f` is re-run on every conflict against the
+    /// freshest record; returning `Err` aborts. Returns the final record.
+    pub fn update<E>(
+        &self,
+        path: &str,
+        mut f: impl FnMut(&mut CachedMeta) -> Result<(), E>,
+    ) -> Result<Option<CachedMeta>, E> {
+        for _ in 0..MAX_CAS_ATTEMPTS {
+            let Some((mut meta, version)) = self.get(path) else {
+                return Ok(None);
+            };
+            f(&mut meta)?;
+            match self.kv.cas(path.as_bytes(), version, &meta.encode()) {
+                CasOutcome::Stored { .. } => return Ok(Some(meta)),
+                CasOutcome::Conflict { .. } => continue,
+                CasOutcome::NotFound => return Ok(None),
+            }
+        }
+        panic!("cache CAS loop exceeded {MAX_CAS_ATTEMPTS} attempts on {path}");
+    }
+
+    /// Delete a record; true if it existed.
+    pub fn delete(&self, path: &str) -> bool {
+        self.kv.delete(path.as_bytes())
+    }
+
+    /// The underlying KV client (for cost-sensitive callers that need the
+    /// cluster, e.g. eviction).
+    pub fn kv(&self) -> &KvClient {
+        &self.kv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsapi::Perm;
+    use memkv::KvCluster;
+    use simnet::{LatencyProfile, NodeId, Topology};
+    use std::sync::Arc;
+
+    fn cache() -> MetaCache {
+        let cluster = KvCluster::new(Topology::new(2, 1), Arc::new(LatencyProfile::zero()));
+        MetaCache::new(cluster.client(NodeId(0)))
+    }
+
+    fn meta() -> CachedMeta {
+        CachedMeta::new_file(Perm::new(0o644, 1, 1), 1)
+    }
+
+    #[test]
+    fn add_then_get_then_duplicate_fails() {
+        let c = cache();
+        c.add_new("/w/f", &meta()).unwrap();
+        let (m, _) = c.get("/w/f").unwrap();
+        assert_eq!(m, meta());
+        assert_eq!(c.add_new("/w/f", &meta()), Err(FsError::AlreadyExists));
+    }
+
+    #[test]
+    fn update_applies_and_returns_final() {
+        let c = cache();
+        c.add_new("/w/f", &meta()).unwrap();
+        let out = c
+            .update::<()>("/w/f", |m| {
+                m.size = 77;
+                m.committed = true;
+                Ok(())
+            })
+            .unwrap()
+            .unwrap();
+        assert_eq!(out.size, 77);
+        let (m, _) = c.get("/w/f").unwrap();
+        assert!(m.committed);
+    }
+
+    #[test]
+    fn update_missing_returns_none() {
+        let c = cache();
+        assert_eq!(c.update::<()>("/nope", |_| Ok(())).unwrap(), None);
+    }
+
+    #[test]
+    fn update_error_aborts() {
+        let c = cache();
+        c.add_new("/w/f", &meta()).unwrap();
+        let res: Result<_, &str> = c.update("/w/f", |_| Err("nope"));
+        assert_eq!(res, Err("nope"));
+        let (m, _) = c.get("/w/f").unwrap();
+        assert_eq!(m.size, 0, "aborted update must not mutate");
+    }
+
+    #[test]
+    fn concurrent_updates_all_land() {
+        let cluster = KvCluster::new(Topology::new(1, 4), Arc::new(LatencyProfile::zero()));
+        let c0 = MetaCache::new(cluster.client(NodeId(0)));
+        c0.add_new("/ctr", &meta()).unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = MetaCache::new(cluster.client(NodeId(0)));
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..200 {
+                    c.update::<()>("/ctr", |m| {
+                        m.size += 1;
+                        Ok(())
+                    })
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c0.get("/ctr").unwrap().0.size, 800);
+    }
+}

@@ -1,0 +1,734 @@
+//! The per-process Pacon client: Table I semantics over the distributed
+//! cache, the commit queue, and the underlying DFS.
+//!
+//! | op      | cache op        | comm            | commit        |
+//! |---------|-----------------|-----------------|---------------|
+//! | create  | put             | async           | independent   |
+//! | mkdir   | put             | async           | independent   |
+//! | rm      | update + delete | async           | independent   |
+//! | getattr | get             | n/a, sync miss  | n/a           |
+//! | rmdir   | delete subtree  | sync            | barrier       |
+//! | readdir | none (DFS call) | sync            | barrier       |
+//!
+//! Requests outside every known consistent region are redirected to the
+//! DFS untouched (weak consistency, Section III.A); merged regions are
+//! read-only (Section III.D-4).
+
+use std::sync::Arc;
+
+use dfs::DfsClient;
+use fsapi::types::{ACCESS_R, ACCESS_W, ACCESS_X};
+use fsapi::{path as fspath, Credentials, FileKind, FileStat, FsError, FsResult, Perm};
+use fsapi::FileSystem;
+use mq::Publisher;
+use parking_lot::RwLock;
+use simnet::{charge, ClientId, NodeId, Station};
+
+use crate::cache::MetaCache;
+use crate::commit::op::{CommitOp, QueueMsg};
+use crate::eviction;
+use crate::metadata::CachedMeta;
+use crate::region::{RegionCore, RegionHandle, Route};
+
+/// A merged region: its handle plus a remote cache client.
+struct Merged {
+    handle: RegionHandle,
+    cache: MetaCache,
+}
+
+/// One application process's Pacon endpoint.
+pub struct PaconClient {
+    core: Arc<RegionCore>,
+    cache: MetaCache,
+    /// Per-node queue publishers; index = node id. A client publishes its
+    /// own ops to its node's queue and barrier markers to all queues.
+    publishers: Vec<Publisher<QueueMsg>>,
+    dfs: DfsClient,
+    merged: RwLock<Vec<Merged>>,
+    id: ClientId,
+    node: NodeId,
+    /// Memo of the most recently verified parent directory: consecutive
+    /// creations in one directory (the common mdtest/N-N pattern) pay the
+    /// parent-existence check only once. Invalidated by rmdir.
+    parent_memo: parking_lot::Mutex<Option<String>>,
+}
+
+/// Encoded-metadata header size (see `CachedMeta::encode`); counted
+/// against the small-file threshold together with the key (path) length.
+const META_HEADER: usize = 27;
+
+impl PaconClient {
+    pub(crate) fn new(
+        core: Arc<RegionCore>,
+        kv: memkv::KvClient,
+        publishers: Vec<Publisher<QueueMsg>>,
+        dfs: DfsClient,
+        id: ClientId,
+        node: NodeId,
+    ) -> Self {
+        Self {
+            core,
+            cache: MetaCache::new(kv),
+            publishers,
+            dfs,
+            merged: RwLock::new(Vec::new()),
+            id,
+            node,
+            parent_memo: parking_lot::Mutex::new(None),
+        }
+    }
+
+    /// Merge another application's consistent region into this client's
+    /// view (read-only access, Section III.D-4).
+    pub fn merge_region(&self, handle: RegionHandle) {
+        let cache = MetaCache::new(handle.cache_cluster.remote_client());
+        self.merged.write().push(Merged { handle, cache });
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Node this client runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn profile(&self) -> Arc<simnet::LatencyProfile> {
+        Arc::clone(self.core.cache_cluster.profile())
+    }
+
+    fn charge_overhead(&self) {
+        charge(Station::ClientCpu, self.profile().pacon_client_overhead);
+    }
+
+    fn publish(&self, op: CommitOp) -> FsResult<()> {
+        if self.core.config.synchronous_commit {
+            return self.commit_synchronously(op);
+        }
+        charge(Station::ClientCpu, self.profile().queue_push);
+        let msg = QueueMsg {
+            op,
+            client: self.id.0,
+            epoch: self.core.board.current_epoch(),
+            timestamp: self.core.now(),
+        };
+        self.publishers[self.node.index()]
+            .send(msg)
+            .map_err(|_| FsError::Backend("commit queue closed".into()))?;
+        self.core.note_enqueued();
+        Ok(())
+    }
+
+    /// Ablation path: apply the operation to the DFS before returning
+    /// (strong primary/backup consistency; no queue, no commit process).
+    fn commit_synchronously(&self, op: CommitOp) -> FsResult<()> {
+        let cred = self.core.config.cred;
+        let res = match &op {
+            CommitOp::Mkdir { path, mode } => self.dfs.mkdir(path, &cred, *mode),
+            CommitOp::Create { path, mode } => self.dfs.create(path, &cred, *mode),
+            CommitOp::Unlink { path } => {
+                let r = self.dfs.unlink(path, &cred);
+                if r.is_ok() {
+                    self.cache.delete(path);
+                }
+                r
+            }
+            CommitOp::WriteInline { path } => match self.cache.get(path) {
+                Some((meta, _)) if !meta.removed && !meta.large => {
+                    self.dfs.write(path, &cred, 0, &meta.inline).map(|_| ())
+                }
+                _ => Ok(()),
+            },
+            CommitOp::Barrier { .. } => Ok(()),
+        };
+        if res.is_ok() {
+            if let Some(path) = op.path() {
+                let _ = self.cache.update::<()>(path, |m| {
+                    m.committed = true;
+                    Ok(())
+                });
+            }
+        }
+        res
+    }
+
+    /// Batch permission check — a local table match, never a traversal
+    /// (Section III.C). Under the ablation flag it instead walks every
+    /// in-region ancestor with a distributed-cache lookup, the way a
+    /// traditional hierarchical check would.
+    fn check_perm(&self, path: &str, cred: &Credentials, want: u8) -> FsResult<()> {
+        if self.core.config.hierarchical_permission_check {
+            for anc in fspath::ancestors(path) {
+                if !self.core.contains(anc) || anc == self.core.root {
+                    continue;
+                }
+                // Charged cache lookup per component; the permission bits
+                // themselves still come from the region table so the
+                // ablation changes cost, not semantics.
+                let _ = self.cache.get(anc);
+                if !self.core.perms.check(anc, cred, ACCESS_X) {
+                    return Err(FsError::PermissionDenied);
+                }
+            }
+        }
+        if self.core.perms.check(path, cred, want) {
+            Ok(())
+        } else {
+            Err(FsError::PermissionDenied)
+        }
+    }
+
+    /// Parent of an in-region path.
+    fn parent_of<'p>(&self, path: &'p str) -> FsResult<&'p str> {
+        fspath::parent(path).ok_or_else(|| FsError::InvalidPath(format!("no parent: {path}")))
+    }
+
+    /// Parent-existence check for creations (Section III.C). May fall
+    /// through to the DFS when the parent exists there but is not cached.
+    fn check_parent(&self, path: &str, cred: &Credentials) -> FsResult<()> {
+        if !self.core.config.parent_check {
+            return Ok(());
+        }
+        let parent = self.parent_of(path)?;
+        if parent == self.core.root || !self.core.contains(parent) {
+            // The workspace root was created at launch; parents outside
+            // the region belong to the DFS (and `path == region root`
+            // creation is handled by launch itself).
+            return Ok(());
+        }
+        if self.parent_memo.lock().as_deref() == Some(parent) {
+            return Ok(());
+        }
+        match self.cache.get(parent) {
+            Some((meta, _)) if meta.removed => Err(FsError::NotFound),
+            Some((meta, _)) if meta.kind != FileKind::Dir => Err(FsError::NotADirectory),
+            Some(_) => {
+                *self.parent_memo.lock() = Some(parent.to_string());
+                Ok(())
+            }
+            None => {
+                // Sync check on the DFS; cache the result on success.
+                let stat = self.dfs.stat(parent, cred)?;
+                if stat.kind != FileKind::Dir {
+                    return Err(FsError::NotADirectory);
+                }
+                self.cache.put(parent, &CachedMeta::from_stat(&stat));
+                *self.parent_memo.lock() = Some(parent.to_string());
+                Ok(())
+            }
+        }
+    }
+
+    /// Load an uncached in-region entry from the DFS into the cache
+    /// (getattr-miss path, Section III.D-1).
+    fn load_from_dfs(&self, path: &str, cred: &Credentials) -> FsResult<CachedMeta> {
+        let stat = self.dfs.stat(path, cred)?;
+        let meta = CachedMeta::from_stat(&stat);
+        self.cache.put(path, &meta);
+        Ok(meta)
+    }
+
+    /// Get the cached record, falling back to a sync DFS load.
+    fn get_or_load(&self, path: &str, cred: &Credentials) -> FsResult<CachedMeta> {
+        match self.cache.get(path) {
+            Some((meta, _)) => Ok(meta),
+            None => self.load_from_dfs(path, cred),
+        }
+    }
+
+    fn create_kind(
+        &self,
+        path: &str,
+        cred: &Credentials,
+        mode: u16,
+        kind: FileKind,
+    ) -> FsResult<()> {
+        self.charge_overhead();
+        self.check_perm(self.parent_of(path)?, cred, ACCESS_W | ACCESS_X)?;
+        self.check_parent(path, cred)?;
+        let perm = Perm::new(mode, cred.uid, cred.gid);
+        let fresh = match kind {
+            FileKind::Dir => CachedMeta::new_dir(perm, self.core.now()),
+            FileKind::File => CachedMeta::new_file(perm, self.core.now()),
+        };
+        match self.cache.add_new(path, &fresh) {
+            Ok(_) => {}
+            Err(FsError::AlreadyExists) => {
+                // A record exists; re-creation is legal only over a
+                // marked-removed one (Section III.D-1).
+                let replaced = self.cache.update(path, |m| {
+                    if m.removed {
+                        *m = fresh.clone();
+                        Ok(())
+                    } else {
+                        Err(FsError::AlreadyExists)
+                    }
+                })?;
+                if replaced.is_none() {
+                    // Record vanished between add and update: retry once
+                    // as a fresh add.
+                    self.cache.add_new(path, &fresh)?;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+        self.publish(match kind {
+            FileKind::Dir => CommitOp::Mkdir { path: path.to_string(), mode },
+            FileKind::File => CommitOp::Create { path: path.to_string(), mode },
+        })?;
+        self.core.counters.incr(match kind {
+            FileKind::Dir => "mkdir",
+            FileKind::File => "create",
+        });
+        eviction::maybe_evict(&self.core, &self.cache);
+        Ok(())
+    }
+
+    /// Push a barrier marker into every node queue and wait for all
+    /// commit processes to reach it. Returns the guard; the caller
+    /// performs the dependent op, then completes it.
+    fn barrier(&self) -> FsResult<crate::commit::barrier::BarrierGuard<'_>> {
+        let guard = self.core.board.start_barrier();
+        let epoch = guard.epoch();
+        for tx in &self.publishers {
+            charge(Station::ClientCpu, self.profile().queue_push);
+            tx.send(QueueMsg {
+                op: CommitOp::Barrier { epoch },
+                client: self.id.0,
+                epoch,
+                timestamp: self.core.now(),
+            })
+            .map_err(|_| FsError::Backend("commit queue closed".into()))?;
+        }
+        guard.wait_workers();
+        Ok(guard)
+    }
+
+    /// Recursively remove a committed subtree on the DFS (rmdir support;
+    /// runs inside a barrier, so the DFS view is complete).
+    fn remove_subtree_on_dfs(&self, path: &str, cred: &Credentials) -> FsResult<()> {
+        let stat = match self.dfs.stat(path, cred) {
+            Ok(s) => s,
+            Err(FsError::NotFound) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        if stat.kind == FileKind::File {
+            return self.dfs.unlink(path, cred);
+        }
+        for name in self.dfs.readdir(path, cred)? {
+            self.remove_subtree_on_dfs(&fspath::join(path, name.as_str()), cred)?;
+        }
+        self.dfs.rmdir(path, cred)
+    }
+
+    /// Durable staging write (the paper's direct-I/O cache files): data
+    /// for files that do not yet exist on the DFS. `charged_len` is the
+    /// number of *new* bytes this call moves (incremental appends do not
+    /// re-pay for the whole buffer).
+    fn stage_data(&self, path: &str, data: Vec<u8>, charged_len: usize) {
+        let p = self.profile();
+        charge(Station::Network, p.net_rtt_storage);
+        let n_data = self.dfs.cluster().config().n_data as u64;
+        let mut h = 0xcbf29ce484222325u64;
+        for b in path.as_bytes() {
+            h = (h ^ *b as u64).wrapping_mul(0x100000001b3);
+        }
+        let mib = (charged_len as u64).div_ceil(1 << 20).max(1);
+        charge(Station::DataServer((h % n_data) as u32), mib * p.data_write_per_mib);
+        self.core.staging.lock().insert(path.to_string(), data);
+    }
+
+    fn inline_fits(&self, path: &str, inline_len: usize) -> bool {
+        META_HEADER + path.len() + inline_len <= self.core.config.small_file_threshold
+    }
+}
+
+impl FileSystem for PaconClient {
+    fn mkdir(&self, path: &str, cred: &Credentials, mode: u16) -> FsResult<()> {
+        let merged = self.merged.read();
+        match route(&self.core, &merged, path) {
+            Route::Own => {
+                drop(merged);
+                self.create_kind(path, cred, mode, FileKind::Dir)
+            }
+            Route::Merged(_) => Err(FsError::PermissionDenied), // read-only
+            Route::Redirect => self.dfs.mkdir(path, cred, mode),
+        }
+    }
+
+    fn create(&self, path: &str, cred: &Credentials, mode: u16) -> FsResult<()> {
+        let merged = self.merged.read();
+        match route(&self.core, &merged, path) {
+            Route::Own => {
+                drop(merged);
+                self.create_kind(path, cred, mode, FileKind::File)
+            }
+            Route::Merged(_) => Err(FsError::PermissionDenied),
+            Route::Redirect => self.dfs.create(path, cred, mode),
+        }
+    }
+
+    fn stat(&self, path: &str, cred: &Credentials) -> FsResult<FileStat> {
+        self.charge_overhead();
+        let merged = self.merged.read();
+        match route(&self.core, &merged, path) {
+            Route::Own => {
+                drop(merged);
+                if path != self.core.root {
+                    self.check_perm(self.parent_of(path)?, cred, ACCESS_X)?;
+                }
+                match self.cache.get(path) {
+                    Some((meta, _)) if meta.removed => Err(FsError::NotFound),
+                    Some((meta, _)) => Ok(meta.to_stat()),
+                    None => Ok(self.load_from_dfs(path, cred)?.to_stat()),
+                }
+            }
+            Route::Merged(i) => {
+                let m = &merged[i];
+                if path != m.handle.root {
+                    let parent = fspath::parent(path)
+                        .ok_or_else(|| FsError::InvalidPath(path.to_string()))?;
+                    if !m.handle.perms.check(parent, cred, ACCESS_X) {
+                        return Err(FsError::PermissionDenied);
+                    }
+                }
+                match m.cache.get(path) {
+                    Some((meta, _)) if meta.removed => Err(FsError::NotFound),
+                    Some((meta, _)) => Ok(meta.to_stat()),
+                    // Read-only: fall back to the DFS without populating
+                    // the foreign cache.
+                    None => self.dfs.stat(path, cred),
+                }
+            }
+            Route::Redirect => self.dfs.stat(path, cred),
+        }
+    }
+
+    fn unlink(&self, path: &str, cred: &Credentials) -> FsResult<()> {
+        self.charge_overhead();
+        let merged = self.merged.read();
+        match route(&self.core, &merged, path) {
+            Route::Own => {
+                drop(merged);
+                self.check_perm(self.parent_of(path)?, cred, ACCESS_W | ACCESS_X)?;
+                if self.cache.get(path).is_none() {
+                    // rm of an uncached entry: verify against the DFS and
+                    // pull the record in, mirroring the getattr-miss path.
+                    self.load_from_dfs(path, cred)?;
+                }
+                let updated = self.cache.update(path, |m| {
+                    if m.removed {
+                        return Err(FsError::NotFound);
+                    }
+                    if m.kind == FileKind::Dir {
+                        return Err(FsError::IsADirectory);
+                    }
+                    m.removed = true;
+                    Ok(())
+                })?;
+                if updated.is_none() {
+                    return Err(FsError::NotFound);
+                }
+                self.publish(CommitOp::Unlink { path: path.to_string() })?;
+                self.core.counters.incr("unlink");
+                Ok(())
+            }
+            Route::Merged(_) => Err(FsError::PermissionDenied),
+            Route::Redirect => self.dfs.unlink(path, cred),
+        }
+    }
+
+    fn rmdir(&self, path: &str, cred: &Credentials) -> FsResult<()> {
+        self.charge_overhead();
+        let merged = self.merged.read();
+        match route(&self.core, &merged, path) {
+            Route::Own => {
+                drop(merged);
+                if path == self.core.root {
+                    return Err(FsError::InvalidArgument(
+                        "cannot remove the consistent region's workspace root".into(),
+                    ));
+                }
+                self.check_perm(self.parent_of(path)?, cred, ACCESS_W | ACCESS_X)?;
+                // Existence/kind check (cache first, DFS on miss).
+                let meta = self.get_or_load(path, cred)?;
+                if meta.removed {
+                    return Err(FsError::NotFound);
+                }
+                if meta.kind != FileKind::Dir {
+                    return Err(FsError::NotADirectory);
+                }
+                // Barrier commit (sync, Section III.E-2).
+                let guard = self.barrier()?;
+                let epoch = guard.epoch();
+                self.core.removed_dirs.write().push((path.to_string(), epoch));
+                {
+                    let mut memo = self.parent_memo.lock();
+                    if memo.as_deref().map(|m| fspath::is_same_or_ancestor(path, m)).unwrap_or(false)
+                    {
+                        *memo = None;
+                    }
+                }
+                // Clean the primary copy: the target and everything under
+                // it (recursive removal, Section III.D-1).
+                let keys = self.core.cache_cluster.keys_with_prefix(path.as_bytes());
+                for key in keys {
+                    if let Ok(k) = std::str::from_utf8(&key) {
+                        if fspath::is_same_or_ancestor(path, k) {
+                            self.cache.delete(k);
+                        }
+                    }
+                }
+                {
+                    let mut staging = self.core.staging.lock();
+                    staging.retain(|k, _| !fspath::is_same_or_ancestor(path, k));
+                }
+                // Backup copy: everything earlier is committed, so the
+                // DFS subtree is complete; remove it synchronously.
+                let res = self.remove_subtree_on_dfs(path, cred);
+                guard.complete();
+                self.core.counters.incr("rmdir");
+                res
+            }
+            Route::Merged(_) => Err(FsError::PermissionDenied),
+            Route::Redirect => self.dfs.rmdir(path, cred),
+        }
+    }
+
+    fn readdir(&self, path: &str, cred: &Credentials) -> FsResult<Vec<String>> {
+        self.charge_overhead();
+        let merged = self.merged.read();
+        match route(&self.core, &merged, path) {
+            Route::Own => {
+                drop(merged);
+                self.check_perm(path, cred, ACCESS_R)?;
+                // Barrier, then list on the DFS — avoids a full cache
+                // table scan (Section III.D-1).
+                let guard = self.barrier()?;
+                let res = self.dfs.readdir(path, cred);
+                guard.complete();
+                self.core.counters.incr("readdir");
+                res
+            }
+            Route::Merged(i) => {
+                let m = &merged[i];
+                if !m.handle.perms.check(path, cred, ACCESS_R) {
+                    return Err(FsError::PermissionDenied);
+                }
+                // Read-only merged access cannot trigger a foreign
+                // barrier; serve the committed view from the DFS.
+                self.dfs.readdir(path, cred)
+            }
+            Route::Redirect => self.dfs.readdir(path, cred),
+        }
+    }
+
+    fn write(&self, path: &str, cred: &Credentials, offset: u64, data: &[u8]) -> FsResult<usize> {
+        self.charge_overhead();
+        let merged = self.merged.read();
+        match route(&self.core, &merged, path) {
+            Route::Own => {
+                drop(merged);
+                self.check_perm(path, cred, ACCESS_W)?;
+                if self.cache.get(path).is_none() {
+                    self.load_from_dfs(path, cred)?;
+                }
+                enum Outcome {
+                    Inline,
+                    WentLarge(Vec<u8>),
+                    AlreadyLarge { committed: bool },
+                }
+                let mut outcome = Outcome::Inline;
+                let end = offset as usize + data.len();
+                let updated = self.cache.update(path, |m| {
+                    if m.removed {
+                        return Err(FsError::NotFound);
+                    }
+                    if m.kind == FileKind::Dir {
+                        return Err(FsError::IsADirectory);
+                    }
+                    if m.large {
+                        outcome = Outcome::AlreadyLarge { committed: m.committed };
+                        return Ok(());
+                    }
+                    let new_len = end.max(m.inline.len());
+                    if self.inline_fits(path, new_len) {
+                        if m.inline.len() < end {
+                            m.inline.resize(end, 0);
+                        }
+                        m.inline[offset as usize..end].copy_from_slice(data);
+                        m.size = new_len as u64;
+                        m.mtime = self.core.now();
+                        outcome = Outcome::Inline;
+                    } else {
+                        // Transition to a large file: data leaves the
+                        // cache for the DFS (Section III.D-2).
+                        let mut full = std::mem::take(&mut m.inline);
+                        if full.len() < end {
+                            full.resize(end, 0);
+                        }
+                        full[offset as usize..end].copy_from_slice(data);
+                        m.large = true;
+                        m.size = full.len() as u64;
+                        m.mtime = self.core.now();
+                        outcome = Outcome::WentLarge(full);
+                    }
+                    Ok(())
+                })?;
+                let meta = updated.ok_or(FsError::NotFound)?;
+                match outcome {
+                    Outcome::Inline => {
+                        // Coalesce: the worker reads the freshest primary
+                        // copy at commit time, so one queued writeback
+                        // covers all earlier writes to this file.
+                        let fresh =
+                            self.core.pending_writebacks.lock().insert(path.to_string());
+                        if fresh {
+                            self.publish(CommitOp::WriteInline { path: path.to_string() })?;
+                        } else {
+                            self.core.counters.incr("writeback_coalesced");
+                        }
+                    }
+                    Outcome::WentLarge(full) => {
+                        if meta.committed {
+                            self.dfs.write(path, cred, 0, &full)?;
+                        } else {
+                            let n = full.len();
+                            self.stage_data(path, full, n);
+                        }
+                    }
+                    Outcome::AlreadyLarge { committed } => {
+                        if committed {
+                            self.dfs.write(path, cred, offset, data)?;
+                            self.cache.update::<()>(path, |m| {
+                                m.size = m.size.max(end as u64);
+                                m.mtime = self.core.now();
+                                Ok(())
+                            }).ok();
+                        } else {
+                            let mut staging = self.core.staging.lock();
+                            let buf = staging.entry(path.to_string()).or_default();
+                            if buf.len() < end {
+                                buf.resize(end, 0);
+                            }
+                            buf[offset as usize..end].copy_from_slice(data);
+                            let snapshot = buf.clone();
+                            drop(staging);
+                            self.stage_data(path, snapshot, data.len());
+                            self.cache.update::<()>(path, |m| {
+                                m.size = m.size.max(end as u64);
+                                Ok(())
+                            }).ok();
+                        }
+                    }
+                }
+                self.core.counters.incr("write");
+                eviction::maybe_evict(&self.core, &self.cache);
+                Ok(data.len())
+            }
+            Route::Merged(_) => Err(FsError::PermissionDenied),
+            Route::Redirect => self.dfs.write(path, cred, offset, data),
+        }
+    }
+
+    fn read(&self, path: &str, cred: &Credentials, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        self.charge_overhead();
+        let merged = self.merged.read();
+        match route(&self.core, &merged, path) {
+            Route::Own => {
+                drop(merged);
+                self.check_perm(path, cred, ACCESS_R)?;
+                let meta = self.get_or_load(path, cred)?;
+                if meta.removed {
+                    return Err(FsError::NotFound);
+                }
+                if meta.kind == FileKind::Dir {
+                    return Err(FsError::IsADirectory);
+                }
+                if !meta.large {
+                    let start = (offset as usize).min(meta.inline.len());
+                    let end = (start + len).min(meta.inline.len());
+                    return Ok(meta.inline[start..end].to_vec());
+                }
+                if meta.committed {
+                    self.dfs.read(path, cred, offset, len)
+                } else {
+                    let staging = self.core.staging.lock();
+                    let buf = staging.get(path).cloned().unwrap_or_default();
+                    let start = (offset as usize).min(buf.len());
+                    let end = (start + len).min(buf.len());
+                    Ok(buf[start..end].to_vec())
+                }
+            }
+            Route::Merged(i) => {
+                let m = &merged[i];
+                if !m.handle.perms.check(path, cred, ACCESS_R) {
+                    return Err(FsError::PermissionDenied);
+                }
+                match m.cache.get(path) {
+                    Some((meta, _)) if !meta.large && !meta.removed => {
+                        let start = (offset as usize).min(meta.inline.len());
+                        let end = (start + len).min(meta.inline.len());
+                        Ok(meta.inline[start..end].to_vec())
+                    }
+                    _ => self.dfs.read(path, cred, offset, len),
+                }
+            }
+            Route::Redirect => self.dfs.read(path, cred, offset, len),
+        }
+    }
+
+    fn fsync(&self, path: &str, cred: &Credentials) -> FsResult<()> {
+        self.charge_overhead();
+        let merged = self.merged.read();
+        match route(&self.core, &merged, path) {
+            Route::Own => {
+                drop(merged);
+                let meta = self.get_or_load(path, cred)?;
+                if meta.removed {
+                    return Err(FsError::NotFound);
+                }
+                if meta.kind == FileKind::Dir {
+                    return Ok(());
+                }
+                match (meta.large, meta.committed) {
+                    // Small file already on the DFS: write back inline
+                    // data synchronously.
+                    (false, true) => {
+                        self.dfs.write(path, cred, 0, &meta.inline)?;
+                        self.dfs.fsync(path, cred)
+                    }
+                    // Small file not yet created on the DFS: direct-I/O
+                    // staging ("cache files", Section III.D-2).
+                    (false, false) => {
+                        let n = meta.inline.len();
+                        self.stage_data(path, meta.inline.clone(), n);
+                        Ok(())
+                    }
+                    (true, true) => self.dfs.fsync(path, cred),
+                    // Large & uncommitted: every write already staged
+                    // durably.
+                    (true, false) => Ok(()),
+                }
+            }
+            Route::Merged(_) => Err(FsError::PermissionDenied),
+            Route::Redirect => self.dfs.fsync(path, cred),
+        }
+    }
+}
+
+/// Route a path against the own region and the merged handles without
+/// cloning anything.
+fn route(core: &RegionCore, merged: &[Merged], path: &str) -> Route {
+    if core.contains(path) {
+        return Route::Own;
+    }
+    for (i, m) in merged.iter().enumerate() {
+        if fspath::is_same_or_ancestor(&m.handle.root, path) {
+            return Route::Merged(i);
+        }
+    }
+    Route::Redirect
+}

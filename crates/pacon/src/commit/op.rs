@@ -1,0 +1,70 @@
+//! Operation messages carried by the commit queue.
+
+/// One committable operation. The paper's Table I: create/mkdir/rm are
+/// asynchronous + independent; rmdir/readdir are synchronous + barrier
+/// (they never appear as queue payloads — only their barrier markers do).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitOp {
+    Mkdir { path: String, mode: u16 },
+    Create { path: String, mode: u16 },
+    Unlink { path: String },
+    /// Write back a small file's inline data to the DFS backup copy. The
+    /// commit process reads the *current* primary copy from the cache at
+    /// commit time, so out-of-order writebacks from different queues can
+    /// never regress the backup copy to stale data.
+    WriteInline { path: String },
+    /// Barrier marker: every op before this marker belongs to an epoch
+    /// `< epoch` and must be committed before the dependent operation.
+    Barrier { epoch: u64 },
+}
+
+impl CommitOp {
+    /// Target path, if the op has one.
+    pub fn path(&self) -> Option<&str> {
+        match self {
+            CommitOp::Mkdir { path, .. }
+            | CommitOp::Create { path, .. }
+            | CommitOp::Unlink { path }
+            | CommitOp::WriteInline { path } => Some(path),
+            CommitOp::Barrier { .. } => None,
+        }
+    }
+
+    /// True for operations that create a namespace entry (the kind that
+    /// may be discarded when their directory is removed, Section III.D-1).
+    pub fn is_creation(&self) -> bool {
+        matches!(self, CommitOp::Mkdir { .. } | CommitOp::Create { .. })
+    }
+}
+
+/// Envelope pushed into the per-node queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueMsg {
+    pub op: CommitOp,
+    /// Publishing client (diagnostics).
+    pub client: u32,
+    /// Barrier epoch the publisher observed (Section III.E-2).
+    pub epoch: u64,
+    /// Logical timestamp at publish time.
+    pub timestamp: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_extraction() {
+        assert_eq!(CommitOp::Mkdir { path: "/a".into(), mode: 0o755 }.path(), Some("/a"));
+        assert_eq!(CommitOp::Unlink { path: "/a/f".into() }.path(), Some("/a/f"));
+        assert_eq!(CommitOp::Barrier { epoch: 3 }.path(), None);
+    }
+
+    #[test]
+    fn creation_classification() {
+        assert!(CommitOp::Create { path: "/f".into(), mode: 0 }.is_creation());
+        assert!(CommitOp::Mkdir { path: "/d".into(), mode: 0 }.is_creation());
+        assert!(!CommitOp::Unlink { path: "/f".into() }.is_creation());
+        assert!(!CommitOp::WriteInline { path: "/f".into() }.is_creation());
+    }
+}

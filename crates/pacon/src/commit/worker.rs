@@ -1,0 +1,282 @@
+//! The per-node commit process (the queue subscriber of Fig. 5).
+//!
+//! `step()` is non-blocking and handles exactly one unit of work, so the
+//! same worker can be driven by a dedicated thread (real deployments,
+//! threaded tests) or by the discrete-event harness in virtual time.
+//!
+//! Independent commit: operations the DFS rejects for a namespace-
+//! convention reason (parent not created yet, pending removal) go to a
+//! retry backlog and are resubmitted (Section III.E-1). Creations under
+//! a directory that a barrier commit removed are discarded instead
+//! (Section III.D-1). Barrier markers flush the backlog, report to the
+//! barrier board and stall the worker until the dependent operation
+//! completes (Section III.E-2).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use dfs::DfsClient;
+use fsapi::{path as fspath, FsError};
+use fsapi::FileSystem;
+use mq::{Consumer, TryRecvError};
+use simnet::{charge, NodeId, Station};
+
+use crate::cache::MetaCache;
+use crate::commit::op::{CommitOp, QueueMsg};
+use crate::region::RegionCore;
+
+/// Outcome of one `step()` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerStep {
+    /// One operation applied to the DFS.
+    Committed,
+    /// One operation failed a namespace check and went (back) to the
+    /// retry backlog.
+    Retried,
+    /// One operation was discarded (removed directory, or retry budget
+    /// exhausted).
+    Discarded,
+    /// A barrier marker was consumed and the board notified; the worker
+    /// must now wait for the epoch to advance.
+    BarrierReported,
+    /// Waiting for a barrier epoch to be released (poll again).
+    Blocked(u64),
+    /// Nothing to do right now.
+    Idle,
+    /// Queue closed and backlog empty: the worker is done.
+    Disconnected,
+}
+
+pub struct CommitWorker {
+    node: NodeId,
+    consumer: Consumer<QueueMsg>,
+    dfs: DfsClient,
+    cache: MetaCache,
+    core: Arc<RegionCore>,
+    /// Ops awaiting resubmission: `(msg, attempts)`.
+    retry: VecDeque<(QueueMsg, u32)>,
+    /// Barrier epoch we reported and are stalled on.
+    waiting: Option<u64>,
+    /// Marker seen but backlog not yet flushed.
+    flushing_for: Option<u64>,
+    /// Consecutive retry-backlog failures with no fresh input; once a full
+    /// cycle passes without progress the worker reports `Idle` instead of
+    /// spinning (the missing prerequisite lives in another queue).
+    stuck_retries: usize,
+}
+
+impl CommitWorker {
+    pub fn new(
+        node: NodeId,
+        consumer: Consumer<QueueMsg>,
+        dfs: DfsClient,
+        core: Arc<RegionCore>,
+    ) -> Self {
+        let cache = MetaCache::new(core.cache_cluster.client(node));
+        Self {
+            node,
+            consumer,
+            dfs,
+            cache,
+            core,
+            retry: VecDeque::new(),
+            waiting: None,
+            flushing_for: None,
+            stuck_retries: 0,
+        }
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// True when the retry backlog is empty (shutdown condition).
+    pub fn backlog_empty(&self) -> bool {
+        self.retry.is_empty()
+    }
+
+    /// Handle one unit of work. Never blocks.
+    pub fn step(&mut self) -> WorkerStep {
+        // Stalled at a barrier: resume only when released.
+        if let Some(epoch) = self.waiting {
+            if self.core.board.is_released(epoch) {
+                self.waiting = None;
+            } else {
+                return WorkerStep::Blocked(epoch);
+            }
+        }
+
+        // A marker was consumed: flush the retry backlog, then report.
+        if let Some(epoch) = self.flushing_for {
+            if let Some((msg, attempts)) = self.retry.pop_front() {
+                return self.apply(msg, attempts);
+            }
+            self.flushing_for = None;
+            self.core.board.worker_reached(epoch);
+            self.waiting = Some(epoch);
+            return WorkerStep::BarrierReported;
+        }
+
+        // Fresh messages first; fall back to the retry backlog.
+        match self.consumer.try_recv() {
+            Ok(msg) => {
+                self.stuck_retries = 0;
+                charge(
+                    Station::CommitProc(self.core.config.station_base + self.node.0),
+                    self.core.config_commit_dispatch(),
+                );
+                if let CommitOp::Barrier { epoch } = msg.op {
+                    self.flushing_for = Some(epoch);
+                    // Re-enter immediately on the next step to flush.
+                    return WorkerStep::Retried;
+                }
+                self.apply(msg, 0)
+            }
+            Err(TryRecvError::Empty) => self.step_retry(WorkerStep::Idle),
+            Err(TryRecvError::Disconnected) => self.step_retry(WorkerStep::Disconnected),
+        }
+    }
+
+    /// Work the retry backlog with no fresh input. After one full cycle of
+    /// failures, report `empty_step` so the caller can sleep — the
+    /// prerequisite commit must come from another queue.
+    fn step_retry(&mut self, empty_step: WorkerStep) -> WorkerStep {
+        if self.retry.is_empty() {
+            return empty_step;
+        }
+        if self.stuck_retries >= self.retry.len() {
+            self.stuck_retries = 0;
+            return empty_step;
+        }
+        let (msg, attempts) = self.retry.pop_front().expect("checked non-empty");
+        match self.apply(msg, attempts) {
+            WorkerStep::Retried => {
+                self.stuck_retries += 1;
+                WorkerStep::Retried
+            }
+            other => {
+                self.stuck_retries = 0;
+                other
+            }
+        }
+    }
+
+    /// Should a failed creation be discarded because its directory was
+    /// removed by a barrier commit at or after the op's epoch?
+    fn under_removed_dir(&self, path: &str, op_epoch: u64) -> bool {
+        let removed = self.core.removed_dirs.read();
+        removed
+            .iter()
+            .any(|(dir, epoch)| op_epoch <= *epoch && fspath::is_same_or_ancestor(dir, path))
+    }
+
+    fn apply(&mut self, msg: QueueMsg, attempts: u32) -> WorkerStep {
+        let cred = self.core.config.cred;
+        let result = match &msg.op {
+            CommitOp::Mkdir { path, mode } => self.dfs.mkdir(path, &cred, *mode),
+            CommitOp::Create { path, mode } => self.dfs.create(path, &cred, *mode),
+            CommitOp::Unlink { path } => self.dfs.unlink(path, &cred),
+            CommitOp::WriteInline { path } => {
+                // Release the coalescing slot *before* reading the primary
+                // copy: a write racing in after our read re-queues a fresh
+                // writeback instead of being silently absorbed.
+                self.core.pending_writebacks.lock().remove(path.as_str());
+                match self.cache.get(path) {
+                    // Freshest primary copy wins; a record that vanished,
+                    // was marked removed, or went large needs no inline
+                    // writeback.
+                    Some((meta, _)) if !meta.removed && !meta.large => {
+                        self.dfs.write(path, &cred, 0, &meta.inline).map(|_| ())
+                    }
+                    _ => {
+                        self.core.counters.incr("writeback_skipped");
+                        Ok(())
+                    }
+                }
+            }
+            CommitOp::Barrier { .. } => unreachable!("barriers handled in step()"),
+        };
+
+        match result {
+            Ok(()) => {
+                self.after_success(&msg);
+                self.core.note_completed();
+                self.core.counters.incr("committed");
+                WorkerStep::Committed
+            }
+            // Namespace-convention rejections (resubmit until the missing
+            // prerequisite commit arrives — independent commit) and
+            // transient backend faults (MDS outage / RPC timeout: retry
+            // the same way, bounded by the retry budget).
+            Err(FsError::NotFound)
+            | Err(FsError::AlreadyExists)
+            | Err(FsError::NotEmpty)
+            | Err(FsError::Backend(_)) => {
+                if let Some(path) = msg.op.path() {
+                    if self.under_removed_dir(path, msg.epoch) {
+                        self.core.note_completed();
+                        self.core.counters.incr("discarded_removed_dir");
+                        return WorkerStep::Discarded;
+                    }
+                }
+                if attempts + 1 >= self.core.config.max_commit_retries {
+                    self.core.note_completed();
+                    self.core.counters.incr("dropped_retry_budget");
+                    return WorkerStep::Discarded;
+                }
+                self.core.counters.incr("resubmitted");
+                self.retry.push_back((msg, attempts + 1));
+                WorkerStep::Retried
+            }
+            Err(_) => {
+                // Permission or backend error: not retriable; count and
+                // surface through counters (the primary copy stays).
+                self.core.note_completed();
+                self.core.counters.incr("commit_errors");
+                WorkerStep::Discarded
+            }
+        }
+    }
+
+    /// Post-commit bookkeeping on the primary copy.
+    fn after_success(&mut self, msg: &QueueMsg) {
+        let cred = self.core.config.cred;
+        match &msg.op {
+            CommitOp::Mkdir { path, .. } | CommitOp::Create { path, .. } => {
+                // Backup copy now exists: mark the cached record committed.
+                let _ = self.cache.update::<()>(path, |m| {
+                    m.committed = true;
+                    Ok(())
+                });
+                // Write back any data staged while the file did not exist
+                // on the DFS yet (Section III.D-2).
+                let staged = self.core.staging.lock().remove(path.as_str());
+                if let Some(data) = staged {
+                    if self.dfs.write(path, &cred, 0, &data).is_ok() {
+                        self.core.counters.incr("staged_writebacks");
+                    } else {
+                        self.core.counters.incr("staged_writeback_errors");
+                    }
+                }
+            }
+            CommitOp::Unlink { path } => {
+                // Deferred cache deletion: drop the record only if it is
+                // still the marked-removed version (a re-create must
+                // survive).
+                if let Some((meta, _)) = self.cache.get(path) {
+                    if meta.removed {
+                        self.cache.delete(path);
+                    }
+                }
+                self.core.staging.lock().remove(path.as_str());
+            }
+            CommitOp::WriteInline { .. } | CommitOp::Barrier { .. } => {}
+        }
+    }
+}
+
+impl RegionCore {
+    pub(crate) fn config_commit_dispatch(&self) -> u64 {
+        self.cache_cluster.profile().commit_dispatch
+    }
+}

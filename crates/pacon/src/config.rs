@@ -1,0 +1,142 @@
+//! Region configuration (Section III.B: workspace path + node addresses,
+//! plus the tunables the paper describes).
+
+use fsapi::Credentials;
+use simnet::Topology;
+
+use crate::permission::RegionPermissions;
+
+/// Configuration an application hands to Pacon before running.
+#[derive(Debug, Clone)]
+pub struct PaconConfig {
+    /// The application's workspace directory — the root of the consistent
+    /// region. Must be a normalized absolute path.
+    pub workspace: String,
+    /// The nodes the application runs on; Pacon launches one cache shard
+    /// and one commit process per node.
+    pub topology: Topology,
+    /// The application's system user (one user per HPC application,
+    /// Section II.A).
+    pub cred: Credentials,
+    /// Small-file threshold in bytes, *including metadata* (Section
+    /// III.D-2; 4 KiB in the paper's prototype). Files at or below this
+    /// size keep their data inline in the metadata cache.
+    pub small_file_threshold: usize,
+    /// Whether create/mkdir verify the parent directory exists (Section
+    /// III.C; applications that guarantee correct creation order can turn
+    /// this off).
+    pub parent_check: bool,
+    /// Predefined batch permissions. `None` = the default policy (all
+    /// entries readable/writable/executable by the creating user).
+    pub permissions: Option<RegionPermissions>,
+    /// Cache-space eviction threshold in bytes over the whole region
+    /// (`None` = never evict; Section III.F assumes pressure is rare).
+    pub eviction_threshold: Option<usize>,
+    /// Capacity of each per-node commit queue.
+    pub commit_queue_capacity: usize,
+    /// Give up retrying one op's commit after this many attempts (guards
+    /// against workloads that violate the namespace conventions).
+    pub max_commit_retries: u32,
+    /// Ablation switch: check permissions the traditional way — one
+    /// distributed-cache lookup per path component — instead of the batch
+    /// table match. Quantifies what Section III.C saves; never enabled in
+    /// normal operation.
+    pub hierarchical_permission_check: bool,
+    /// Ablation switch: commit every metadata update to the DFS
+    /// *synchronously* (strong consistency between primary and backup
+    /// copy), disabling the async commit queue. Quantifies what partial
+    /// consistency buys; never enabled in normal operation.
+    pub synchronous_commit: bool,
+    /// Base id for this region's stations in the queueing model
+    /// (`KvShard`/`CommitProc`). Multi-application experiments give each
+    /// region a disjoint base so the simulated regions do not share
+    /// service stations — they are on different physical nodes.
+    pub station_base: u32,
+}
+
+impl PaconConfig {
+    /// Config with the paper's defaults.
+    pub fn new(workspace: &str, topology: Topology, cred: Credentials) -> Self {
+        Self {
+            workspace: workspace.to_string(),
+            topology,
+            cred,
+            small_file_threshold: 4096,
+            parent_check: true,
+            permissions: None,
+            eviction_threshold: None,
+            commit_queue_capacity: 1 << 16,
+            max_commit_retries: 10_000,
+            hierarchical_permission_check: false,
+            synchronous_commit: false,
+            station_base: 0,
+        }
+    }
+
+    /// Builder-style: predefine batch permissions.
+    pub fn with_permissions(mut self, perms: RegionPermissions) -> Self {
+        self.permissions = Some(perms);
+        self
+    }
+
+    /// Builder-style: disable the parent-existence check.
+    pub fn without_parent_check(mut self) -> Self {
+        self.parent_check = false;
+        self
+    }
+
+    /// Builder-style: set the small-file threshold.
+    pub fn with_small_file_threshold(mut self, bytes: usize) -> Self {
+        self.small_file_threshold = bytes;
+        self
+    }
+
+    /// Builder-style: enable eviction above `bytes` of cache usage.
+    pub fn with_eviction_threshold(mut self, bytes: usize) -> Self {
+        self.eviction_threshold = Some(bytes);
+        self
+    }
+
+    /// Builder-style: enable the per-component permission-check ablation.
+    pub fn with_hierarchical_permission_check(mut self) -> Self {
+        self.hierarchical_permission_check = true;
+        self
+    }
+
+    /// Builder-style: set the queueing-model station base of this region.
+    pub fn with_station_base(mut self, base: u32) -> Self {
+        self.station_base = base;
+        self
+    }
+
+    /// Builder-style: enable the synchronous-commit ablation.
+    pub fn with_synchronous_commit(mut self) -> Self {
+        self.synchronous_commit = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = PaconConfig::new("/app", Topology::new(4, 20), Credentials::new(1, 1));
+        assert_eq!(c.small_file_threshold, 4096);
+        assert!(c.parent_check);
+        assert!(c.permissions.is_none());
+        assert!(c.eviction_threshold.is_none());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = PaconConfig::new("/app", Topology::new(1, 1), Credentials::new(1, 1))
+            .without_parent_check()
+            .with_small_file_threshold(1024)
+            .with_eviction_threshold(1 << 20);
+        assert!(!c.parent_check);
+        assert_eq!(c.small_file_threshold, 1024);
+        assert_eq!(c.eviction_threshold, Some(1 << 20));
+    }
+}

@@ -1,0 +1,179 @@
+//! Region directory: discovery for consistent-region merging.
+//!
+//! The paper's merge protocol (Section III.D-4) starts with "get the
+//! basic information (e.g., node addresses, permission information) of
+//! the consistent region that will be merged". This module is that
+//! lookup service: running regions register their [`RegionHandle`]s
+//! under their workspace roots; applications that want to share data
+//! resolve a path (or a workspace root) to a handle and pass it to
+//! [`crate::PaconClient::merge_region`].
+//!
+//! In a real deployment this registry would live on a well-known service
+//! (or on the DFS itself); here it is an in-process shared map, which is
+//! exactly what the single-simulation experiments need.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use fsapi::{path as fspath, FsError, FsResult};
+use parking_lot::RwLock;
+
+use crate::region::{PaconRegion, RegionHandle};
+
+/// Shared registry of running consistent regions.
+#[derive(Default, Clone)]
+pub struct RegionDirectory {
+    inner: Arc<RwLock<BTreeMap<String, RegionHandle>>>,
+}
+
+impl RegionDirectory {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a running region under its workspace root. Fails if a
+    /// region is already registered at the same root.
+    pub fn register(&self, region: &PaconRegion) -> FsResult<()> {
+        let handle = region.handle();
+        let mut map = self.inner.write();
+        if map.contains_key(&handle.root) {
+            return Err(FsError::AlreadyExists);
+        }
+        map.insert(handle.root.clone(), handle);
+        Ok(())
+    }
+
+    /// Remove the registration for `root` (application shutdown).
+    pub fn unregister(&self, root: &str) -> FsResult<()> {
+        match self.inner.write().remove(root) {
+            Some(_) => Ok(()),
+            None => Err(FsError::NotFound),
+        }
+    }
+
+    /// Handle of the region rooted exactly at `root`.
+    pub fn lookup(&self, root: &str) -> Option<RegionHandle> {
+        self.inner.read().get(root).cloned()
+    }
+
+    /// Handle of the innermost region whose workspace contains `path`.
+    pub fn find_region_for(&self, path: &str) -> Option<RegionHandle> {
+        let map = self.inner.read();
+        let mut best: Option<&RegionHandle> = None;
+        for (root, handle) in map.iter() {
+            if fspath::is_same_or_ancestor(root, path) {
+                let deeper = best
+                    .map(|b| fspath::depth(root) > fspath::depth(&b.root))
+                    .unwrap_or(true);
+                if deeper {
+                    best = Some(handle);
+                }
+            }
+        }
+        best.cloned()
+    }
+
+    /// Workspace roots currently registered, sorted.
+    pub fn roots(&self) -> Vec<String> {
+        self.inner.read().keys().cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PaconConfig;
+    use fsapi::Credentials;
+    use simnet::{LatencyProfile, Topology};
+
+    fn region(workspace: &str) -> (Arc<dfs::DfsCluster>, Arc<PaconRegion>) {
+        let dfs = dfs::DfsCluster::with_default_config(Arc::new(LatencyProfile::zero()));
+        let r = PaconRegion::launch_paused(
+            PaconConfig::new(workspace, Topology::new(1, 1), Credentials::new(1, 1)),
+            &dfs,
+        )
+        .unwrap();
+        (dfs, r)
+    }
+
+    #[test]
+    fn register_lookup_unregister() {
+        let dir = RegionDirectory::new();
+        let (_d, r) = region("/appA");
+        dir.register(&r).unwrap();
+        assert_eq!(dir.len(), 1);
+        assert!(dir.lookup("/appA").is_some());
+        assert!(dir.lookup("/appB").is_none());
+        // Double registration rejected.
+        assert_eq!(dir.register(&r), Err(FsError::AlreadyExists));
+        dir.unregister("/appA").unwrap();
+        assert!(dir.is_empty());
+        assert_eq!(dir.unregister("/appA"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn find_region_resolves_innermost() {
+        let dir = RegionDirectory::new();
+        let (_d1, outer) = region("/data");
+        let (_d2, inner) = region("/data/projectX");
+        dir.register(&outer).unwrap();
+        dir.register(&inner).unwrap();
+        assert_eq!(dir.find_region_for("/data/projectX/file").unwrap().root, "/data/projectX");
+        assert_eq!(dir.find_region_for("/data/other").unwrap().root, "/data");
+        assert!(dir.find_region_for("/elsewhere").is_none());
+        assert_eq!(dir.roots(), vec!["/data", "/data/projectX"]);
+    }
+
+    #[test]
+    fn directory_is_shared_across_clones() {
+        let dir = RegionDirectory::new();
+        let dir2 = dir.clone();
+        let (_d, r) = region("/shared");
+        dir.register(&r).unwrap();
+        assert!(dir2.lookup("/shared").is_some());
+    }
+
+    #[test]
+    fn discovered_handle_supports_merging() {
+        use fsapi::FileSystem;
+        let profile = Arc::new(LatencyProfile::zero());
+        let dfs = dfs::DfsCluster::with_default_config(profile);
+        let cred1 = Credentials::new(1, 1);
+        let cred2 = Credentials::new(2, 2);
+        let r1 = PaconRegion::launch(
+            PaconConfig::new("/pub", Topology::new(1, 1), cred1).with_permissions(
+                crate::permission::RegionPermissions::uniform(0o755, cred1),
+            ),
+            &dfs,
+        )
+        .unwrap();
+        let r2 = PaconRegion::launch(
+            PaconConfig::new("/priv", Topology::new(1, 1), cred2),
+            &dfs,
+        )
+        .unwrap();
+        let dir = RegionDirectory::new();
+        dir.register(&r1).unwrap();
+        dir.register(&r2).unwrap();
+
+        let p = r1.client(simnet::ClientId(0));
+        p.create("/pub/result", &cred1, 0o644).unwrap();
+
+        // The consumer discovers the producer's region through the
+        // directory — no out-of-band handle passing.
+        let c = r2.client(simnet::ClientId(0));
+        let handle = dir.find_region_for("/pub/result").expect("discoverable");
+        c.merge_region(handle);
+        assert!(c.stat("/pub/result", &cred2).unwrap().is_file());
+        r1.shutdown().unwrap();
+        r2.shutdown().unwrap();
+    }
+}

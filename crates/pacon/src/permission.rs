@@ -1,0 +1,113 @@
+//! Batch permission management (Section III.C).
+//!
+//! Instead of traversing every path component and checking each
+//! directory's bits (costly in a DFS — Figures 2 and 9), Pacon keeps one
+//! *normal* permission for the whole consistent region plus a *special*
+//! list of entries with different settings, replicated on every client.
+//! A check is then a local match: first the special list, then the
+//! normal permission — no network, no traversal.
+
+use fsapi::{path as fspath, Credentials, Perm};
+
+/// Predefined permissions of one consistent region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionPermissions {
+    /// Applies to most files/directories in the region.
+    pub normal: Perm,
+    /// `(path, perm)` overrides. A special entry applies to the entry
+    /// itself and (for directories) everything beneath it; the innermost
+    /// match wins.
+    pub special: Vec<(String, Perm)>,
+}
+
+impl RegionPermissions {
+    /// The default policy when an application predefines nothing: every
+    /// entry in the workspace is readable, writable and executable by the
+    /// creating user (the paper's "default permission settings similar to
+    /// Linux").
+    pub fn default_for(cred: Credentials) -> Self {
+        Self { normal: Perm::new(0o700, cred.uid, cred.gid), special: Vec::new() }
+    }
+
+    /// Region-wide policy with explicit normal bits.
+    pub fn uniform(mode: u16, cred: Credentials) -> Self {
+        Self { normal: Perm::new(mode, cred.uid, cred.gid), special: Vec::new() }
+    }
+
+    /// Add a special-permission entry.
+    pub fn with_special(mut self, path: &str, perm: Perm) -> Self {
+        self.special.push((path.to_string(), perm));
+        self
+    }
+
+    /// Effective permission for `path`: innermost special match, else the
+    /// normal permission.
+    pub fn perm_for(&self, path: &str) -> Perm {
+        let mut best: Option<(usize, Perm)> = None;
+        for (sp, perm) in &self.special {
+            if fspath::is_same_or_ancestor(sp, path) {
+                let depth = fspath::depth(sp);
+                if best.map(|(d, _)| depth > d).unwrap_or(true) {
+                    best = Some((depth, *perm));
+                }
+            }
+        }
+        best.map(|(_, p)| p).unwrap_or(self.normal)
+    }
+
+    /// Local permission check (`want` = ACCESS_* bitmask). This is the
+    /// whole of Pacon's permission authentication — a memory lookup.
+    pub fn check(&self, path: &str, cred: &Credentials, want: u8) -> bool {
+        self.perm_for(path).allows(cred, want)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsapi::types::{ACCESS_R, ACCESS_W, ACCESS_X};
+
+    #[test]
+    fn default_policy_grants_creator_everything() {
+        let cred = Credentials::new(42, 42);
+        let p = RegionPermissions::default_for(cred);
+        assert!(p.check("/app/any/deep/path", &cred, ACCESS_R | ACCESS_W | ACCESS_X));
+        let other = Credentials::new(43, 43);
+        assert!(!p.check("/app/any", &other, ACCESS_R));
+    }
+
+    #[test]
+    fn special_entries_override_normal() {
+        let cred = Credentials::new(1, 1);
+        let p = RegionPermissions::uniform(0o700, cred)
+            .with_special("/app/shared", Perm::new(0o755, 1, 1));
+        let stranger = Credentials::new(2, 2);
+        assert!(!p.check("/app/private/f", &stranger, ACCESS_R));
+        assert!(p.check("/app/shared", &stranger, ACCESS_R));
+        assert!(p.check("/app/shared/sub/file", &stranger, ACCESS_R));
+        assert!(!p.check("/app/shared/sub/file", &stranger, ACCESS_W));
+    }
+
+    #[test]
+    fn innermost_special_match_wins() {
+        let cred = Credentials::new(1, 1);
+        let p = RegionPermissions::uniform(0o700, cred)
+            .with_special("/app/a", Perm::new(0o755, 1, 1))
+            .with_special("/app/a/locked", Perm::new(0o700, 1, 1));
+        let stranger = Credentials::new(2, 2);
+        assert!(p.check("/app/a/open", &stranger, ACCESS_R));
+        assert!(!p.check("/app/a/locked/f", &stranger, ACCESS_R));
+    }
+
+    #[test]
+    fn perm_for_exact_and_descendant() {
+        let cred = Credentials::new(1, 1);
+        let special = Perm::new(0o444, 9, 9);
+        let p = RegionPermissions::uniform(0o700, cred).with_special("/w/ro", special);
+        assert_eq!(p.perm_for("/w/ro"), special);
+        assert_eq!(p.perm_for("/w/ro/x"), special);
+        assert_eq!(p.perm_for("/w/rw"), p.normal);
+        // Sibling with a shared name prefix must not match.
+        assert_eq!(p.perm_for("/w/rox"), p.normal);
+    }
+}

@@ -1,0 +1,473 @@
+//! Consistent regions (Section III.A) and their runtime.
+//!
+//! A [`PaconRegion`] owns everything Pacon launches with an application:
+//! the distributed metadata cache (one shard per node), the per-node
+//! commit queues and commit processes, the barrier board, and the batch
+//! permission table. Clients are handed out per process and share the
+//! region through an `Arc<RegionCore>`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use dfs::DfsCluster;
+use fsapi::{path as fspath, FsError, FsResult};
+use fsapi::FileSystem;
+use memkv::KvCluster;
+use mq::{push_pull, Consumer, Publisher};
+use parking_lot::{Mutex, RwLock};
+use simnet::{ClientId, Counters, NodeId};
+
+use crate::client::PaconClient;
+use crate::commit::barrier::BarrierBoard;
+use crate::commit::op::{CommitOp, QueueMsg};
+use crate::commit::worker::{CommitWorker, WorkerStep};
+use crate::config::PaconConfig;
+use crate::permission::RegionPermissions;
+
+/// State shared by every client and commit process of one region.
+pub struct RegionCore {
+    /// Normalized workspace root.
+    pub root: String,
+    pub config: PaconConfig,
+    pub perms: RegionPermissions,
+    /// The distributed metadata cache.
+    pub cache_cluster: Arc<KvCluster>,
+    /// Barrier rendezvous (one commit process per node).
+    pub board: BarrierBoard,
+    /// Directories removed by barrier commits: `(path, epoch at removal)`.
+    /// Creations under them from earlier epochs are discarded.
+    pub removed_dirs: RwLock<Vec<(String, u64)>>,
+    /// Durable staging area for data whose target file is not yet created
+    /// on the DFS (the paper's direct-I/O "cache files", Section III.D-2).
+    pub staging: Mutex<HashMap<String, Vec<u8>>>,
+    /// Paths with an inline-data writeback already queued. Since the
+    /// commit process reads the *current* primary copy at commit time,
+    /// one queued writeback covers every earlier write to the file —
+    /// repeated small-file writes coalesce instead of flooding the queue.
+    pub pending_writebacks: Mutex<std::collections::HashSet<String>>,
+    pub counters: Counters,
+    /// Operations published to the commit queues (barrier markers not
+    /// counted).
+    pub enqueued: AtomicU64,
+    /// Operations fully handled by commit processes (committed, discarded
+    /// or dropped).
+    pub completed: AtomicU64,
+    clock: AtomicU64,
+    /// Round-robin pointer of the eviction policy (Section III.F).
+    pub evict_cursor: AtomicUsize,
+}
+
+impl RegionCore {
+    /// Monotonic logical timestamp.
+    pub fn now(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Is `path` inside this consistent region?
+    pub fn contains(&self, path: &str) -> bool {
+        fspath::is_same_or_ancestor(&self.root, path)
+    }
+
+    pub fn note_enqueued(&self) {
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn note_completed(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// True when every published operation has been handled.
+    pub fn drained(&self) -> bool {
+        self.enqueued.load(Ordering::Acquire) == self.completed.load(Ordering::Acquire)
+    }
+}
+
+/// Read-only view of a region another application merged in
+/// (Section III.D-4).
+#[derive(Clone)]
+pub struct RegionHandle {
+    pub root: String,
+    pub cache_cluster: Arc<KvCluster>,
+    pub perms: RegionPermissions,
+}
+
+/// A running consistent region.
+pub struct PaconRegion {
+    core: Arc<RegionCore>,
+    dfs: Arc<DfsCluster>,
+    /// Per-node queue publishers (template; clients clone their node's).
+    publishers: Vec<Publisher<QueueMsg>>,
+    /// Workers not yet claimed by a thread or the DES driver.
+    worker_slots: Mutex<Vec<Option<CommitWorker>>>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    stop: Arc<AtomicBool>,
+    /// Crash simulation: workers bail out immediately, dropping pending
+    /// commits (see [`PaconRegion::abort`]).
+    hard_stop: Arc<AtomicBool>,
+}
+
+impl PaconRegion {
+    /// Initialize the region and start one commit-process thread per
+    /// node. The workspace directory (and its ancestors) are created on
+    /// the DFS if missing.
+    pub fn launch(config: PaconConfig, dfs: &Arc<DfsCluster>) -> FsResult<Arc<Self>> {
+        let region = Self::launch_paused(config, dfs)?;
+        region.start_worker_threads();
+        Ok(region)
+    }
+
+    /// As [`PaconRegion::launch`] but without spawning worker threads —
+    /// the discrete-event harness claims the workers via
+    /// [`PaconRegion::take_worker`] and drives them in virtual time.
+    pub fn launch_paused(config: PaconConfig, dfs: &Arc<DfsCluster>) -> FsResult<Arc<Self>> {
+        let root = fspath::normalize(&config.workspace)?;
+        if root == "/" {
+            return Err(FsError::InvalidPath(
+                "workspace cannot be the filesystem root".into(),
+            ));
+        }
+
+        // Ensure the workspace exists on the DFS (uncharged setup unless a
+        // recorder is active; this happens once at application start).
+        let setup = dfs.client();
+        let mut prefix = String::new();
+        for comp in fspath::components(&root) {
+            prefix.push('/');
+            prefix.push_str(comp);
+            match setup.mkdir(&prefix, &config.cred, 0o777) {
+                Ok(()) | Err(FsError::AlreadyExists) => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        let perms = config
+            .permissions
+            .clone()
+            .unwrap_or_else(|| RegionPermissions::default_for(config.cred));
+        let cache_cluster = KvCluster::with_station_base(
+            config.topology,
+            Arc::clone(dfs.profile()),
+            config.station_base,
+        );
+        let nodes = config.topology.nodes as usize;
+
+        let core = Arc::new(RegionCore {
+            root,
+            perms,
+            cache_cluster,
+            board: BarrierBoard::new(nodes),
+            removed_dirs: RwLock::new(Vec::new()),
+            staging: Mutex::new(HashMap::new()),
+            pending_writebacks: Mutex::new(std::collections::HashSet::new()),
+            counters: Counters::new(),
+            enqueued: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
+            evict_cursor: AtomicUsize::new(0),
+            config,
+        });
+
+        let mut publishers = Vec::with_capacity(nodes);
+        let mut workers = Vec::with_capacity(nodes);
+        for n in 0..nodes as u32 {
+            let (tx, rx): (Publisher<QueueMsg>, Consumer<QueueMsg>) =
+                push_pull(core.config.commit_queue_capacity);
+            publishers.push(tx);
+            workers.push(Some(CommitWorker::new(
+                NodeId(n),
+                rx,
+                dfs.client(),
+                Arc::clone(&core),
+            )));
+        }
+
+        Ok(Arc::new(Self {
+            core,
+            dfs: Arc::clone(dfs),
+            publishers,
+            worker_slots: Mutex::new(workers),
+            threads: Mutex::new(Vec::new()),
+            stop: Arc::new(AtomicBool::new(false)),
+            hard_stop: Arc::new(AtomicBool::new(false)),
+        }))
+    }
+
+    /// Spawn one thread per remaining worker slot.
+    pub fn start_worker_threads(&self) {
+        let mut slots = self.worker_slots.lock();
+        let mut threads = self.threads.lock();
+        for slot in slots.iter_mut() {
+            if let Some(mut worker) = slot.take() {
+                let stop = Arc::clone(&self.stop);
+                let hard_stop = Arc::clone(&self.hard_stop);
+                let core = Arc::clone(&self.core);
+                threads.push(std::thread::spawn(move || loop {
+                    if hard_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    match worker.step() {
+                        WorkerStep::Committed
+                        | WorkerStep::Retried
+                        | WorkerStep::Discarded
+                        | WorkerStep::BarrierReported => {}
+                        WorkerStep::Blocked(epoch) => core.board.wait_released(epoch),
+                        WorkerStep::Idle => {
+                            if stop.load(Ordering::Acquire) && worker.backlog_empty() {
+                                break;
+                            }
+                            std::thread::sleep(std::time::Duration::from_micros(100));
+                        }
+                        WorkerStep::Disconnected => break,
+                    }
+                }));
+            }
+        }
+    }
+
+    /// Claim node `n`'s commit worker for external (DES) driving.
+    pub fn take_worker(&self, n: usize) -> CommitWorker {
+        self.worker_slots.lock()[n]
+            .take()
+            .expect("worker already claimed or thread-started")
+    }
+
+    /// A client for process `id` (determines its node and cache shard
+    /// affinity).
+    pub fn client(self: &Arc<Self>, id: ClientId) -> PaconClient {
+        let node = self.core.config.topology.node_of(id);
+        PaconClient::new(
+            Arc::clone(&self.core),
+            self.core.cache_cluster.client(node),
+            self.publishers.clone(),
+            self.dfs.client(),
+            id,
+            node,
+        )
+    }
+
+    /// Shared core (tests, eviction, checkpoints).
+    pub fn core(&self) -> &Arc<RegionCore> {
+        &self.core
+    }
+
+    /// The DFS this region commits to.
+    pub fn dfs(&self) -> &Arc<DfsCluster> {
+        &self.dfs
+    }
+
+    /// Read-only handle for merging into another application's view.
+    pub fn handle(&self) -> RegionHandle {
+        RegionHandle {
+            root: self.core.root.clone(),
+            cache_cluster: Arc::clone(&self.core.cache_cluster),
+            perms: self.core.perms.clone(),
+        }
+    }
+
+    /// Block until every published operation has been committed
+    /// (threaded mode only).
+    pub fn quiesce(&self) {
+        while !self.core.drained() {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    }
+
+    /// Simulate a crash: stop the commit processes immediately, dropping
+    /// everything still queued. Uncommitted primary-copy state is lost,
+    /// exactly the failure Section III.G's checkpoint/rollback recovers
+    /// from.
+    pub fn abort(&self) {
+        self.hard_stop.store(true, Ordering::Release);
+        let mut threads = self.threads.lock();
+        for t in threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Drain the queues and stop the commit threads.
+    pub fn shutdown(&self) -> FsResult<()> {
+        self.quiesce();
+        self.stop.store(true, Ordering::Release);
+        let mut threads = self.threads.lock();
+        for t in threads.drain(..) {
+            t.join().map_err(|_| FsError::Backend("commit thread panicked".into()))?;
+        }
+        Ok(())
+    }
+
+    /// Run an empty barrier: returns once every operation published
+    /// before this call is committed to the DFS. Used by checkpointing
+    /// and by tests that need a consistent backup copy without shutting
+    /// the region down.
+    pub fn sync_barrier(&self) {
+        let guard = self.core.board.start_barrier();
+        let epoch = guard.epoch();
+        for tx in &self.publishers {
+            tx.send(QueueMsg {
+                op: CommitOp::Barrier { epoch },
+                client: u32::MAX,
+                epoch,
+                timestamp: self.core.now(),
+            })
+            .expect("commit queue closed during sync barrier");
+        }
+        guard.wait_workers();
+        guard.complete();
+    }
+}
+
+impl Drop for PaconRegion {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        let mut threads = self.threads.lock();
+        for t in threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Route for an incoming path (used by the client).
+pub enum Route {
+    /// Inside this client's own region.
+    Own,
+    /// Inside merged region `idx` (read-only).
+    Merged(usize),
+    /// Outside every known region: redirect to the DFS.
+    Redirect,
+}
+
+/// Pick a route for `path` given the own region and merged handles.
+pub fn route_path(core: &RegionCore, merged: &[RegionHandle], path: &str) -> Route {
+    if core.contains(path) {
+        return Route::Own;
+    }
+    for (i, h) in merged.iter().enumerate() {
+        if fspath::is_same_or_ancestor(&h.root, path) {
+            return Route::Merged(i);
+        }
+    }
+    Route::Redirect
+}
+
+/// The paper's use case 3 (Section III.B): applications with
+/// *overlapping* working directories should run in the same large
+/// consistent region — the topmost one. Given the requested workspaces,
+/// return the workspace roots to actually launch regions for: every path
+/// that has an ancestor in the set collapses into that ancestor.
+///
+/// ```
+/// let roots = pacon::region::collapse_overlapping_workspaces(&[
+///     "/A", "/A/B", "/C", "/C/D/E", "/F",
+/// ]).unwrap();
+/// assert_eq!(roots, vec!["/A", "/C", "/F"]);
+/// ```
+pub fn collapse_overlapping_workspaces(workspaces: &[&str]) -> FsResult<Vec<String>> {
+    let mut normalized: Vec<String> = workspaces
+        .iter()
+        .map(|w| fspath::normalize(w))
+        .collect::<FsResult<_>>()?;
+    normalized.sort();
+    normalized.dedup();
+    let mut roots: Vec<String> = Vec::new();
+    for w in normalized {
+        // Sorted order guarantees any ancestor appears before its
+        // descendants.
+        if !roots.iter().any(|r| fspath::is_same_or_ancestor(r, &w)) {
+            roots.push(w);
+        }
+    }
+    Ok(roots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfs::DfsCluster;
+    use fsapi::Credentials;
+    use simnet::LatencyProfile;
+    use simnet::Topology;
+
+    fn launch(workspace: &str) -> (Arc<DfsCluster>, Arc<PaconRegion>) {
+        let dfs = DfsCluster::with_default_config(Arc::new(LatencyProfile::zero()));
+        let region = PaconRegion::launch_paused(
+            PaconConfig::new(workspace, Topology::new(2, 2), Credentials::new(1, 1)),
+            &dfs,
+        )
+        .unwrap();
+        (dfs, region)
+    }
+
+    #[test]
+    fn launch_creates_the_workspace_chain_on_the_dfs() {
+        let (dfs, _region) = launch("/deep/nested/workspace");
+        use fsapi::FileSystem;
+        let fs = dfs.client();
+        let cred = Credentials::new(1, 1);
+        assert!(fs.stat("/deep", &cred).unwrap().is_dir());
+        assert!(fs.stat("/deep/nested", &cred).unwrap().is_dir());
+        assert!(fs.stat("/deep/nested/workspace", &cred).unwrap().is_dir());
+    }
+
+    #[test]
+    fn workspace_root_rejected() {
+        let dfs = DfsCluster::with_default_config(Arc::new(LatencyProfile::zero()));
+        let res = PaconRegion::launch_paused(
+            PaconConfig::new("/", Topology::new(1, 1), Credentials::new(1, 1)),
+            &dfs,
+        );
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn contains_and_route() {
+        let (_dfs, region) = launch("/app");
+        let core = region.core();
+        assert!(core.contains("/app"));
+        assert!(core.contains("/app/x/y"));
+        assert!(!core.contains("/apps"));
+        assert!(!core.contains("/other"));
+        assert!(matches!(route_path(core, &[], "/app/x"), Route::Own));
+        assert!(matches!(route_path(core, &[], "/other"), Route::Redirect));
+        let handle = region.handle();
+        let (_d2, region2) = launch("/other");
+        assert!(matches!(
+            route_path(region2.core(), &[handle], "/app/x"),
+            Route::Merged(0)
+        ));
+    }
+
+    #[test]
+    fn drained_tracks_enqueue_complete() {
+        let (_dfs, region) = launch("/app");
+        let core = region.core();
+        assert!(core.drained());
+        core.note_enqueued();
+        assert!(!core.drained());
+        core.note_completed();
+        assert!(core.drained());
+    }
+
+    #[test]
+    fn now_is_monotonic() {
+        let (_dfs, region) = launch("/app");
+        let a = region.core().now();
+        let b = region.core().now();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn collapse_overlapping() {
+        let roots =
+            collapse_overlapping_workspaces(&["/A/B", "/A", "/C/D/E", "/C", "/F"]).unwrap();
+        assert_eq!(roots, vec!["/A", "/C", "/F"]);
+        // Disjoint stays disjoint; sibling shared prefixes are distinct.
+        let roots = collapse_overlapping_workspaces(&["/ab", "/a"]).unwrap();
+        assert_eq!(roots, vec!["/a", "/ab"]);
+        // Duplicates collapse.
+        let roots = collapse_overlapping_workspaces(&["/x", "/x"]).unwrap();
+        assert_eq!(roots, vec!["/x"]);
+        // Invalid paths propagate errors.
+        assert!(collapse_overlapping_workspaces(&["relative"]).is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests: the cached-metadata codec must round-trip arbitrary
+//! records, and batch permissions must agree with a naive reference
+//! implementation on arbitrary special lists.
+
+use fsapi::{Credentials, FileKind, Perm};
+use pacon::{CachedMeta, RegionPermissions};
+use proptest::prelude::*;
+
+fn meta_strategy() -> impl Strategy<Value = CachedMeta> {
+    (
+        any::<bool>(),
+        (0u16..=0o777, any::<u32>(), any::<u32>()),
+        any::<u64>(),
+        any::<u64>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        proptest::collection::vec(any::<u8>(), 0..128),
+    )
+        .prop_map(|(is_dir, (mode, uid, gid), size, mtime, committed, removed, large, inline)| {
+            CachedMeta {
+                kind: if is_dir { FileKind::Dir } else { FileKind::File },
+                perm: Perm::new(mode, uid, gid),
+                size,
+                mtime,
+                committed,
+                removed,
+                large,
+                inline,
+            }
+        })
+}
+
+fn component() -> impl Strategy<Value = String> {
+    "[a-z]{1,6}"
+}
+
+fn path_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(component(), 1..5)
+        .prop_map(|cs| format!("/w/{}", cs.join("/")))
+}
+
+proptest! {
+    #[test]
+    fn cached_meta_roundtrips(meta in meta_strategy()) {
+        let encoded = meta.encode();
+        prop_assert_eq!(CachedMeta::decode(&encoded), Some(meta));
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = CachedMeta::decode(&bytes); // may be None or Some, must not panic
+    }
+
+    #[test]
+    fn perm_for_matches_naive_reference(
+        specials in proptest::collection::vec((path_strategy(), 0u16..=0o777), 0..6),
+        query in path_strategy(),
+    ) {
+        let cred = Credentials::new(1, 1);
+        let mut perms = RegionPermissions::uniform(0o700, cred);
+        let special_perms: Vec<(String, Perm)> = specials
+            .iter()
+            .map(|(p, m)| (p.clone(), Perm::new(*m, 7, 7)))
+            .collect();
+        for (p, perm) in &special_perms {
+            perms = perms.with_special(p, *perm);
+        }
+
+        // Naive reference: deepest special entry that is the query or an
+        // ancestor of it; ties (duplicate paths) resolved by first match
+        // at that depth — mirror the implementation's stable scan.
+        let mut best: Option<(usize, Perm)> = None;
+        for (p, perm) in &special_perms {
+            if fsapi::path::is_same_or_ancestor(p, &query) {
+                let d = fsapi::path::depth(p);
+                if best.map(|(bd, _)| d > bd).unwrap_or(true) {
+                    best = Some((d, *perm));
+                }
+            }
+        }
+        let want = best.map(|(_, p)| p).unwrap_or(perms.normal);
+        prop_assert_eq!(perms.perm_for(&query), want);
+    }
+
+    #[test]
+    fn check_is_consistent_with_perm_for(
+        specials in proptest::collection::vec((path_strategy(), 0u16..=0o777), 0..4),
+        query in path_strategy(),
+        uid in 0u32..4,
+        want in 1u8..8,
+    ) {
+        let owner = Credentials::new(1, 1);
+        let mut perms = RegionPermissions::uniform(0o750, owner);
+        for (p, m) in &specials {
+            perms = perms.with_special(p, Perm::new(*m, 1, 1));
+        }
+        let cred = Credentials::new(uid, 1);
+        prop_assert_eq!(
+            perms.check(&query, &cred, want),
+            perms.perm_for(&query).allows(&cred, want)
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Property test of the paper's independent-commit theorem
+//! (Section III.E-1): for operation sequences that obey the namespace
+//! conventions, committing the non-dependent operations in *any*
+//! interleaving across queues — with resubmission on rejection — yields
+//! the same final namespace as applying them in program order.
+
+use std::sync::Arc;
+
+use dfs::DfsCluster;
+use fsapi::{Credentials, FileSystem, FsError};
+use pacon::commit::worker::WorkerStep;
+use pacon::{PaconConfig, PaconRegion};
+use proptest::prelude::*;
+use simnet::{ClientId, LatencyProfile, Topology};
+
+/// A generated workload step over a small path universe.
+#[derive(Debug, Clone)]
+enum Step {
+    Mkdir(usize),
+    Create(usize),
+    Unlink(usize),
+}
+
+/// Path universe: 4 directories, each with 3 file slots.
+fn dir_path(d: usize) -> String {
+    format!("/w/d{d}")
+}
+fn file_path(d: usize, f: usize) -> String {
+    format!("/w/d{}/f{}", d % 4, f % 3)
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        2 => (0usize..4).prop_map(Step::Mkdir),
+        4 => (0usize..12).prop_map(Step::Create),
+        3 => (0usize..12).prop_map(Step::Unlink),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn any_worker_interleaving_converges_to_program_order(
+        steps in proptest::collection::vec(step_strategy(), 1..60),
+        schedule in proptest::collection::vec(0usize..3, 1..200),
+    ) {
+        let profile = Arc::new(LatencyProfile::zero());
+        let cred = Credentials::new(1, 1);
+
+        // Reference: apply accepted ops in program order directly to a DFS.
+        let ref_dfs = DfsCluster::with_default_config(Arc::clone(&profile));
+        {
+            let fs = ref_dfs.client();
+            fs.mkdir("/w", &cred, 0o777).unwrap();
+            for s in &steps {
+                // Mirror Pacon's client-side admission: an op the cache
+                // rejects never reaches the queue.
+                let _ = match s {
+                    Step::Mkdir(d) => fs.mkdir(&dir_path(*d), &cred, 0o755),
+                    Step::Create(i) => fs.create(&file_path(i / 3, i % 3), &cred, 0o644),
+                    Step::Unlink(i) => fs.unlink(&file_path(i / 3, i % 3), &cred),
+                };
+            }
+        }
+
+        // System under test: Pacon clients spread over 3 nodes, workers
+        // stepped in a proptest-chosen interleaving.
+        let dfs = DfsCluster::with_default_config(Arc::clone(&profile));
+        let region = PaconRegion::launch_paused(
+            PaconConfig::new("/w", Topology::new(3, 1), cred),
+            &dfs,
+        ).unwrap();
+        let clients: Vec<_> = (0..3).map(|i| region.client(ClientId(i))).collect();
+        for (n, s) in steps.iter().enumerate() {
+            let c = &clients[n % 3];
+            let _ = match s {
+                Step::Mkdir(d) => c.mkdir(&dir_path(*d), &cred, 0o755),
+                Step::Create(i) => c.create(&file_path(i / 3, i % 3), &cred, 0o644),
+                Step::Unlink(i) => c.unlink(&file_path(i / 3, i % 3), &cred),
+            };
+        }
+
+        let mut workers: Vec<_> = (0..3).map(|n| region.take_worker(n)).collect();
+        // Follow the random schedule first...
+        for &w in &schedule {
+            let _ = workers[w].step();
+        }
+        // ...then drain round-robin until everything is handled.
+        let mut spins = 0;
+        while !region.core().drained() {
+            let mut progress = false;
+            for w in workers.iter_mut() {
+                match w.step() {
+                    WorkerStep::Idle | WorkerStep::Disconnected | WorkerStep::Blocked(_) => {}
+                    _ => progress = true,
+                }
+            }
+            spins += 1;
+            prop_assert!(spins < 100_000, "commit did not converge");
+            let _ = progress;
+        }
+
+        // Final namespaces must be identical.
+        let got = dfs.snapshot();
+        let want = ref_dfs.snapshot();
+        let got_paths: Vec<&str> = got.iter().map(|(p, _, _)| p.as_str()).collect();
+        let want_paths: Vec<&str> = want.iter().map(|(p, _, _)| p.as_str()).collect();
+        prop_assert_eq!(got_paths, want_paths);
+
+        // And the primary copy agrees with the reference for every path in
+        // the universe.
+        let probe = region.client(ClientId(0));
+        let ref_fs = ref_dfs.client();
+        for d in 0..4 {
+            for f in 0..3 {
+                let p = file_path(d, f);
+                let want = ref_fs.stat(&p, &cred).map(|s| s.kind);
+                let got = probe.stat(&p, &cred).map(|s| s.kind);
+                // NotFound must match; kinds must match when both exist.
+                match (&want, &got) {
+                    (Err(FsError::NotFound), Err(FsError::NotFound)) => {}
+                    (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                    other => prop_assert!(false, "divergence at {}: {:?}", p, other),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,640 @@
+//! The discrete-event engine.
+//!
+//! Stations come in two disciplines (decided by [`simnet::Station::is_queueing`]):
+//!
+//! * **FIFO single-server** — one request in service at a time; arrivals
+//!   wait. Because the event heap delivers arrivals in global time order
+//!   and a station's `free_at` only moves forward, tracking `free_at` is
+//!   sufficient for exact FIFO semantics.
+//! * **Pure delay** — infinite servers; the segment always takes exactly
+//!   its service time (client CPU, the network fabric, local compute).
+//!
+//! Processes are closed-loop: the engine calls [`Process::next`] at the
+//! virtual instant the previous step finished. A step is either `Work` (a
+//! cost trace to route through the stations), `Idle` (poll again later —
+//! used by background commit processes waiting on an empty queue), or
+//! `Done`.
+//!
+//! A run ends when every *measured* process is `Done`; after that the
+//! engine keeps running background processes until each returns `Idle`
+//! (so commit queues drain completely), then stops.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use simnet::{CostTrace, Station};
+
+/// What a process wants to do next.
+pub enum Step {
+    /// Route this trace through the stations; when the final segment
+    /// completes, count `ops` finished operations for this process.
+    Work { trace: CostTrace, ops: u64 },
+    /// Nothing to do; ask again after `ns` virtual nanoseconds have passed
+    /// (must be > 0 to guarantee progress).
+    Idle { ns: u64 },
+    /// The process is finished and must not be scheduled again.
+    Done,
+}
+
+/// A closed-loop virtual client or background worker.
+pub trait Process {
+    /// Produce the next step. `now` is the current virtual time in ns.
+    ///
+    /// Implementations typically execute one *functional* operation here
+    /// (under `simnet::with_recording`) and return the recorded trace.
+    fn next(&mut self, now: u64) -> Step;
+
+    /// Whether this process's completed ops count toward the measured
+    /// throughput and whether the run waits for it to finish. Background
+    /// services (commit processes) return `false`.
+    fn measured(&self) -> bool {
+        true
+    }
+}
+
+/// Options controlling a simulation run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Hard stop at this virtual time (safety net; `u64::MAX` = none).
+    pub max_time: u64,
+    /// Hard stop after this many events (safety net against livelock).
+    pub max_events: u64,
+    /// Record the response time of every measured job (issue → last
+    /// segment completion) for percentile reporting. Off by default: a
+    /// 320-client scalability run completes millions of jobs.
+    pub record_latency: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self { max_time: u64::MAX, max_events: 10_000_000_000, record_latency: false }
+    }
+}
+
+/// Aggregate outcome of a run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Virtual time at which the last *measured* process finished.
+    pub makespan_ns: u64,
+    /// Virtual time at which the drain phase (background processes) ended.
+    pub drained_ns: u64,
+    /// Total operations completed by measured processes.
+    pub measured_ops: u64,
+    /// Total operations completed by background processes.
+    pub background_ops: u64,
+    /// Per-process completed op counts (index = process index).
+    pub ops_per_process: Vec<u64>,
+    /// Busy virtual ns per queueing station.
+    pub station_busy_ns: HashMap<Station, u64>,
+    /// Response time of each measured job, when
+    /// [`RunOptions::record_latency`] was set (unsorted).
+    pub latencies_ns: Vec<u64>,
+}
+
+impl RunResult {
+    /// Measured throughput in operations per (virtual) second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            return 0.0;
+        }
+        self.measured_ops as f64 * 1e9 / self.makespan_ns as f64
+    }
+
+    /// Utilization of a station over the measured makespan (can exceed 1.0
+    /// only by rounding).
+    pub fn utilization(&self, station: Station) -> f64 {
+        if self.makespan_ns == 0 {
+            return 0.0;
+        }
+        *self.station_busy_ns.get(&station).unwrap_or(&0) as f64 / self.makespan_ns as f64
+    }
+
+    /// Latency percentile in ns (`q` in 0..=1); `None` when latencies
+    /// were not recorded. Sorts a copy; intended for post-run reporting.
+    pub fn latency_percentile(&self, q: f64) -> Option<u64> {
+        if self.latencies_ns.is_empty() {
+            return None;
+        }
+        let mut v = self.latencies_ns.clone();
+        v.sort_unstable();
+        let idx = ((v.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(v[idx])
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    /// Ask the process for its next step.
+    Ready,
+    /// The current segment finished service; advance to the next one.
+    SegDone,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    time: u64,
+    seq: u64,
+    pid: usize,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Job {
+    trace: CostTrace,
+    next_seg: usize,
+    ops: u64,
+    issued_at: u64,
+}
+
+/// The simulation executor. Construct, then [`Simulation::run`].
+#[derive(Default)]
+pub struct Simulation {
+    opts: RunOptions,
+}
+
+impl Simulation {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_options(opts: RunOptions) -> Self {
+        Self { opts }
+    }
+
+    /// Run the closed-loop simulation over `procs` and return aggregate
+    /// results. Process indices in the result match `procs` order.
+    pub fn run(&self, procs: &mut [Box<dyn Process>]) -> RunResult {
+        let n = procs.len();
+        assert!(n > 0, "simulation needs at least one process");
+        let measured: Vec<bool> = procs.iter().map(|p| p.measured()).collect();
+        let mut measured_left = measured.iter().filter(|m| **m).count();
+        let draining_from_start = measured_left == 0;
+
+        let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        let mut seq: u64 = 0;
+        let mut push = |heap: &mut BinaryHeap<Reverse<Event>>, seq: &mut u64, ev: Event| {
+            let mut ev = ev;
+            ev.seq = *seq;
+            *seq += 1;
+            heap.push(Reverse(ev));
+        };
+
+        for pid in 0..n {
+            push(&mut heap, &mut seq, Event { time: 0, seq: 0, pid, kind: EventKind::Ready });
+        }
+
+        let mut jobs: Vec<Option<Job>> = (0..n).map(|_| None).collect();
+        let mut done: Vec<bool> = vec![false; n];
+        let mut ops_per_process: Vec<u64> = vec![0; n];
+        let mut station_free: HashMap<Station, u64> = HashMap::new();
+        let mut station_busy: HashMap<Station, u64> = HashMap::new();
+
+        let mut latencies: Vec<u64> = Vec::new();
+        let mut makespan: u64 = 0;
+        let mut last_time: u64 = 0;
+        let mut draining = draining_from_start;
+        let mut events: u64 = 0;
+
+        while let Some(Reverse(ev)) = heap.pop() {
+            events += 1;
+            if ev.time > self.opts.max_time || events > self.opts.max_events {
+                last_time = last_time.max(ev.time.min(self.opts.max_time));
+                break;
+            }
+            last_time = ev.time;
+            if done[ev.pid] {
+                continue;
+            }
+            match ev.kind {
+                EventKind::Ready => {
+                    match procs[ev.pid].next(ev.time) {
+                        Step::Work { trace, ops } => {
+                            jobs[ev.pid] =
+                                Some(Job { trace, next_seg: 0, ops, issued_at: ev.time });
+                            // Enter the first segment immediately.
+                            self.advance(
+                                ev.pid,
+                                ev.time,
+                                &mut jobs,
+                                &mut station_free,
+                                &mut station_busy,
+                                &mut heap,
+                                &mut seq,
+                                &mut push,
+                                &mut ops_per_process,
+                                &measured,
+                                &mut latencies,
+                            );
+                        }
+                        Step::Idle { ns } => {
+                            if draining && !measured[ev.pid] {
+                                // Queues are drained; background process may stop.
+                                done[ev.pid] = true;
+                            } else {
+                                let ns = ns.max(1);
+                                push(
+                                    &mut heap,
+                                    &mut seq,
+                                    Event {
+                                        time: ev.time.saturating_add(ns),
+                                        seq: 0,
+                                        pid: ev.pid,
+                                        kind: EventKind::Ready,
+                                    },
+                                );
+                            }
+                        }
+                        Step::Done => {
+                            done[ev.pid] = true;
+                            if measured[ev.pid] {
+                                measured_left -= 1;
+                                makespan = makespan.max(ev.time);
+                                if measured_left == 0 {
+                                    draining = true;
+                                }
+                            }
+                        }
+                    }
+                }
+                EventKind::SegDone => {
+                    self.advance(
+                        ev.pid,
+                        ev.time,
+                        &mut jobs,
+                        &mut station_free,
+                        &mut station_busy,
+                        &mut heap,
+                        &mut seq,
+                        &mut push,
+                        &mut ops_per_process,
+                        &measured,
+                        &mut latencies,
+                    );
+                }
+            }
+        }
+
+        let measured_ops: u64 = ops_per_process
+            .iter()
+            .zip(&measured)
+            .filter_map(|(o, m)| if *m { Some(*o) } else { None })
+            .sum();
+        let background_ops: u64 = ops_per_process
+            .iter()
+            .zip(&measured)
+            .filter_map(|(o, m)| if !*m { Some(*o) } else { None })
+            .sum();
+        if draining_from_start {
+            makespan = last_time;
+        }
+
+        RunResult {
+            makespan_ns: makespan,
+            drained_ns: last_time,
+            measured_ops,
+            background_ops,
+            ops_per_process,
+            station_busy_ns: station_busy,
+            latencies_ns: latencies,
+        }
+    }
+
+    /// Move the process's current job forward: start service of the next
+    /// segment (or finish the job) at virtual time `now`.
+    #[allow(clippy::too_many_arguments)]
+    fn advance(
+        &self,
+        pid: usize,
+        now: u64,
+        jobs: &mut [Option<Job>],
+        station_free: &mut HashMap<Station, u64>,
+        station_busy: &mut HashMap<Station, u64>,
+        heap: &mut BinaryHeap<Reverse<Event>>,
+        seq: &mut u64,
+        push: &mut impl FnMut(&mut BinaryHeap<Reverse<Event>>, &mut u64, Event),
+        ops_per_process: &mut [u64],
+        measured: &[bool],
+        latencies: &mut Vec<u64>,
+    ) {
+        let job = jobs[pid].as_mut().expect("advance without an active job");
+        if job.next_seg >= job.trace.segs.len() {
+            // Job complete: count ops, ask for the next step right away.
+            ops_per_process[pid] += job.ops;
+            if self.opts.record_latency && measured[pid] && job.ops > 0 {
+                latencies.push(now - job.issued_at);
+            }
+            jobs[pid] = None;
+            push(heap, seq, Event { time: now, seq: 0, pid, kind: EventKind::Ready });
+            return;
+        }
+        let seg = job.trace.segs[job.next_seg];
+        job.next_seg += 1;
+        let finish = if seg.station.is_queueing() {
+            let free = station_free.entry(seg.station).or_insert(0);
+            let start = now.max(*free);
+            let finish = start + seg.ns;
+            *free = finish;
+            *station_busy.entry(seg.station).or_insert(0) += seg.ns;
+            finish
+        } else {
+            now + seg.ns
+        };
+        push(heap, seq, Event { time: finish, seq: 0, pid, kind: EventKind::SegDone });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::CostTrace;
+
+    /// A client that performs `count` identical ops.
+    struct FixedClient {
+        remaining: u64,
+        trace: CostTrace,
+    }
+
+    impl Process for FixedClient {
+        fn next(&mut self, _now: u64) -> Step {
+            if self.remaining == 0 {
+                return Step::Done;
+            }
+            self.remaining -= 1;
+            Step::Work { trace: self.trace.clone(), ops: 1 }
+        }
+    }
+
+    fn mk_trace(segs: &[(Station, u64)]) -> CostTrace {
+        let mut t = CostTrace::new();
+        for (s, ns) in segs {
+            t.push(*s, *ns);
+        }
+        t
+    }
+
+    #[test]
+    fn single_client_serial_time() {
+        // 10 ops, each 100ns delay + 50ns at a queueing station.
+        let trace = mk_trace(&[(Station::Network, 100), (Station::Mds(0), 50)]);
+        let mut procs: Vec<Box<dyn Process>> =
+            vec![Box::new(FixedClient { remaining: 10, trace })];
+        let res = Simulation::new().run(&mut procs);
+        assert_eq!(res.measured_ops, 10);
+        assert_eq!(res.makespan_ns, 10 * 150);
+        assert!((res.ops_per_sec() - 10.0 * 1e9 / 1500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn queueing_station_saturates() {
+        // 4 clients, each op = 100ns think (delay) + 100ns at shared MDS.
+        // MDS is the bottleneck: aggregate rate caps at 1 op / 100ns.
+        let trace = mk_trace(&[(Station::Network, 100), (Station::Mds(0), 100)]);
+        let per_client = 50;
+        let mut procs: Vec<Box<dyn Process>> = (0..4)
+            .map(|_| {
+                Box::new(FixedClient { remaining: per_client, trace: trace.clone() })
+                    as Box<dyn Process>
+            })
+            .collect();
+        let res = Simulation::new().run(&mut procs);
+        assert_eq!(res.measured_ops, 200);
+        // Ideal bottleneck time = 200 ops * 100ns = 20_000ns (plus initial
+        // 100ns pipeline fill).
+        assert!(res.makespan_ns >= 20_000);
+        assert!(res.makespan_ns <= 20_300, "makespan {}", res.makespan_ns);
+        let util = res.utilization(Station::Mds(0));
+        assert!(util > 0.97, "mds should be saturated, util={util}");
+    }
+
+    #[test]
+    fn delay_stations_do_not_contend() {
+        // 8 clients doing pure-delay work scale linearly.
+        let trace = mk_trace(&[(Station::Network, 1000)]);
+        let mut procs: Vec<Box<dyn Process>> = (0..8)
+            .map(|_| {
+                Box::new(FixedClient { remaining: 10, trace: trace.clone() }) as Box<dyn Process>
+            })
+            .collect();
+        let res = Simulation::new().run(&mut procs);
+        assert_eq!(res.measured_ops, 80);
+        assert_eq!(res.makespan_ns, 10_000); // same as a single client
+    }
+
+    #[test]
+    fn fifo_order_is_respected() {
+        // Two clients hit the same station; the second arrival waits.
+        struct One {
+            fired: bool,
+            delay: u64,
+        }
+        impl Process for One {
+            fn next(&mut self, _now: u64) -> Step {
+                if self.fired {
+                    return Step::Done;
+                }
+                self.fired = true;
+                let mut t = CostTrace::new();
+                t.push(Station::Network, self.delay);
+                t.push(Station::Mds(0), 100);
+                Step::Work { trace: t, ops: 1 }
+            }
+        }
+        let mut procs: Vec<Box<dyn Process>> = vec![
+            Box::new(One { fired: false, delay: 10 }),
+            Box::new(One { fired: false, delay: 20 }),
+        ];
+        let res = Simulation::new().run(&mut procs);
+        // First finishes at 110; second arrives at 20, waits to 110,
+        // finishes at 210.
+        assert_eq!(res.makespan_ns, 210);
+    }
+
+    /// Background process that mirrors a drain-queue: works while a shared
+    /// counter is positive, idles otherwise.
+    struct Drainer {
+        backlog: std::rc::Rc<std::cell::RefCell<u64>>,
+    }
+    impl Process for Drainer {
+        fn next(&mut self, _now: u64) -> Step {
+            let mut b = self.backlog.borrow_mut();
+            if *b > 0 {
+                *b -= 1;
+                Step::Work { trace: mk_trace(&[(Station::CommitProc(0), 10)]), ops: 1 }
+            } else {
+                Step::Idle { ns: 100 }
+            }
+        }
+        fn measured(&self) -> bool {
+            false
+        }
+    }
+
+    /// Producer that pushes to the backlog each op.
+    struct Producer {
+        remaining: u64,
+        backlog: std::rc::Rc<std::cell::RefCell<u64>>,
+    }
+    impl Process for Producer {
+        fn next(&mut self, _now: u64) -> Step {
+            if self.remaining == 0 {
+                return Step::Done;
+            }
+            self.remaining -= 1;
+            *self.backlog.borrow_mut() += 1;
+            Step::Work { trace: mk_trace(&[(Station::Network, 5)]), ops: 1 }
+        }
+    }
+
+    #[test]
+    fn background_drains_after_measured_done() {
+        let backlog = std::rc::Rc::new(std::cell::RefCell::new(0u64));
+        let mut procs: Vec<Box<dyn Process>> = vec![
+            Box::new(Producer { remaining: 30, backlog: backlog.clone() }),
+            Box::new(Drainer { backlog: backlog.clone() }),
+        ];
+        let res = Simulation::new().run(&mut procs);
+        assert_eq!(res.measured_ops, 30);
+        assert_eq!(res.background_ops, 30, "commit backlog must fully drain");
+        assert_eq!(*backlog.borrow(), 0);
+        assert!(res.drained_ns >= res.makespan_ns);
+    }
+
+    #[test]
+    fn max_time_stops_runaway() {
+        struct Forever;
+        impl Process for Forever {
+            fn next(&mut self, _now: u64) -> Step {
+                Step::Work { trace: mk_trace(&[(Station::Network, 100)]), ops: 1 }
+            }
+        }
+        let mut procs: Vec<Box<dyn Process>> = vec![Box::new(Forever)];
+        let res = Simulation::with_options(RunOptions { max_time: 10_000, max_events: u64::MAX, record_latency: false })
+            .run(&mut procs);
+        assert!(res.drained_ns <= 10_000);
+        assert!(res.ops_per_process[0] <= 101);
+    }
+
+    #[test]
+    fn empty_trace_job_completes_instantly() {
+        let mut procs: Vec<Box<dyn Process>> =
+            vec![Box::new(FixedClient { remaining: 3, trace: CostTrace::new() })];
+        let res = Simulation::new().run(&mut procs);
+        assert_eq!(res.measured_ops, 3);
+        assert_eq!(res.makespan_ns, 0);
+    }
+}
+
+#[cfg(test)]
+mod latency_tests {
+    use super::*;
+    use simnet::CostTrace;
+
+    struct C {
+        remaining: u64,
+        trace: CostTrace,
+    }
+    impl Process for C {
+        fn next(&mut self, _now: u64) -> Step {
+            if self.remaining == 0 {
+                return Step::Done;
+            }
+            self.remaining -= 1;
+            Step::Work { trace: self.trace.clone(), ops: 1 }
+        }
+    }
+
+    #[test]
+    fn latency_recording_captures_queueing_delay() {
+        let mut trace = CostTrace::new();
+        trace.push(Station::Mds(0), 100);
+        let mut procs: Vec<Box<dyn Process>> = (0..4)
+            .map(|_| Box::new(C { remaining: 10, trace: trace.clone() }) as Box<dyn Process>)
+            .collect();
+        let res = Simulation::with_options(RunOptions {
+            record_latency: true,
+            ..RunOptions::default()
+        })
+        .run(&mut procs);
+        assert_eq!(res.latencies_ns.len(), 40);
+        // First job of the first-served client waits 0; the last client's
+        // job waits behind three others.
+        let p0 = res.latency_percentile(0.0).unwrap();
+        let p100 = res.latency_percentile(1.0).unwrap();
+        assert_eq!(p0, 100);
+        assert_eq!(p100, 400, "worst job queues behind 3 peers");
+        let p50 = res.latency_percentile(0.5).unwrap();
+        assert!((100..=400).contains(&p50));
+    }
+
+    #[test]
+    fn latency_not_recorded_by_default() {
+        let mut trace = CostTrace::new();
+        trace.push(Station::Mds(0), 10);
+        let mut procs: Vec<Box<dyn Process>> =
+            vec![Box::new(C { remaining: 5, trace })];
+        let res = Simulation::new().run(&mut procs);
+        assert!(res.latencies_ns.is_empty());
+        assert_eq!(res.latency_percentile(0.5), None);
+    }
+}
+
+#[cfg(test)]
+mod determinism_tests {
+    use super::*;
+    use simnet::CostTrace;
+
+    struct C {
+        remaining: u64,
+        trace: CostTrace,
+    }
+    impl Process for C {
+        fn next(&mut self, _now: u64) -> Step {
+            if self.remaining == 0 {
+                return Step::Done;
+            }
+            self.remaining -= 1;
+            Step::Work { trace: self.trace.clone(), ops: 1 }
+        }
+    }
+
+    /// The engine is fully deterministic: identical inputs give identical
+    /// outputs, event for event (the seq tiebreaker makes heap order
+    /// total). Resumable/reproducible experiments depend on this.
+    #[test]
+    fn identical_runs_produce_identical_results() {
+        let run = || {
+            let mut trace = CostTrace::new();
+            trace.push(Station::Network, 13);
+            trace.push(Station::Mds(0), 29);
+            trace.push(Station::KvShard(1), 7);
+            let mut procs: Vec<Box<dyn Process>> = (0..7)
+                .map(|i| {
+                    Box::new(C { remaining: 20 + i as u64, trace: trace.clone() })
+                        as Box<dyn Process>
+                })
+                .collect();
+            Simulation::with_options(RunOptions {
+                record_latency: true,
+                ..RunOptions::default()
+            })
+            .run(&mut procs)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.makespan_ns, b.makespan_ns);
+        assert_eq!(a.measured_ops, b.measured_ops);
+        assert_eq!(a.ops_per_process, b.ops_per_process);
+        assert_eq!(a.latencies_ns, b.latencies_ns);
+        assert_eq!(a.station_busy_ns, b.station_busy_ns);
+    }
+}

@@ -1,0 +1,255 @@
+//! Exact Mean-Value Analysis for single-class closed queueing networks.
+//!
+//! Used to validate the discrete-event engine: for a product-form network
+//! (exponential-ish service, FIFO stations, think time `z`), exact MVA
+//! gives the equilibrium throughput; for the deterministic services the
+//! engine uses, throughput must land between the MVA value and the
+//! operational asymptotic bound `min(n / (z + sum(d)), 1 / max(d))`
+//! (deterministic closed pipelines achieve the bound).
+
+/// Result of an MVA evaluation at population `n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MvaResult {
+    /// System throughput (jobs per ns).
+    pub throughput: f64,
+    /// Mean response time across queueing stations (ns).
+    pub response_ns: f64,
+    /// Mean queue length per station (same order as the demand slice).
+    pub queue_len: Vec<f64>,
+    /// Utilization per station.
+    pub utilization: Vec<f64>,
+}
+
+/// Exact single-class MVA.
+///
+/// * `demands` — per-visit service demand of each *queueing* station in ns
+///   (aggregate demand one job places on that station per cycle).
+/// * `think_ns` — total pure-delay demand per cycle (client CPU, network).
+/// * `n` — number of closed-loop clients.
+pub fn mva_throughput(demands: &[f64], think_ns: f64, n: u32) -> MvaResult {
+    assert!(n > 0, "population must be positive");
+    assert!(think_ns >= 0.0);
+    assert!(demands.iter().all(|d| *d >= 0.0), "demands must be non-negative");
+    let k = demands.len();
+    let mut q = vec![0.0f64; k];
+    let mut x = 0.0;
+    let mut r_total = 0.0;
+    for pop in 1..=n {
+        let mut r = vec![0.0f64; k];
+        r_total = 0.0;
+        for i in 0..k {
+            r[i] = demands[i] * (1.0 + q[i]);
+            r_total += r[i];
+        }
+        x = pop as f64 / (think_ns + r_total);
+        for i in 0..k {
+            q[i] = x * r[i];
+        }
+    }
+    let utilization = demands.iter().map(|d| (x * d).min(1.0)).collect();
+    MvaResult { throughput: x, response_ns: r_total, queue_len: q, utilization }
+}
+
+/// Operational asymptotic upper bound on closed-network throughput:
+/// `min(n / (z + sum d), 1 / max d)`.
+pub fn throughput_bound(demands: &[f64], think_ns: f64, n: u32) -> f64 {
+    let total: f64 = demands.iter().sum();
+    let dmax = demands.iter().cloned().fold(0.0f64, f64::max);
+    let light = n as f64 / (think_ns + total);
+    if dmax == 0.0 {
+        light
+    } else {
+        light.min(1.0 / dmax)
+    }
+}
+
+/// One customer class of a multi-class closed network.
+#[derive(Debug, Clone)]
+pub struct ClassSpec {
+    /// Per-station service demand (ns); same station order across classes.
+    pub demands: Vec<f64>,
+    /// Pure-delay (think) demand per cycle.
+    pub think_ns: f64,
+    /// Closed-loop population of this class.
+    pub population: u32,
+}
+
+/// Per-class result of the approximate multi-class solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassResult {
+    pub throughput: f64,
+    pub response_ns: f64,
+}
+
+/// Approximate multi-class MVA (Schweitzer/Bard fixed point).
+///
+/// Validates the multi-application experiments: each application is one
+/// class with its own demands (its own cache shards are stations only it
+/// visits; the shared MDS is a station every class visits). Converges by
+/// iterating the proportional-queue approximation
+/// `Q_k,c(N - 1_c) ≈ Q_k,c(N) * (N_c - 1) / N_c` (own class) and
+/// `Q_k,j(N)` (other classes).
+pub fn mva_multiclass(classes: &[ClassSpec], tol: f64, max_iter: u32) -> Vec<ClassResult> {
+    assert!(!classes.is_empty(), "need at least one class");
+    let k = classes[0].demands.len();
+    assert!(
+        classes.iter().all(|c| c.demands.len() == k),
+        "all classes must use the same station list"
+    );
+    assert!(classes.iter().all(|c| c.population > 0), "populations must be positive");
+
+    // queue[c][i] = class-c mean queue length at station i.
+    let mut queue: Vec<Vec<f64>> = classes
+        .iter()
+        .map(|c| vec![c.population as f64 / k.max(1) as f64; k])
+        .collect();
+    let mut result: Vec<ClassResult> =
+        classes.iter().map(|_| ClassResult { throughput: 0.0, response_ns: 0.0 }).collect();
+
+    for _ in 0..max_iter {
+        let mut max_delta: f64 = 0.0;
+        let mut new_queue = queue.clone();
+        for (c, spec) in classes.iter().enumerate() {
+            let n_c = spec.population as f64;
+            let mut r_total = 0.0;
+            let mut r_per: Vec<f64> = vec![0.0; k];
+            for i in 0..k {
+                // Queue seen at arrival: everyone else's queue plus a
+                // scaled share of our own.
+                let mut seen = 0.0;
+                for (j, q) in queue.iter().enumerate() {
+                    seen += if j == c { q[i] * (n_c - 1.0) / n_c } else { q[i] };
+                }
+                r_per[i] = spec.demands[i] * (1.0 + seen);
+                r_total += r_per[i];
+            }
+            let x = n_c / (spec.think_ns + r_total);
+            for i in 0..k {
+                new_queue[c][i] = x * r_per[i];
+                max_delta = max_delta.max((new_queue[c][i] - queue[c][i]).abs());
+            }
+            result[c] = ClassResult { throughput: x, response_ns: r_total };
+        }
+        queue = new_queue;
+        if max_delta < tol {
+            break;
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_station_no_think_is_bottleneck_rate() {
+        // One station with demand D and no think time: X = 1/D for all N.
+        let r = mva_throughput(&[100.0], 0.0, 1);
+        assert!((r.throughput - 0.01).abs() < 1e-12);
+        let r = mva_throughput(&[100.0], 0.0, 64);
+        assert!((r.throughput - 0.01).abs() < 1e-12);
+        assert!((r.utilization[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn light_load_matches_serial_rate() {
+        // N=1: X = 1 / (Z + sum D).
+        let r = mva_throughput(&[50.0, 30.0], 20.0, 1);
+        assert!((r.throughput - 1.0 / 100.0).abs() < 1e-12);
+        assert!(r.queue_len.iter().all(|q| *q < 1.0));
+    }
+
+    #[test]
+    fn throughput_monotone_in_population_and_bounded() {
+        let demands = [40.0, 25.0, 10.0];
+        let z = 100.0;
+        let mut prev = 0.0;
+        for n in 1..=200 {
+            let x = mva_throughput(&demands, z, n).throughput;
+            assert!(x >= prev - 1e-12, "throughput must be non-decreasing");
+            assert!(
+                x <= throughput_bound(&demands, z, n) + 1e-12,
+                "MVA exceeds operational bound at n={n}"
+            );
+            prev = x;
+        }
+        // At very large N the bottleneck dominates.
+        let x = mva_throughput(&demands, z, 5000).throughput;
+        assert!((x - 1.0 / 40.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn zero_demand_stations_are_harmless() {
+        let r = mva_throughput(&[0.0, 60.0], 40.0, 10);
+        assert!(r.throughput <= 1.0 / 60.0 + 1e-12);
+        assert_eq!(r.queue_len.len(), 2);
+        assert!(r.queue_len[0] < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "population")]
+    fn zero_population_panics() {
+        mva_throughput(&[1.0], 0.0, 0);
+    }
+}
+
+#[cfg(test)]
+mod multiclass_tests {
+    use super::*;
+
+    #[test]
+    fn single_class_matches_exact_mva() {
+        let demands = vec![40.0, 25.0];
+        let z = 100.0;
+        for n in [1u32, 4, 16, 64] {
+            let exact = mva_throughput(&demands, z, n).throughput;
+            let approx = mva_multiclass(
+                &[ClassSpec { demands: demands.clone(), think_ns: z, population: n }],
+                1e-9,
+                10_000,
+            )[0]
+                .throughput;
+            let rel = (approx - exact).abs() / exact;
+            assert!(rel < 0.08, "n={n}: approx {approx} vs exact {exact} (rel {rel})");
+        }
+    }
+
+    #[test]
+    fn isolated_classes_behave_independently() {
+        // Two classes on disjoint stations: each must match its own
+        // single-class solution.
+        let a = ClassSpec { demands: vec![50.0, 0.0], think_ns: 10.0, population: 8 };
+        let b = ClassSpec { demands: vec![0.0, 80.0], think_ns: 10.0, population: 8 };
+        let multi = mva_multiclass(&[a.clone(), b.clone()], 1e-9, 10_000);
+        let solo_a = mva_multiclass(&[a], 1e-9, 10_000)[0].throughput;
+        let solo_b = mva_multiclass(&[b], 1e-9, 10_000)[0].throughput;
+        assert!((multi[0].throughput - solo_a).abs() / solo_a < 1e-6);
+        assert!((multi[1].throughput - solo_b).abs() / solo_b < 1e-6);
+    }
+
+    #[test]
+    fn shared_bottleneck_splits_capacity() {
+        // Two identical classes share one station: together they cannot
+        // exceed its capacity, and by symmetry they split it evenly.
+        let spec = ClassSpec { demands: vec![100.0], think_ns: 0.0, population: 16 };
+        let res = mva_multiclass(&[spec.clone(), spec], 1e-9, 10_000);
+        let total = res[0].throughput + res[1].throughput;
+        assert!(total <= 1.0 / 100.0 + 1e-9);
+        assert!(total > 0.95 / 100.0, "saturated station should be nearly fully used");
+        assert!((res[0].throughput - res[1].throughput).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "same station list")]
+    fn mismatched_station_lists_panic() {
+        mva_multiclass(
+            &[
+                ClassSpec { demands: vec![1.0], think_ns: 0.0, population: 1 },
+                ClassSpec { demands: vec![1.0, 2.0], think_ns: 0.0, population: 1 },
+            ],
+            1e-6,
+            100,
+        );
+    }
+}

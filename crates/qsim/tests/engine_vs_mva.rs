@@ -1,0 +1,68 @@
+//! Cross-validation of the discrete-event engine against closed-network
+//! theory: for random single-class networks, the engine's throughput must
+//! stay at or below the operational bound and within a reasonable band of
+//! exact MVA (deterministic service reaches the bound; MVA assumes
+//! exponential service and therefore lower-bounds deterministic
+//! throughput in the saturated regime).
+
+use proptest::prelude::*;
+use qsim::engine::{Process, Simulation, Step};
+use qsim::mva::{mva_throughput, throughput_bound};
+use simnet::{CostTrace, Station};
+
+struct Client {
+    remaining: u64,
+    trace: CostTrace,
+}
+
+impl Process for Client {
+    fn next(&mut self, _now: u64) -> Step {
+        if self.remaining == 0 {
+            return Step::Done;
+        }
+        self.remaining -= 1;
+        Step::Work { trace: self.trace.clone(), ops: 1 }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn engine_obeys_operational_bounds(
+        n_clients in 1u32..24,
+        think in 0u64..2_000,
+        d1 in 1u64..3_000,
+        d2 in 0u64..3_000,
+        ops in 20u64..120,
+    ) {
+        let mut trace = CostTrace::new();
+        trace.push(Station::Network, think);
+        trace.push(Station::Mds(0), d1);
+        if d2 > 0 {
+            trace.push(Station::IndexSrv(0), d2);
+        }
+        let mut procs: Vec<Box<dyn Process>> = (0..n_clients)
+            .map(|_| Box::new(Client { remaining: ops, trace: trace.clone() }) as Box<dyn Process>)
+            .collect();
+        let res = Simulation::new().run(&mut procs);
+        prop_assert_eq!(res.measured_ops, n_clients as u64 * ops);
+
+        let x_engine = res.measured_ops as f64 / res.makespan_ns as f64; // ops per ns
+        let demands: Vec<f64> = if d2 > 0 {
+            vec![d1 as f64, d2 as f64]
+        } else {
+            vec![d1 as f64]
+        };
+        let bound = throughput_bound(&demands, think as f64, n_clients);
+        // Pipeline-fill makes the engine slightly *below* the bound; it must
+        // never exceed it (beyond fp noise).
+        prop_assert!(x_engine <= bound * 1.0 + 1e-9,
+            "engine {x_engine} exceeds bound {bound}");
+
+        // Engine (deterministic service) must do at least as well as
+        // exponential-service MVA, modulo startup transient on short runs.
+        let x_mva = mva_throughput(&demands, think as f64, n_clients).throughput;
+        prop_assert!(x_engine >= x_mva * 0.80,
+            "engine {x_engine} far below MVA {x_mva}");
+    }
+}

@@ -1,0 +1,82 @@
+//! Service stations of the simulated cluster.
+//!
+//! A station is a place where an operation spends (possibly contended)
+//! time. The functional backends charge service segments against stations;
+//! the `qsim` engine decides, per station kind, whether the time is
+//! contended (FIFO queueing, e.g. the single BeeGFS MDS) or a pure delay
+//! (e.g. the network fabric, which on Infiniband-scale hardware is far
+//! from saturation for metadata-sized messages).
+
+/// A service station in the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Station {
+    /// CPU of the issuing client process (one per client; never contended
+    /// across clients).
+    ClientCpu,
+    /// Network fabric, modeled as a pure delay station.
+    Network,
+    /// A DFS metadata server (BeeGFS MDS). Index = MDS id.
+    Mds(u32),
+    /// A DFS data server. Index = data server id.
+    DataServer(u32),
+    /// An IndexFS metadata server co-located on a client node.
+    IndexSrv(u32),
+    /// A distributed-cache (memcached-like) shard on a client node.
+    KvShard(u32),
+    /// The Pacon commit process on a client node.
+    CommitProc(u32),
+    /// Local compute within the application (MADbench2 "other" phase).
+    Compute,
+}
+
+impl Station {
+    /// True for stations that model shared servers subject to queueing.
+    /// Pure-delay stations (client CPU, network, compute) never queue.
+    pub fn is_queueing(&self) -> bool {
+        matches!(
+            self,
+            Station::Mds(_)
+                | Station::DataServer(_)
+                | Station::IndexSrv(_)
+                | Station::KvShard(_)
+                | Station::CommitProc(_)
+        )
+    }
+
+    /// Short human-readable label used in experiment reports.
+    pub fn label(&self) -> String {
+        match self {
+            Station::ClientCpu => "client-cpu".to_string(),
+            Station::Network => "network".to_string(),
+            Station::Mds(i) => format!("mds{i}"),
+            Station::DataServer(i) => format!("data{i}"),
+            Station::IndexSrv(i) => format!("indexsrv{i}"),
+            Station::KvShard(i) => format!("kvshard{i}"),
+            Station::CommitProc(i) => format!("commit{i}"),
+            Station::Compute => "compute".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queueing_classification() {
+        assert!(!Station::ClientCpu.is_queueing());
+        assert!(!Station::Network.is_queueing());
+        assert!(!Station::Compute.is_queueing());
+        assert!(Station::Mds(0).is_queueing());
+        assert!(Station::IndexSrv(3).is_queueing());
+        assert!(Station::KvShard(1).is_queueing());
+        assert!(Station::CommitProc(2).is_queueing());
+        assert!(Station::DataServer(0).is_queueing());
+    }
+
+    #[test]
+    fn labels_are_distinct_per_index() {
+        assert_ne!(Station::Mds(0).label(), Station::Mds(1).label());
+        assert_eq!(Station::KvShard(7).label(), "kvshard7");
+    }
+}

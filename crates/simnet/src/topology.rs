@@ -1,0 +1,120 @@
+//! Naming and layout of the simulated client cluster.
+//!
+//! The paper's testbed runs `nodes` client nodes with `clients_per_node`
+//! application processes each (16 x 20 in most experiments). Backends use
+//! the topology to co-locate per-node services (cache shards, commit
+//! processes, IndexFS servers) with clients, exactly like the paper
+//! co-locates Memcached and IndexFS with the compute nodes.
+
+/// Identifier of a client (compute) node in the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index usable for per-node vectors.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of one application client (process).
+///
+/// Clients are numbered globally; the topology maps them onto nodes
+/// round-robin-free: clients `[n*cpn, (n+1)*cpn)` live on node `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClientId(pub u32);
+
+impl ClientId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Shape of the simulated client cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Number of client (compute) nodes.
+    pub nodes: u32,
+    /// Application processes per node (20 in the paper's mdtest runs).
+    pub clients_per_node: u32,
+}
+
+impl Topology {
+    pub fn new(nodes: u32, clients_per_node: u32) -> Self {
+        assert!(nodes > 0, "topology needs at least one node");
+        assert!(clients_per_node > 0, "topology needs at least one client per node");
+        Self { nodes, clients_per_node }
+    }
+
+    /// Total number of clients in the cluster.
+    pub fn total_clients(&self) -> u32 {
+        self.nodes * self.clients_per_node
+    }
+
+    /// Node hosting a given client.
+    pub fn node_of(&self, client: ClientId) -> NodeId {
+        assert!(
+            client.0 < self.total_clients(),
+            "client {} out of range ({} clients)",
+            client.0,
+            self.total_clients()
+        );
+        NodeId(client.0 / self.clients_per_node)
+    }
+
+    /// All clients hosted on `node`.
+    pub fn clients_on(&self, node: NodeId) -> impl Iterator<Item = ClientId> {
+        assert!(node.0 < self.nodes, "node {} out of range", node.0);
+        let start = node.0 * self.clients_per_node;
+        (start..start + self.clients_per_node).map(ClientId)
+    }
+
+    /// Iterator over every client in the cluster.
+    pub fn clients(&self) -> impl Iterator<Item = ClientId> {
+        (0..self.total_clients()).map(ClientId)
+    }
+
+    /// Iterator over every node in the cluster.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes).map(NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_to_node_mapping() {
+        let t = Topology::new(4, 20);
+        assert_eq!(t.total_clients(), 80);
+        assert_eq!(t.node_of(ClientId(0)), NodeId(0));
+        assert_eq!(t.node_of(ClientId(19)), NodeId(0));
+        assert_eq!(t.node_of(ClientId(20)), NodeId(1));
+        assert_eq!(t.node_of(ClientId(79)), NodeId(3));
+    }
+
+    #[test]
+    fn clients_on_node_are_contiguous() {
+        let t = Topology::new(3, 4);
+        let on1: Vec<_> = t.clients_on(NodeId(1)).collect();
+        assert_eq!(on1, vec![ClientId(4), ClientId(5), ClientId(6), ClientId(7)]);
+        for c in t.clients_on(NodeId(2)) {
+            assert_eq!(t.node_of(c), NodeId(2));
+        }
+    }
+
+    #[test]
+    fn clients_iterates_all() {
+        let t = Topology::new(2, 3);
+        assert_eq!(t.clients().count(), 6);
+        assert_eq!(t.node_ids().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn node_of_out_of_range_panics() {
+        let t = Topology::new(1, 1);
+        t.node_of(ClientId(1));
+    }
+}

@@ -1,0 +1,203 @@
+//! Per-operation cost traces and the thread-local recorder.
+//!
+//! Backends call [`charge`] wherever a real deployment would spend time on
+//! the wire or inside a server. While a recorder is installed (via
+//! [`with_recording`]) the charges accumulate into a [`CostTrace`];
+//! otherwise they are no-ops. This lets the same functional code serve
+//! unit tests (zero cost), real-thread examples, and the `qsim`
+//! discrete-event replay used by the figure harnesses.
+
+use std::cell::RefCell;
+
+use crate::station::Station;
+
+/// One contiguous service segment of an operation at a station.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Seg {
+    pub station: Station,
+    /// Service demand in virtual nanoseconds.
+    pub ns: u64,
+}
+
+/// The ordered sequence of service segments one operation causes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CostTrace {
+    pub segs: Vec<Seg>,
+}
+
+impl CostTrace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, station: Station, ns: u64) {
+        // Coalesce adjacent segments on the same station; this keeps traces
+        // short when a backend charges several costs in a row (e.g. a
+        // payload-proportional charge right after a base charge).
+        if let Some(last) = self.segs.last_mut() {
+            if last.station == station {
+                last.ns += ns;
+                return;
+            }
+        }
+        self.segs.push(Seg { station, ns });
+    }
+
+    /// Total demand across all segments.
+    pub fn total_ns(&self) -> u64 {
+        self.segs.iter().map(|s| s.ns).sum()
+    }
+
+    /// Total demand charged to a particular station.
+    pub fn station_ns(&self, station: Station) -> u64 {
+        self.segs.iter().filter(|s| s.station == station).map(|s| s.ns).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// Append another trace (used when one logical op spans helpers that
+    /// were recorded separately).
+    pub fn extend(&mut self, other: &CostTrace) {
+        for s in &other.segs {
+            self.push(s.station, s.ns);
+        }
+    }
+}
+
+thread_local! {
+    static RECORDER: RefCell<Vec<CostTrace>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Charge `ns` virtual nanoseconds of service at `station` to the
+/// innermost active recorder. No-op when nothing records.
+pub fn charge(station: Station, ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    RECORDER.with(|r| {
+        if let Some(top) = r.borrow_mut().last_mut() {
+            top.push(station, ns);
+        }
+    });
+}
+
+/// True if a recorder is currently installed on this thread.
+pub fn is_recording() -> bool {
+    RECORDER.with(|r| !r.borrow().is_empty())
+}
+
+/// Run `f` with a fresh recorder installed and return its result together
+/// with the recorded trace. Nests: charges go to the innermost recorder
+/// only, and the recorded trace is folded into the outer recorder when the
+/// inner scope ends, so outer scopes still observe the full cost.
+pub fn with_recording<R>(f: impl FnOnce() -> R) -> (R, CostTrace) {
+    RECORDER.with(|r| r.borrow_mut().push(CostTrace::new()));
+    // Ensure the recorder is popped even if `f` panics.
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            RECORDER.with(|r| {
+                let mut stack = r.borrow_mut();
+                if let Some(inner) = stack.pop() {
+                    if let Some(outer) = stack.last_mut() {
+                        outer.extend(&inner);
+                    }
+                    // Stash for retrieval by the non-panicking path.
+                    LAST.with(|l| *l.borrow_mut() = Some(inner));
+                }
+            });
+        }
+    }
+    thread_local! {
+        static LAST: RefCell<Option<CostTrace>> = const { RefCell::new(None) };
+    }
+    let out;
+    {
+        let _g = Guard;
+        out = f();
+    }
+    let trace = LAST.with(|l| l.borrow_mut().take()).unwrap_or_default();
+    (out, trace)
+}
+
+/// Convenience: total virtual ns an action costs.
+pub fn recorded_total_ns(f: impl FnOnce()) -> u64 {
+    with_recording(f).1.total_ns()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_without_recorder_is_noop() {
+        assert!(!is_recording());
+        charge(Station::Network, 100); // must not panic
+    }
+
+    #[test]
+    fn records_and_coalesces() {
+        let ((), t) = with_recording(|| {
+            charge(Station::Network, 10);
+            charge(Station::Network, 5);
+            charge(Station::Mds(0), 7);
+        });
+        assert_eq!(t.segs.len(), 2);
+        assert_eq!(t.total_ns(), 22);
+        assert_eq!(t.station_ns(Station::Network), 15);
+        assert_eq!(t.station_ns(Station::Mds(0)), 7);
+    }
+
+    #[test]
+    fn zero_charge_ignored() {
+        let ((), t) = with_recording(|| charge(Station::Network, 0));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn nested_recording_propagates_to_outer() {
+        let ((), outer) = with_recording(|| {
+            charge(Station::ClientCpu, 1);
+            let ((), inner) = with_recording(|| charge(Station::Mds(0), 9));
+            assert_eq!(inner.total_ns(), 9);
+            charge(Station::ClientCpu, 2);
+        });
+        assert_eq!(outer.total_ns(), 12);
+        assert_eq!(outer.station_ns(Station::Mds(0)), 9);
+    }
+
+    #[test]
+    fn recorder_popped_on_panic() {
+        let res = std::panic::catch_unwind(|| {
+            let ((), _t) = with_recording(|| {
+                charge(Station::Network, 1);
+                panic!("boom");
+            });
+        });
+        assert!(res.is_err());
+        assert!(!is_recording());
+    }
+
+    #[test]
+    fn extend_merges_traces() {
+        let mut a = CostTrace::new();
+        a.push(Station::Network, 5);
+        let mut b = CostTrace::new();
+        b.push(Station::Network, 5);
+        b.push(Station::Mds(1), 3);
+        a.extend(&b);
+        assert_eq!(a.segs.len(), 2);
+        assert_eq!(a.station_ns(Station::Network), 10);
+    }
+
+    #[test]
+    fn recorded_total_ns_helper() {
+        let n = recorded_total_ns(|| {
+            charge(Station::Compute, 40);
+            charge(Station::Network, 2);
+        });
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,255 @@
+//! MADbench2-style application workload (Figure 12).
+//!
+//! MADbench2 stresses I/O, computation and communication the way the
+//! MADspec CMB analysis does: every process creates one file, writes the
+//! evaluation data (4 MiB per file in the paper's run), then reads,
+//! writes and computes over those files for several loops. The paper
+//! reports the runtime breakdown as *init* (file creation), *write*,
+//! *read* and *other* (computation + communication).
+//!
+//! Phases are globally synchronized (MPI barriers in the original), so
+//! each phase runs as its own closed-loop simulation and contributes its
+//! makespan to the breakdown.
+
+use fsapi::{Credentials, FileSystem};
+use qsim::{Process, RunResult, Simulation, Step};
+use simnet::{CostTrace, Station};
+
+use crate::driver::FsOpClient;
+use crate::ops::FsOp;
+
+/// Configuration of one MADbench2-like run.
+#[derive(Debug, Clone)]
+pub struct MadbenchConfig {
+    /// Shared working directory (must exist).
+    pub dir: String,
+    /// Number of processes (16 nodes x 16 = 256 in the paper).
+    pub procs: u32,
+    /// Data per file in MiB (4 in the paper).
+    pub file_mib: usize,
+    /// Read/write/compute loop count.
+    pub loops: u32,
+    /// Computation per process per loop, in virtual ns.
+    pub compute_ns_per_loop: u64,
+}
+
+impl Default for MadbenchConfig {
+    fn default() -> Self {
+        Self {
+            dir: "/mad".to_string(),
+            procs: 256,
+            file_mib: 4,
+            loops: 2,
+            compute_ns_per_loop: 50_000_000,
+        }
+    }
+}
+
+/// Virtual-time runtime breakdown (Figure 12's bars).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    pub init_ns: u64,
+    pub write_ns: u64,
+    pub read_ns: u64,
+    pub other_ns: u64,
+}
+
+impl Breakdown {
+    pub fn total_ns(&self) -> u64 {
+        self.init_ns + self.write_ns + self.read_ns + self.other_ns
+    }
+
+    /// Fractions of the total, in the paper's bar order
+    /// `[read, write, init, other]`.
+    pub fn fractions(&self) -> [f64; 4] {
+        let t = self.total_ns().max(1) as f64;
+        [
+            self.read_ns as f64 / t,
+            self.write_ns as f64 / t,
+            self.init_ns as f64 / t,
+            self.other_ns as f64 / t,
+        ]
+    }
+}
+
+fn file_path(dir: &str, proc_id: u32) -> String {
+    format!("{dir}/mad{proc_id:05}.dat")
+}
+
+/// I/O is performed in 1 MiB slabs, like MADbench2's out-of-core tiles.
+const SLAB: usize = 1 << 20;
+
+fn write_ops(dir: &str, proc_id: u32, cfg: &MadbenchConfig) -> Vec<FsOp> {
+    let path = file_path(dir, proc_id);
+    let mut ops = Vec::new();
+    for _ in 0..cfg.loops {
+        for m in 0..cfg.file_mib {
+            ops.push(FsOp::Write {
+                path: path.clone(),
+                offset: (m * SLAB) as u64,
+                data: vec![(proc_id % 251) as u8; SLAB],
+            });
+        }
+        ops.push(FsOp::Fsync(path.clone()));
+    }
+    ops
+}
+
+fn read_ops(dir: &str, proc_id: u32, cfg: &MadbenchConfig) -> Vec<FsOp> {
+    let path = file_path(dir, proc_id);
+    let mut ops = Vec::new();
+    for _ in 0..cfg.loops {
+        for m in 0..cfg.file_mib {
+            ops.push(FsOp::Read { path: path.clone(), offset: (m * SLAB) as u64, len: SLAB });
+        }
+    }
+    ops
+}
+
+/// Pure-compute process for the "other" phase.
+struct ComputeProc {
+    remaining: u32,
+    ns_per_loop: u64,
+}
+
+impl Process for ComputeProc {
+    fn next(&mut self, _now: u64) -> Step {
+        if self.remaining == 0 {
+            return Step::Done;
+        }
+        self.remaining -= 1;
+        let mut t = CostTrace::new();
+        t.push(Station::Compute, self.ns_per_loop);
+        Step::Work { trace: t, ops: 1 }
+    }
+}
+
+/// Run the full MADbench2-like workload against a backend.
+///
+/// * `client_factory(proc_id)` — a backend handle per process;
+/// * `background` — long-lived background processes (Pacon commit
+///   workers); they are reused across all four phases.
+pub fn run_madbench(
+    cfg: &MadbenchConfig,
+    mut client_factory: impl FnMut(u32) -> Box<dyn FileSystem>,
+    cred: Credentials,
+    background: Vec<Box<dyn Process>>,
+) -> Breakdown {
+    // One long-lived proc vector: finished clients return Done instantly
+    // in later phases, while the background workers keep running.
+    let mut procs: Vec<Box<dyn Process>> = background;
+    let run_phase = |procs: &mut Vec<Box<dyn Process>>| -> RunResult {
+        Simulation::new().run(procs)
+    };
+
+    // Phase 1 — init: every process creates its file.
+    for p in 0..cfg.procs {
+        let ops = vec![FsOp::Create(file_path(&cfg.dir, p), 0o644)];
+        procs.push(Box::new(FsOpClient::new(client_factory(p), cred, ops)));
+    }
+    let init = run_phase(&mut procs);
+
+    // Phase 2 — write: generate the evaluation data.
+    for p in 0..cfg.procs {
+        procs.push(Box::new(FsOpClient::new(
+            client_factory(p),
+            cred,
+            write_ops(&cfg.dir, p, cfg),
+        )));
+    }
+    let write = run_phase(&mut procs);
+
+    // Phase 3 — read.
+    for p in 0..cfg.procs {
+        procs.push(Box::new(FsOpClient::new(
+            client_factory(p),
+            cred,
+            read_ops(&cfg.dir, p, cfg),
+        )));
+    }
+    let read = run_phase(&mut procs);
+
+    // Phase 4 — computation/communication ("other").
+    for _ in 0..cfg.procs {
+        procs.push(Box::new(ComputeProc {
+            remaining: cfg.loops,
+            ns_per_loop: cfg.compute_ns_per_loop,
+        }));
+    }
+    let other = run_phase(&mut procs);
+
+    Breakdown {
+        init_ns: init.makespan_ns,
+        write_ns: write.makespan_ns,
+        read_ns: read.makespan_ns,
+        other_ns: other.makespan_ns,
+    }
+}
+
+/// Verify the written data is intact (used by tests; MADbench2 checks its
+/// matrices the same way).
+pub fn verify_data(
+    cfg: &MadbenchConfig,
+    fs: &dyn FileSystem,
+    cred: &Credentials,
+) -> Result<(), String> {
+    for p in 0..cfg.procs {
+        let path = file_path(&cfg.dir, p);
+        let data = fs
+            .read(&path, cred, 0, SLAB)
+            .map_err(|e| format!("read {path}: {e}"))?;
+        if data.len() != SLAB {
+            return Err(format!("{path}: short read ({} bytes)", data.len()));
+        }
+        if data[0] != (p % 251) as u8 {
+            return Err(format!("{path}: wrong payload byte {}", data[0]));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfs::DfsCluster;
+    use simnet::LatencyProfile;
+    use std::sync::Arc;
+
+    #[test]
+    fn madbench_on_dfs_is_data_dominated() {
+        let profile = Arc::new(LatencyProfile::default());
+        let dfs = DfsCluster::with_default_config(profile);
+        let cred = Credentials::new(1, 1);
+        dfs.client().mkdir("/mad", &cred, 0o777).unwrap();
+        let cfg = MadbenchConfig {
+            dir: "/mad".into(),
+            procs: 8,
+            file_mib: 2,
+            loops: 1,
+            compute_ns_per_loop: 10_000_000,
+        };
+        let bd = run_madbench(&cfg, |_| Box::new(dfs.client()), cred, Vec::new());
+        assert!(bd.init_ns > 0 && bd.write_ns > 0 && bd.read_ns > 0 && bd.other_ns > 0);
+        // Data I/O and compute dwarf metadata init, as in the paper.
+        assert!(bd.write_ns > bd.init_ns);
+        let fr = bd.fractions();
+        assert!((fr.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        verify_data(&cfg, &dfs.client(), &cred).unwrap();
+    }
+
+    #[test]
+    fn compute_phase_parallelism() {
+        // Compute is a pure delay: N procs take the same virtual time as 1.
+        let mk = |n: u32| {
+            let mut procs: Vec<Box<dyn Process>> = (0..n)
+                .map(|_| {
+                    Box::new(ComputeProc { remaining: 3, ns_per_loop: 1000 })
+                        as Box<dyn Process>
+                })
+                .collect();
+            Simulation::new().run(&mut procs).makespan_ns
+        };
+        assert_eq!(mk(1), 3000);
+        assert_eq!(mk(16), 3000);
+    }
+}

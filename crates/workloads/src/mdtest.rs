@@ -1,0 +1,214 @@
+//! mdtest-style workload generation.
+//!
+//! The paper's mdtest runs (Section IV): every client concurrently
+//! creates directories and empty files under the *same parent
+//! directory*, then randomly stats the created files (Fig. 7/8/11,
+//! namespace depth 1); the path-traversal experiments build a tree with
+//! fanout 5 and varying depth and randomly stat the leaf directories
+//! (Fig. 2/9/10).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::ops::FsOp;
+
+/// Per-client names used in the shared-parent phases: clients never
+/// collide (mdtest gives each rank its own item names).
+fn item_name(client: u32, i: u32, prefix: &str) -> String {
+    format!("{prefix}{client:04}-{i:06}")
+}
+
+/// Ops for one client's "mkdir in shared parent" phase.
+pub fn mkdir_phase(parent: &str, client: u32, count: u32) -> Vec<FsOp> {
+    (0..count)
+        .map(|i| FsOp::Mkdir(format!("{parent}/{}", item_name(client, i, "d")), 0o755))
+        .collect()
+}
+
+/// Ops for one client's "create empty files in shared parent" phase.
+pub fn create_phase(parent: &str, client: u32, count: u32) -> Vec<FsOp> {
+    (0..count)
+        .map(|i| FsOp::Create(format!("{parent}/{}", item_name(client, i, "f")), 0o644))
+        .collect()
+}
+
+/// The file paths `create_phase` produced (for stat phases).
+pub fn created_files(parent: &str, client: u32, count: u32) -> Vec<String> {
+    (0..count).map(|i| format!("{parent}/{}", item_name(client, i, "f"))).collect()
+}
+
+/// Ops for one client's "random stat" phase over a path universe.
+pub fn random_stat_phase(universe: &[String], count: u32, seed: u64) -> Vec<FsOp> {
+    assert!(!universe.is_empty(), "stat universe must not be empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| FsOp::Stat(universe[rng.gen_range(0..universe.len())].clone()))
+        .collect()
+}
+
+/// Ops for one client's "remove own files" phase (mdtest's file-removal
+/// pass; each rank unlinks its own items).
+pub fn unlink_phase(parent: &str, client: u32, count: u32) -> Vec<FsOp> {
+    (0..count)
+        .map(|i| FsOp::Unlink(format!("{parent}/{}", item_name(client, i, "f"))))
+        .collect()
+}
+
+/// Ops for one client's "remove own directories" phase.
+pub fn rmdir_phase(parent: &str, client: u32, count: u32) -> Vec<FsOp> {
+    (0..count)
+        .map(|i| FsOp::Rmdir(format!("{parent}/{}", item_name(client, i, "d"))))
+        .collect()
+}
+
+/// Ops for a readdir phase: each op lists `parent` (mdtest's directory
+/// listing pass).
+pub fn readdir_phase(parent: &str, count: u32) -> Vec<FsOp> {
+    (0..count).map(|_| FsOp::Readdir(parent.to_string())).collect()
+}
+
+/// A fanout tree under `base`: directories of every level in creation
+/// order (parents before children).
+#[derive(Debug, Clone)]
+pub struct Tree {
+    /// All directories, parents before children (excluding `base`).
+    pub dirs: Vec<String>,
+    /// The deepest level's directories.
+    pub leaves: Vec<String>,
+}
+
+/// Build the path set of a `fanout`-ary tree of `depth` levels under
+/// `base` (depth 1 = `fanout` children of base).
+pub fn tree_paths(base: &str, fanout: u32, depth: u32) -> Tree {
+    assert!(depth >= 1 && fanout >= 1);
+    let mut dirs = Vec::new();
+    let mut level: Vec<String> = vec![base.to_string()];
+    let mut leaves = Vec::new();
+    for d in 0..depth {
+        let mut next = Vec::with_capacity(level.len() * fanout as usize);
+        for parent in &level {
+            for k in 0..fanout {
+                let p = format!("{parent}/t{k}");
+                dirs.push(p.clone());
+                next.push(p);
+            }
+        }
+        if d == depth - 1 {
+            leaves = next.clone();
+        }
+        level = next;
+    }
+    Tree { dirs, leaves }
+}
+
+/// Mkdir ops that materialize a tree (single setup client).
+pub fn tree_mkdir_ops(tree: &Tree) -> Vec<FsOp> {
+    tree.dirs.iter().map(|d| FsOp::Mkdir(d.clone(), 0o755)).collect()
+}
+
+/// Shuffle a universe deterministically (used to de-correlate clients'
+/// stat orders).
+pub fn shuffled(universe: &[String], seed: u64) -> Vec<String> {
+    let mut v = universe.to_vec();
+    let mut rng = StdRng::seed_from_u64(seed);
+    v.shuffle(&mut rng);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_have_unique_paths_across_clients() {
+        let mut all: Vec<String> = Vec::new();
+        for c in 0..4 {
+            for op in create_phase("/w", c, 10) {
+                if let FsOp::Create(p, _) = op {
+                    all.push(p);
+                }
+            }
+        }
+        let n = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), n, "no path may collide across clients");
+    }
+
+    #[test]
+    fn created_files_matches_create_phase() {
+        let files = created_files("/w", 2, 5);
+        let ops = create_phase("/w", 2, 5);
+        for (f, op) in files.iter().zip(&ops) {
+            assert_eq!(op, &FsOp::Create(f.clone(), 0o644));
+        }
+    }
+
+    #[test]
+    fn tree_counts_match_fanout_depth() {
+        let t = tree_paths("/base", 5, 3);
+        assert_eq!(t.dirs.len(), 5 + 25 + 125);
+        assert_eq!(t.leaves.len(), 125);
+        // Parents appear before children.
+        let pos = |p: &str| t.dirs.iter().position(|d| d == p).unwrap();
+        assert!(pos("/base/t0") < pos("/base/t0/t0"));
+        assert!(pos("/base/t0/t0") < pos("/base/t0/t0/t0"));
+        // Leaves are at the requested depth.
+        assert!(t.leaves.iter().all(|l| fsapi::path::depth(l) == fsapi::path::depth("/base") + 3));
+    }
+
+    #[test]
+    fn random_stat_is_deterministic_per_seed() {
+        let uni: Vec<String> = (0..20).map(|i| format!("/u/{i}")).collect();
+        let a = random_stat_phase(&uni, 50, 7);
+        let b = random_stat_phase(&uni, 50, 7);
+        let c = random_stat_phase(&uni, 50, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let uni: Vec<String> = (0..50).map(|i| format!("/u/{i}")).collect();
+        let s = shuffled(&uni, 3);
+        assert_ne!(s, uni);
+        let mut s2 = s.clone();
+        s2.sort();
+        let mut u2 = uni.clone();
+        u2.sort();
+        assert_eq!(s2, u2);
+    }
+}
+
+#[cfg(test)]
+mod phase_tests {
+    use super::*;
+
+    #[test]
+    fn removal_phases_mirror_creation_phases() {
+        let creates = create_phase("/w", 3, 5);
+        let unlinks = unlink_phase("/w", 3, 5);
+        for (c, u) in creates.iter().zip(&unlinks) {
+            match (c, u) {
+                (FsOp::Create(a, _), FsOp::Unlink(b)) => assert_eq!(a, b),
+                other => panic!("mismatched phase ops: {other:?}"),
+            }
+        }
+        let mkdirs = mkdir_phase("/w", 3, 5);
+        let rmdirs = rmdir_phase("/w", 3, 5);
+        for (c, u) in mkdirs.iter().zip(&rmdirs) {
+            match (c, u) {
+                (FsOp::Mkdir(a, _), FsOp::Rmdir(b)) => assert_eq!(a, b),
+                other => panic!("mismatched phase ops: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn readdir_phase_targets_parent() {
+        let ops = readdir_phase("/w/list", 3);
+        assert_eq!(ops.len(), 3);
+        assert!(ops.iter().all(|o| matches!(o, FsOp::Readdir(p) if p == "/w/list")));
+    }
+}

@@ -1,0 +1,105 @@
+//! Backend-agnostic operation descriptions.
+
+use fsapi::{Credentials, FileSystem, FsError, FsResult};
+
+/// One file-system operation a workload wants to perform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsOp {
+    Mkdir(String, u16),
+    Create(String, u16),
+    Stat(String),
+    Unlink(String),
+    Rmdir(String),
+    Readdir(String),
+    Write { path: String, offset: u64, data: Vec<u8> },
+    Read { path: String, offset: u64, len: usize },
+    Fsync(String),
+}
+
+impl FsOp {
+    /// Execute against a backend. Results are reduced to `Ok`/`Err` — the
+    /// drivers count errors but do not interpret payloads.
+    pub fn exec(&self, fs: &dyn FileSystem, cred: &Credentials) -> FsResult<()> {
+        match self {
+            FsOp::Mkdir(p, mode) => fs.mkdir(p, cred, *mode),
+            FsOp::Create(p, mode) => fs.create(p, cred, *mode),
+            FsOp::Stat(p) => fs.stat(p, cred).map(|_| ()),
+            FsOp::Unlink(p) => fs.unlink(p, cred),
+            FsOp::Rmdir(p) => fs.rmdir(p, cred),
+            FsOp::Readdir(p) => fs.readdir(p, cred).map(|_| ()),
+            FsOp::Write { path, offset, data } => {
+                fs.write(path, cred, *offset, data).map(|_| ())
+            }
+            FsOp::Read { path, offset, len } => fs.read(path, cred, *offset, *len).map(|_| ()),
+            FsOp::Fsync(p) => fs.fsync(p, cred),
+        }
+    }
+
+    /// Short label for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FsOp::Mkdir(..) => "mkdir",
+            FsOp::Create(..) => "create",
+            FsOp::Stat(..) => "stat",
+            FsOp::Unlink(..) => "unlink",
+            FsOp::Rmdir(..) => "rmdir",
+            FsOp::Readdir(..) => "readdir",
+            FsOp::Write { .. } => "write",
+            FsOp::Read { .. } => "read",
+            FsOp::Fsync(..) => "fsync",
+        }
+    }
+}
+
+/// Convenience: run a whole op list, returning `(ok, err)` counts.
+pub fn exec_all(fs: &dyn FileSystem, cred: &Credentials, ops: &[FsOp]) -> (u64, u64) {
+    let mut ok = 0;
+    let mut err = 0;
+    for op in ops {
+        match op.exec(fs, cred) {
+            Ok(()) => ok += 1,
+            Err(FsError::NotFound) | Err(_) => err += 1,
+        }
+    }
+    (ok, err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfs::DfsCluster;
+    use simnet::LatencyProfile;
+    use std::sync::Arc;
+
+    #[test]
+    fn ops_execute_against_a_backend() {
+        let dfs = DfsCluster::with_default_config(Arc::new(LatencyProfile::zero()));
+        let fs = dfs.client();
+        let cred = Credentials::new(1, 1);
+        let ops = vec![
+            FsOp::Mkdir("/d".into(), 0o755),
+            FsOp::Create("/d/f".into(), 0o644),
+            FsOp::Write { path: "/d/f".into(), offset: 0, data: b"xy".to_vec() },
+            FsOp::Read { path: "/d/f".into(), offset: 0, len: 2 },
+            FsOp::Stat("/d/f".into()),
+            FsOp::Fsync("/d/f".into()),
+            FsOp::Readdir("/d".into()),
+            FsOp::Unlink("/d/f".into()),
+            FsOp::Rmdir("/d".into()),
+        ];
+        let (ok, err) = exec_all(&fs, &cred, &ops);
+        assert_eq!(ok, 9);
+        assert_eq!(err, 0);
+        assert_eq!(FsOp::Stat("/x".into()).kind(), "stat");
+    }
+
+    #[test]
+    fn errors_are_counted_not_fatal() {
+        let dfs = DfsCluster::with_default_config(Arc::new(LatencyProfile::zero()));
+        let fs = dfs.client();
+        let cred = Credentials::new(1, 1);
+        let ops = vec![FsOp::Stat("/missing".into()), FsOp::Create("/ok".into(), 0o644)];
+        let (ok, err) = exec_all(&fs, &cred, &ops);
+        assert_eq!((ok, err), (1, 1));
+    }
+}

@@ -1,0 +1,203 @@
+//! Text-trace replay: turn a simple operation trace into per-client op
+//! lists, so captured or hand-written metadata workloads can be replayed
+//! against any backend (and through the DES harness).
+//!
+//! Format — one op per line, `#` comments, blank lines ignored; an
+//! optional leading `@<client>` assigns the op to that client (default
+//! client 0):
+//!
+//! ```text
+//! # two ranks working in one directory
+//! mkdir /w/shared 0755
+//! @0 create /w/shared/a.dat 0644
+//! @1 create /w/shared/b.dat 0644
+//! @1 write /w/shared/b.dat 0 4096
+//! @0 stat /w/shared/b.dat
+//! readdir /w/shared
+//! ```
+
+use std::fmt;
+
+use crate::ops::FsOp;
+
+/// Parse failure, with the 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn err(line: usize, message: impl Into<String>) -> TraceError {
+    TraceError { line, message: message.into() }
+}
+
+fn parse_mode(tok: Option<&str>, default: u16, line: usize) -> Result<u16, TraceError> {
+    match tok {
+        None => Ok(default),
+        Some(t) => u16::from_str_radix(t.trim_start_matches("0o"), 8)
+            .map_err(|_| err(line, format!("bad octal mode: {t}"))),
+    }
+}
+
+fn parse_num(tok: Option<&str>, what: &str, line: usize) -> Result<u64, TraceError> {
+    tok.ok_or_else(|| err(line, format!("missing {what}")))?
+        .parse()
+        .map_err(|_| err(line, format!("bad {what}")))
+}
+
+/// Parse a trace into `(client, op)` pairs in file order.
+pub fn parse_trace(text: &str) -> Result<Vec<(u32, FsOp)>, TraceError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        let mut first = toks.next().expect("non-empty line has a token");
+        let client = if let Some(c) = first.strip_prefix('@') {
+            let id = c.parse().map_err(|_| err(line_no, format!("bad client id: {first}")))?;
+            first = toks
+                .next()
+                .ok_or_else(|| err(line_no, "missing operation after client tag"))?;
+            id
+        } else {
+            0
+        };
+        let path = |t: Option<&str>| -> Result<String, TraceError> {
+            let p = t.ok_or_else(|| err(line_no, "missing path"))?;
+            fsapi::path::normalize(p).map_err(|e| err(line_no, e.to_string()))
+        };
+        let op = match first {
+            "mkdir" => FsOp::Mkdir(path(toks.next())?, parse_mode(toks.next(), 0o755, line_no)?),
+            "create" => {
+                FsOp::Create(path(toks.next())?, parse_mode(toks.next(), 0o644, line_no)?)
+            }
+            "stat" => FsOp::Stat(path(toks.next())?),
+            "unlink" | "rm" => FsOp::Unlink(path(toks.next())?),
+            "rmdir" => FsOp::Rmdir(path(toks.next())?),
+            "readdir" | "ls" => FsOp::Readdir(path(toks.next())?),
+            "write" => {
+                let p = path(toks.next())?;
+                let offset = parse_num(toks.next(), "offset", line_no)?;
+                let len = parse_num(toks.next(), "length", line_no)? as usize;
+                // Synthetic, deterministic payload.
+                let data = (0..len).map(|j| (j % 251) as u8).collect();
+                FsOp::Write { path: p, offset, data }
+            }
+            "read" => {
+                let p = path(toks.next())?;
+                let offset = parse_num(toks.next(), "offset", line_no)?;
+                let len = parse_num(toks.next(), "length", line_no)? as usize;
+                FsOp::Read { path: p, offset, len }
+            }
+            "fsync" => FsOp::Fsync(path(toks.next())?),
+            other => return Err(err(line_no, format!("unknown operation: {other}"))),
+        };
+        if let Some(extra) = toks.next() {
+            return Err(err(line_no, format!("unexpected trailing token: {extra}")));
+        }
+        out.push((client, op));
+    }
+    Ok(out)
+}
+
+/// Split a parsed trace into per-client op lists (indices 0..=max client,
+/// preserving each client's program order).
+pub fn per_client(ops: Vec<(u32, FsOp)>) -> Vec<Vec<FsOp>> {
+    let max = ops.iter().map(|(c, _)| *c).max().unwrap_or(0);
+    let mut lists: Vec<Vec<FsOp>> = vec![Vec::new(); (max + 1) as usize];
+    for (c, op) in ops {
+        lists[c as usize].push(op);
+    }
+    lists
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op_kind() {
+        let text = "\
+# header comment
+mkdir /w 0755
+create /w/f        # default mode
+@2 write /w/f 10 4
+read /w/f 0 14
+stat /w/f
+fsync /w/f
+ls /w
+rm /w/f
+rmdir /w
+";
+        let ops = parse_trace(text).unwrap();
+        assert_eq!(ops.len(), 9);
+        assert_eq!(ops[0], (0, FsOp::Mkdir("/w".into(), 0o755)));
+        assert_eq!(ops[1], (0, FsOp::Create("/w/f".into(), 0o644)));
+        match &ops[2] {
+            (2, FsOp::Write { path, offset, data }) => {
+                assert_eq!(path, "/w/f");
+                assert_eq!(*offset, 10);
+                assert_eq!(data.len(), 4);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(ops[6], (0, FsOp::Readdir("/w".into())));
+        assert_eq!(ops[8], (0, FsOp::Rmdir("/w".into())));
+    }
+
+    #[test]
+    fn error_reporting_includes_line_numbers() {
+        assert_eq!(parse_trace("mkdir").unwrap_err().line, 1);
+        assert_eq!(parse_trace("\n\nbogus /x").unwrap_err().line, 3);
+        assert!(parse_trace("mkdir /w 9z9").unwrap_err().message.contains("mode"));
+        assert!(parse_trace("@x stat /p").unwrap_err().message.contains("client"));
+        assert!(parse_trace("stat /p extra").unwrap_err().message.contains("trailing"));
+        assert!(parse_trace("stat relative/path").unwrap_err().message.contains("absolute"));
+        assert!(parse_trace("write /p 0").unwrap_err().message.contains("length"));
+    }
+
+    #[test]
+    fn per_client_partitioning_preserves_order() {
+        let text = "@1 mkdir /a\n@0 mkdir /b\n@1 create /a/f\n";
+        let lists = per_client(parse_trace(text).unwrap());
+        assert_eq!(lists.len(), 2);
+        assert_eq!(lists[0], vec![FsOp::Mkdir("/b".into(), 0o755)]);
+        assert_eq!(
+            lists[1],
+            vec![FsOp::Mkdir("/a".into(), 0o755), FsOp::Create("/a/f".into(), 0o644)]
+        );
+    }
+
+    #[test]
+    fn replay_against_a_backend() {
+        use fsapi::{Credentials, FileSystem};
+        let dfs = dfs::DfsCluster::with_default_config(std::sync::Arc::new(
+            simnet::LatencyProfile::zero(),
+        ));
+        let fs = dfs.client();
+        let cred = Credentials::new(1, 1);
+        let text = "\
+mkdir /t 0777
+create /t/x 0644
+write /t/x 0 100
+read /t/x 0 100
+stat /t/x
+";
+        let ops = parse_trace(text).unwrap();
+        let list: Vec<FsOp> = ops.into_iter().map(|(_, op)| op).collect();
+        let (ok, errcount) = crate::ops::exec_all(&fs, &cred, &list);
+        assert_eq!((ok, errcount), (5, 0));
+        assert_eq!(fs.stat("/t/x", &cred).unwrap().size, 100);
+    }
+}

@@ -1,0 +1,82 @@
+//! Region merging (the paper's use case 2, Section III.B): two
+//! applications with non-overlapping workspaces share data through the
+//! DFS by merging their consistent regions — a producer/consumer
+//! pipeline where the consumer reads the producer's outputs with strong
+//! consistency and without waiting for commits.
+//!
+//! ```sh
+//! cargo run --example shared_workspace
+//! ```
+
+use std::sync::Arc;
+
+use fsapi::{Credentials, FileSystem, FsError, Perm};
+use pacon::{PaconConfig, PaconRegion, RegionPermissions};
+use simnet::{ClientId, LatencyProfile, Topology};
+
+fn main() {
+    let profile = Arc::new(LatencyProfile::zero());
+    let dfs = dfs::DfsCluster::with_default_config(profile);
+
+    // Application 1: a simulation writing results. Its region predefines
+    // batch permissions that let the analysis user read everything.
+    let sim_user = Credentials::new(1001, 1001);
+    let perms = RegionPermissions::uniform(0o700, sim_user)
+        .with_special("/scratch/sim/results", Perm::new(0o755, 1001, 1001));
+    let sim_region = PaconRegion::launch(
+        PaconConfig::new("/scratch/sim", Topology::new(2, 4), sim_user)
+            .with_permissions(perms),
+        &dfs,
+    )
+    .unwrap();
+
+    // Application 2: an analysis pipeline with its own workspace.
+    let ana_user = Credentials::new(2002, 2002);
+    let ana_region = PaconRegion::launch(
+        PaconConfig::new("/scratch/analysis", Topology::new(2, 4), ana_user),
+        &dfs,
+    )
+    .unwrap();
+
+    // The simulation produces results (async commit, cache-speed).
+    let producer = sim_region.client(ClientId(0));
+    producer.mkdir("/scratch/sim/results", &sim_user, 0o755).unwrap();
+    producer.create("/scratch/sim/results/spectrum.csv", &sim_user, 0o644).unwrap();
+    producer
+        .write("/scratch/sim/results/spectrum.csv", &sim_user, 0, b"k,power\n1,0.93\n2,0.41\n")
+        .unwrap();
+    // Private scratch stays protected by the normal permission (0700).
+    producer.create("/scratch/sim/wip.tmp", &sim_user, 0o600).unwrap();
+
+    // The analysis merges the simulation's region: read-only, strongly
+    // consistent access to the producer's primary copy.
+    let consumer = ana_region.client(ClientId(0));
+    consumer.merge_region(sim_region.handle());
+
+    let st = consumer.stat("/scratch/sim/results/spectrum.csv", &ana_user).unwrap();
+    println!("consumer sees spectrum.csv ({} bytes) before any commit", st.size);
+    let data = consumer.read("/scratch/sim/results/spectrum.csv", &ana_user, 0, 256).unwrap();
+    println!("consumer reads: {:?}", String::from_utf8_lossy(&data));
+
+    // The special-permission list guards the rest of the workspace.
+    assert_eq!(
+        consumer.stat("/scratch/sim/wip.tmp", &ana_user),
+        Err(FsError::PermissionDenied)
+    );
+    // Merged regions are read-only.
+    assert_eq!(
+        consumer.create("/scratch/sim/results/mine.txt", &ana_user, 0o644),
+        Err(FsError::PermissionDenied)
+    );
+
+    // The consumer writes its own findings into its own region.
+    consumer.create("/scratch/analysis/report.md", &ana_user, 0o644).unwrap();
+    consumer
+        .write("/scratch/analysis/report.md", &ana_user, 0, b"# peak at k=1\n")
+        .unwrap();
+    println!("consumer wrote its report in its own region");
+
+    sim_region.shutdown().unwrap();
+    ana_region.shutdown().unwrap();
+    println!("shared_workspace OK");
+}

@@ -1,0 +1,81 @@
+//! The discrete-event driver and the real-thread runtime must agree on
+//! functional outcomes: the same workload leaves the same DFS namespace
+//! whether the commit processes run as threads (wall clock) or as DES
+//! background processes (virtual time).
+
+use std::sync::Arc;
+
+use fsapi::Credentials;
+use pacon::{PaconConfig, PaconRegion};
+use simnet::{LatencyProfile, Topology};
+use workloads::driver::{run_closed_loop, FsOpClient, PaconWorkerProc};
+use workloads::mdtest;
+
+fn final_namespace(dfs: &Arc<dfs::DfsCluster>) -> Vec<(String, fsapi::FileKind, u64)> {
+    dfs.snapshot()
+}
+
+#[test]
+fn des_and_threaded_runtimes_produce_identical_namespaces() {
+    let cred = Credentials::new(1, 1);
+    let topo = Topology::new(3, 4);
+    let items = 30u32;
+
+    // --- threaded run ---------------------------------------------------
+    let profile = Arc::new(LatencyProfile::zero());
+    let dfs_threads = dfs::DfsCluster::with_default_config(Arc::clone(&profile));
+    {
+        let region = PaconRegion::launch(
+            PaconConfig::new("/w", topo, cred),
+            &dfs_threads,
+        )
+        .unwrap();
+        let lists: Vec<_> = topo
+            .clients()
+            .map(|c| {
+                let mut ops = mdtest::mkdir_phase("/w", c.0, items / 2);
+                ops.extend(mdtest::create_phase("/w", c.0, items));
+                ops
+            })
+            .collect();
+        workloads::threaded::run_threads(
+            |i| Box::new(region.client(simnet::ClientId(i as u32))),
+            cred,
+            lists,
+        );
+        region.shutdown().unwrap();
+    }
+
+    // --- DES run ----------------------------------------------------------
+    let profile = Arc::new(LatencyProfile::default()); // costs exercised too
+    let dfs_des = dfs::DfsCluster::with_default_config(Arc::clone(&profile));
+    {
+        let region = PaconRegion::launch_paused(
+            PaconConfig::new("/w", topo, cred),
+            &dfs_des,
+        )
+        .unwrap();
+        let clients: Vec<FsOpClient> = topo
+            .clients()
+            .map(|c| {
+                let mut ops = mdtest::mkdir_phase("/w", c.0, items / 2);
+                ops.extend(mdtest::create_phase("/w", c.0, items));
+                FsOpClient::new(Box::new(region.client(c)), cred, ops)
+            })
+            .collect();
+        let workers: Vec<PaconWorkerProc> = (0..topo.nodes as usize)
+            .map(|n| PaconWorkerProc::new(region.take_worker(n)))
+            .collect();
+        let res = run_closed_loop(clients, workers);
+        assert_eq!(res.measured_ops as u32, topo.total_clients() * (items + items / 2));
+    }
+
+    let a = final_namespace(&dfs_threads);
+    let b = final_namespace(&dfs_des);
+    assert_eq!(a, b, "threaded and DES runtimes must agree");
+    assert_eq!(
+        a.len() as u32,
+        1 + 1 + topo.total_clients() * (items + items / 2),
+        "root + /w + every created entry"
+    );
+}

@@ -1,0 +1,75 @@
+//! Failure injection: transient MDS outages must not lose committed-
+//! queue operations — the independent-commit resubmission absorbs them
+//! (Section III.E-1's "resubmit the operation until it succeeds").
+
+use std::sync::Arc;
+
+use fsapi::{Credentials, FileSystem, FsError};
+use pacon::{PaconConfig, PaconRegion};
+use simnet::{ClientId, LatencyProfile, Topology};
+
+#[test]
+fn transient_mds_outage_is_absorbed_by_resubmission() {
+    let dfs = dfs::DfsCluster::with_default_config(Arc::new(LatencyProfile::zero()));
+    let cred = Credentials::new(1, 1);
+    let region = PaconRegion::launch(
+        PaconConfig::new("/job", Topology::new(1, 2), cred),
+        &dfs,
+    )
+    .unwrap();
+    let c = region.client(ClientId(0));
+
+    // Arm 25 transient failures, then push 40 creates through.
+    dfs.inject_mds_failures(0, 25);
+    for i in 0..40 {
+        c.create(&format!("/job/f{i:02}"), &cred, 0o644).unwrap();
+    }
+    region.quiesce();
+    assert_eq!(dfs.mds_counter("injected_failures"), 25, "all faults fired");
+    // Every create survived the outage.
+    assert_eq!(dfs.client().readdir("/job", &cred).unwrap().len(), 40);
+    let report = region.report();
+    assert_eq!(report.committed, 40);
+    assert!(report.resubmitted >= 25, "each fault forces at least one resubmission");
+    region.shutdown().unwrap();
+}
+
+#[test]
+fn client_side_sync_paths_surface_transient_errors() {
+    // Synchronous paths (redirection, getattr misses) see the raw error —
+    // Pacon does not mask DFS failures outside the commit pipeline.
+    let dfs = dfs::DfsCluster::with_default_config(Arc::new(LatencyProfile::zero()));
+    let cred = Credentials::new(1, 1);
+    dfs.client().create("/outside", &cred, 0o644).unwrap();
+    let region = PaconRegion::launch(
+        PaconConfig::new("/job", Topology::new(1, 1), cred),
+        &dfs,
+    )
+    .unwrap();
+    let c = region.client(ClientId(0));
+    dfs.inject_mds_failures(0, 1);
+    assert!(matches!(c.stat("/outside", &cred), Err(FsError::Backend(_))));
+    // Next attempt succeeds (fault consumed).
+    assert!(c.stat("/outside", &cred).unwrap().is_file());
+    region.shutdown().unwrap();
+}
+
+#[test]
+fn persistent_outage_exhausts_the_retry_budget() {
+    let dfs = dfs::DfsCluster::with_default_config(Arc::new(LatencyProfile::zero()));
+    let cred = Credentials::new(1, 1);
+    let mut config = PaconConfig::new("/job", Topology::new(1, 1), cred);
+    config.max_commit_retries = 10;
+    let region = PaconRegion::launch(config, &dfs).unwrap();
+    let c = region.client(ClientId(0));
+    // Far more failures than the budget allows.
+    dfs.inject_mds_failures(0, 1_000);
+    c.create("/job/doomed", &cred, 0o644).unwrap();
+    region.quiesce();
+    let report = region.report();
+    assert_eq!(report.committed, 0);
+    assert_eq!(report.discarded, 1, "retry budget must bound the outage");
+    // Primary copy still serves the application.
+    assert!(c.stat("/job/doomed", &cred).unwrap().is_file());
+    region.shutdown().unwrap();
+}

@@ -1,0 +1,91 @@
+//! The node's-eye view: a `MountTable` splices Pacon regions over their
+//! workspaces with the raw DFS underneath — the composable equivalent of
+//! the FS hooking the paper uses to deploy Pacon transparently.
+
+use std::sync::Arc;
+
+use fsapi::{Credentials, FileSystem, FsError, MountTable};
+use pacon::{PaconConfig, PaconRegion};
+use simnet::{ClientId, LatencyProfile, Topology};
+use workloads::trace;
+
+#[test]
+fn mount_table_splices_pacon_over_the_dfs() {
+    let profile = Arc::new(LatencyProfile::zero());
+    let dfs = dfs::DfsCluster::with_default_config(profile);
+    let cred = Credentials::new(1, 1);
+    let region = PaconRegion::launch(
+        PaconConfig::new("/scratch/app", Topology::new(2, 2), cred),
+        &dfs,
+    )
+    .unwrap();
+
+    // One process's file-system view: Pacon where the workspace is,
+    // plain DFS everywhere else.
+    let mut view = MountTable::new();
+    view.mount("/", Box::new(dfs.client())).unwrap();
+    view.mount("/scratch/app", Box::new(region.client(ClientId(0)))).unwrap();
+
+    // Workspace ops go through Pacon (async commit: visible in the view
+    // instantly, on the raw DFS only after quiesce).
+    view.create("/scratch/app/result", &cred, 0o644).unwrap();
+    assert!(view.stat("/scratch/app/result", &cred).unwrap().is_file());
+
+    // Non-workspace ops go straight to the DFS.
+    view.mkdir("/etc-like", &cred, 0o755).unwrap();
+    assert!(dfs.client().stat("/etc-like", &cred).unwrap().is_dir());
+
+    region.quiesce();
+    assert!(dfs.client().stat("/scratch/app/result", &cred).unwrap().is_file());
+
+    // Unmounting the region exposes the raw (committed) DFS content.
+    let _pacon_fs = view.unmount("/scratch/app").unwrap();
+    assert!(view.stat("/scratch/app/result", &cred).unwrap().is_file());
+    region.shutdown().unwrap();
+}
+
+#[test]
+fn trace_replay_through_a_mounted_view() {
+    let profile = Arc::new(LatencyProfile::zero());
+    let dfs = dfs::DfsCluster::with_default_config(profile);
+    let cred = Credentials::new(1, 1);
+    let region =
+        PaconRegion::launch(PaconConfig::new("/w", Topology::new(1, 1), cred), &dfs).unwrap();
+
+    let mut view = MountTable::new();
+    view.mount("/", Box::new(dfs.client())).unwrap();
+    view.mount("/w", Box::new(region.client(ClientId(0)))).unwrap();
+
+    let text = "\
+mkdir /w/out
+create /w/out/a.dat 0644
+write /w/out/a.dat 0 512
+mkdir /elsewhere
+create /elsewhere/log 0644
+stat /w/out/a.dat
+readdir /w/out
+";
+    let ops = trace::parse_trace(text).unwrap();
+    for (_, op) in ops {
+        op.exec(&view, &cred).unwrap();
+    }
+    assert_eq!(view.stat("/w/out/a.dat", &cred).unwrap().size, 512);
+    // The non-workspace file bypassed Pacon entirely.
+    assert!(dfs.client().stat("/elsewhere/log", &cred).unwrap().is_file());
+    assert!(region.report().committed >= 2);
+    region.shutdown().unwrap();
+}
+
+#[test]
+fn view_without_root_mount_rejects_outside_paths() {
+    let profile = Arc::new(LatencyProfile::zero());
+    let dfs = dfs::DfsCluster::with_default_config(profile);
+    let cred = Credentials::new(1, 1);
+    let region =
+        PaconRegion::launch(PaconConfig::new("/w", Topology::new(1, 1), cred), &dfs).unwrap();
+    let mut view = MountTable::new();
+    view.mount("/w", Box::new(region.client(ClientId(0)))).unwrap();
+    view.create("/w/ok", &cred, 0o644).unwrap();
+    assert_eq!(view.create("/outside", &cred, 0o644), Err(FsError::NotFound));
+    region.shutdown().unwrap();
+}
