@@ -1,0 +1,124 @@
+//! Commit-throughput benchmark for group commit (DESIGN.md §5.1).
+//!
+//! mdtest-style create storm on the default simnet profile, swept over
+//! the group-commit batch size. Batching amortizes three per-op costs on
+//! the commit path: the queue dispatch charge, the client→MDS round trip,
+//! and the MDS service demand (one namespace-lock acquisition per batch
+//! instead of per op) — the MDS is the bottleneck station, so commit
+//! throughput scales with the batch size until the per-op slice
+//! (`mds_batch_per_op`) dominates.
+//!
+//! Emits `BENCH_commit_batch.json` at the repository root with ops/s per
+//! batch size and the headline speedup of batch 32 over unbatched.
+
+use std::sync::Arc;
+
+use pacon_bench::*;
+use simnet::{LatencyProfile, Topology};
+use workloads::mdtest;
+
+const BATCH_SIZES: [usize; 3] = [1, 8, 32];
+
+fn main() {
+    let profile = Arc::new(LatencyProfile::default());
+    let topo = Topology::new(8, 20);
+    let items: u32 = std::env::var("PACON_BENCH_ITEMS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100);
+
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for batch in BATCH_SIZES {
+        let bed = pacon_testbed_with(Arc::clone(&profile), topo, "/app", |c| {
+            c.with_commit_batch(batch)
+        });
+        let pool = WorkerPool::claim(&bed);
+        let res = run_phase(&bed, &pool, |c| mdtest::create_phase("/app", c.0, items));
+
+        let report = bed.regions()[0].report();
+        let expected = topo.total_clients() as u64 * items as u64;
+        assert_eq!(
+            report.committed, expected,
+            "every create must reach the DFS (batch={batch})"
+        );
+        if batch > 1 {
+            assert!(
+                report.batches_flushed > 0,
+                "batched run must actually flush batches (batch={batch})"
+            );
+        }
+
+        // Commit throughput: the pipeline runs concurrently with the
+        // clients and finishes last, at `drained_ns` — ops landed on the
+        // DFS per second of total virtual time. (Client-perceived create
+        // rate barely moves with batching: clients return after the cache
+        // write either way; the win is downstream, at the MDS.)
+        let commit_ops_per_sec = report.committed as f64 * 1e9 / res.run.drained_ns as f64;
+
+        let label = if batch == 1 { "unbatched".to_string() } else { format!("batch {batch}") };
+        rows.push(vec![
+            label,
+            fmt_ops(commit_ops_per_sec),
+            fmt_ops(res.ops_per_sec),
+            report.batches_flushed.to_string(),
+            report.batched_ops.to_string(),
+        ]);
+        series.push((
+            batch,
+            commit_ops_per_sec,
+            res.ops_per_sec,
+            report.batches_flushed,
+            report.batched_ops,
+        ));
+    }
+
+    print_table(
+        "Group commit: commit throughput vs batch size (160 clients, default profile)",
+        &["config", "commit ops/s", "client ops/s", "batches", "batched ops"].map(String::from),
+        &rows,
+    );
+
+    let base = series[0].1;
+    let best = series.last().unwrap();
+    let speedup = best.1 / base;
+    println!(
+        "\nbatch {} vs unbatched: {:.2}x commit throughput",
+        best.0, speedup
+    );
+    assert!(
+        speedup >= 1.5,
+        "acceptance: batch {} must deliver >= 1.5x over unbatched, got {speedup:.2}x",
+        best.0
+    );
+
+    // Hand-rolled JSON (no serde in the workspace).
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"commit_batch\",\n");
+    json.push_str("  \"workload\": \"mdtest create\",\n");
+    json.push_str(&format!(
+        "  \"topology\": {{ \"nodes\": {}, \"clients_per_node\": {} }},\n",
+        topo.nodes, topo.clients_per_node
+    ));
+    json.push_str(&format!("  \"items_per_client\": {items},\n"));
+    json.push_str("  \"series\": [\n");
+    for (i, (batch, commit_ops, client_ops, flushed, batched_ops)) in series.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"batch_size\": {batch}, \"commit_ops_per_sec\": {commit_ops:.1}, \
+             \"client_ops_per_sec\": {client_ops:.1}, \
+             \"batches_flushed\": {flushed}, \"batched_ops\": {batched_ops} }}{}\n",
+            if i + 1 < series.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"speedup_batch{}_vs_unbatched\": {speedup:.2}\n",
+        best.0
+    ));
+    json.push_str("}\n");
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_commit_batch.json");
+    std::fs::write(out, json).expect("write BENCH_commit_batch.json");
+    println!("wrote {out}");
+}

@@ -20,6 +20,7 @@ use simnet::{charge, Counters, Station};
 
 use crate::cluster::DfsCluster;
 use crate::datasrv::CHUNK_SIZE;
+use crate::mds::BatchOp;
 use crate::namespace::Ino;
 
 /// One cached dentry: inode, permission bits and entry kind (the kind
@@ -190,6 +191,43 @@ impl DfsClient {
             Dentry { ino, perm: Perm::new(mode, cred.uid, cred.gid), kind },
         );
         Ok(())
+    }
+
+    /// Apply a batch of namespace updates in one RPC (group commit): a
+    /// single storage round trip and a single MDS request carrying every
+    /// op. Results come back per op in input order; the dentry cache is
+    /// maintained for each op that succeeded. Batches route to one MDS
+    /// (root-sharded), matching the single-MDS testbed the paper runs.
+    pub fn apply_batch(&self, ops: &[BatchOp], cred: &Credentials) -> Vec<FsResult<()>> {
+        if ops.is_empty() {
+            return Vec::new();
+        }
+        self.counters.incr("batch_rpcs");
+        self.charge_rtt();
+        let results = self.cluster.mds_for(Ino::ROOT).apply_batch(ops, cred);
+        let mut dentries = self.dentries.lock();
+        ops.iter()
+            .zip(results)
+            .map(|(op, res)| {
+                let ino = res?;
+                match op {
+                    BatchOp::Mkdir { path, mode } => {
+                        let perm = Perm::new(*mode, cred.uid, cred.gid);
+                        dentries.insert(path.clone(), Dentry { ino, perm, kind: FileKind::Dir });
+                    }
+                    BatchOp::Create { path, mode } => {
+                        let perm = Perm::new(*mode, cred.uid, cred.gid);
+                        dentries
+                            .insert(path.clone(), Dentry { ino, perm, kind: FileKind::File });
+                    }
+                    BatchOp::Unlink { path } => {
+                        dentries.remove(path);
+                        self.cluster.drop_file(ino);
+                    }
+                }
+                Ok(())
+            })
+            .collect()
     }
 
     /// Number of dentries currently cached (diagnostics).

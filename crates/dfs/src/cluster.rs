@@ -131,6 +131,12 @@ impl DfsCluster {
     pub fn inject_mds_failures(&self, mds_id: u32, n: u64) {
         self.mds[mds_id as usize].inject_failures(n);
     }
+
+    /// Fault injection: the next `n` mutations at MDS `mds_id` apply but
+    /// lose their reply (duplicate-replay hazard for the caller).
+    pub fn inject_mds_reply_loss(&self, mds_id: u32, n: u64) {
+        self.mds[mds_id as usize].inject_reply_loss(n);
+    }
 }
 
 #[cfg(test)]

@@ -26,4 +26,5 @@ pub mod namespace;
 
 pub use client::DfsClient;
 pub use cluster::{DfsCluster, DfsConfig};
+pub use mds::BatchOp;
 pub use namespace::Ino;

@@ -10,11 +10,32 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use fsapi::{Credentials, FileKind, FileStat, FsError, FsResult};
+use fsapi::{path as fspath, Credentials, FileKind, FileStat, FsError, FsResult};
 use parking_lot::RwLock;
 use simnet::{charge, Counters, LatencyProfile, Station};
 
 use crate::namespace::{Ino, Namespace};
+
+/// One namespace operation inside a batched update request (group
+/// commit). Paths are full normalized paths; the server resolves them
+/// under a single namespace-lock acquisition. Inline-data writebacks are
+/// data-path operations and never appear here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOp {
+    Mkdir { path: String, mode: u16 },
+    Create { path: String, mode: u16 },
+    Unlink { path: String },
+}
+
+impl BatchOp {
+    pub fn path(&self) -> &str {
+        match self {
+            BatchOp::Mkdir { path, .. }
+            | BatchOp::Create { path, .. }
+            | BatchOp::Unlink { path } => path,
+        }
+    }
+}
 
 /// One metadata server instance.
 pub struct Mds {
@@ -25,6 +46,10 @@ pub struct Mds {
     /// Fault injection: the next N requests fail with a backend error
     /// (transient MDS outage / RPC timeout).
     inject_failures: AtomicU64,
+    /// Fault injection: the next N mutating requests *apply* but their
+    /// reply is lost (the client sees a backend error for work that
+    /// actually happened — the classic duplicate-replay hazard).
+    inject_reply_loss: AtomicU64,
 }
 
 impl Mds {
@@ -39,6 +64,7 @@ impl Mds {
             profile,
             counters: Counters::new(),
             inject_failures: AtomicU64::new(0),
+            inject_reply_loss: AtomicU64::new(0),
         })
     }
 
@@ -50,6 +76,15 @@ impl Mds {
     /// injection experiments).
     pub fn inject_failures(&self, n: u64) {
         self.inject_failures.store(n, Ordering::Release);
+    }
+
+    /// Make the next `n` mutating requests apply their update but lose
+    /// the reply: the caller sees `FsError::Backend` even though the
+    /// namespace changed. Replaying such a request hits `AlreadyExists`
+    /// (creations) — the idempotent-replay case commit processes must
+    /// absorb.
+    pub fn inject_reply_loss(&self, n: u64) {
+        self.inject_reply_loss.store(n, Ordering::Release);
     }
 
     /// Consume one injected failure if armed.
@@ -65,6 +100,27 @@ impl Mds {
                 Ok(_) => {
                     self.counters.incr("injected_failures");
                     return Err(FsError::Backend("injected MDS failure".into()));
+                }
+                Err(now) => cur = now,
+            }
+        }
+        Ok(())
+    }
+
+    /// Consume one injected reply loss if armed. Call *after* a mutation
+    /// applied successfully.
+    fn check_reply_loss(&self) -> FsResult<()> {
+        let mut cur = self.inject_reply_loss.load(Ordering::Acquire);
+        while cur > 0 {
+            match self.inject_reply_loss.compare_exchange(
+                cur,
+                cur - 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.counters.incr("injected_reply_losses");
+                    return Err(FsError::Backend("injected reply loss".into()));
                 }
                 Err(now) => cur = now,
             }
@@ -129,7 +185,9 @@ impl Mds {
             FileKind::Dir => "mkdir",
         });
         self.check_fault()?;
-        self.ns.write().create_child(parent, name, kind, mode, cred)
+        let ino = self.ns.write().create_child(parent, name, kind, mode, cred)?;
+        self.check_reply_loss()?;
+        Ok(ino)
     }
 
     /// Unlink a file; returns the removed inode for chunk reclamation.
@@ -137,7 +195,64 @@ impl Mds {
         charge(self.station(), self.profile.mds_unlink);
         self.counters.incr("unlink");
         self.check_fault()?;
-        self.ns.write().unlink_child(parent, name, cred)
+        let ino = self.ns.write().unlink_child(parent, name, cred)?;
+        self.check_reply_loss()?;
+        Ok(ino)
+    }
+
+    /// Apply a batched namespace update (group commit): one RPC carrying
+    /// many operations, handled under a *single* namespace-lock
+    /// acquisition. Each op resolves its own parent inside the lock and
+    /// succeeds or fails independently; the per-op results come back in
+    /// input order. Injected failures are consumed per op, exactly like
+    /// the single-op handlers — an outage window of `n` armed failures
+    /// fails `n` consecutive ops (possibly mid-batch) while every other
+    /// op in the same batch applies, the partial-failure shape the
+    /// commit process must disaggregate.
+    pub fn apply_batch(&self, ops: &[BatchOp], cred: &Credentials) -> Vec<FsResult<Ino>> {
+        charge(
+            self.station(),
+            self.profile.mds_batch_base + ops.len() as u64 * self.profile.mds_batch_per_op,
+        );
+        self.counters.incr("batch");
+        self.counters.add("batch_ops", ops.len() as u64);
+        let mut ns = self.ns.write();
+        ops.iter()
+            .map(|op| {
+                self.check_fault()?;
+                let (parent, name) = Self::resolve_parent_locked(&ns, op.path(), cred)?;
+                let ino = match op {
+                    BatchOp::Mkdir { mode, .. } => {
+                        ns.create_child(parent, &name, FileKind::Dir, *mode, cred)?
+                    }
+                    BatchOp::Create { mode, .. } => {
+                        ns.create_child(parent, &name, FileKind::File, *mode, cred)?
+                    }
+                    BatchOp::Unlink { .. } => ns.unlink_child(parent, &name, cred)?,
+                };
+                self.check_reply_loss()?;
+                Ok(ino)
+            })
+            .collect()
+    }
+
+    /// Resolve `path`'s parent directory component by component inside
+    /// an already-held namespace lock (X-permission checks included via
+    /// `Namespace::lookup`).
+    fn resolve_parent_locked(
+        ns: &Namespace,
+        path: &str,
+        cred: &Credentials,
+    ) -> FsResult<(Ino, String)> {
+        let parent = fspath::parent(path)
+            .ok_or_else(|| FsError::InvalidPath(format!("no parent: {path}")))?;
+        let name = fspath::basename(path)
+            .ok_or_else(|| FsError::InvalidPath(format!("no name: {path}")))?;
+        let mut cur = Ino::ROOT;
+        for comp in fspath::components(parent) {
+            cur = ns.lookup(cur, comp, cred)?;
+        }
+        Ok((cur, name.to_string()))
     }
 
     /// Remove an empty directory.
@@ -229,5 +344,77 @@ mod tests {
         m.lookup(Ino::ROOT, "a", &cred).unwrap();
         assert_eq!(m.counters.get("create"), 1);
         assert_eq!(m.counters.get("lookup"), 2);
+    }
+
+    #[test]
+    fn batch_applies_in_order_and_charges_once() {
+        let m = mds();
+        let cred = Credentials::new(1, 1);
+        let profile = LatencyProfile::default();
+        let ops = vec![
+            BatchOp::Mkdir { path: "/d".into(), mode: 0o755 },
+            BatchOp::Create { path: "/d/f".into(), mode: 0o644 },
+            BatchOp::Create { path: "/d/g".into(), mode: 0o644 },
+            BatchOp::Unlink { path: "/d/f".into() },
+        ];
+        let (results, t) = with_recording(|| m.apply_batch(&ops, &cred));
+        assert!(results.iter().all(|r| r.is_ok()), "{results:?}");
+        assert_eq!(
+            t.station_ns(Station::Mds(0)),
+            profile.mds_batch_base + 4 * profile.mds_batch_per_op,
+            "one batch charge, not per-op standalone demands"
+        );
+        // The dir survives with only /d/g inside.
+        let d = m.lookup(Ino::ROOT, "d", &cred).unwrap();
+        assert!(m.lookup(d, "g", &cred).is_ok());
+        assert_eq!(m.lookup(d, "f", &cred), Err(FsError::NotFound));
+        assert_eq!(m.counters.get("batch"), 1);
+        assert_eq!(m.counters.get("batch_ops"), 4);
+    }
+
+    #[test]
+    fn batch_ops_fail_independently() {
+        let m = mds();
+        let cred = Credentials::new(1, 1);
+        let ops = vec![
+            BatchOp::Create { path: "/a".into(), mode: 0o644 },
+            BatchOp::Create { path: "/missing/f".into(), mode: 0o644 },
+            BatchOp::Create { path: "/b".into(), mode: 0o644 },
+        ];
+        let results = m.apply_batch(&ops, &cred);
+        assert!(results[0].is_ok());
+        assert_eq!(results[1].as_ref().err(), Some(&FsError::NotFound));
+        assert!(results[2].is_ok(), "a namespace rejection must not poison the batch");
+    }
+
+    #[test]
+    fn outage_window_fails_a_contiguous_run_inside_a_batch() {
+        let m = mds();
+        let cred = Credentials::new(1, 1);
+        let ops: Vec<BatchOp> = (0..5)
+            .map(|i| BatchOp::Create { path: format!("/f{i}"), mode: 0o644 })
+            .collect();
+        m.inject_failures(2);
+        let results = m.apply_batch(&ops, &cred);
+        assert!(matches!(results[0], Err(FsError::Backend(_))));
+        assert!(matches!(results[1], Err(FsError::Backend(_))));
+        assert!(results[2..].iter().all(|r| r.is_ok()), "{results:?}");
+        // Exactly the survivors exist.
+        assert_eq!(m.lookup(Ino::ROOT, "f0", &cred), Err(FsError::NotFound));
+        assert!(m.lookup(Ino::ROOT, "f2", &cred).is_ok());
+        assert_eq!(m.counters.get("injected_failures"), 2);
+    }
+
+    #[test]
+    fn reply_loss_applies_but_reports_failure() {
+        let m = mds();
+        let cred = Credentials::new(1, 1);
+        m.inject_reply_loss(1);
+        let res = m.create(Ino::ROOT, "ghost", FileKind::File, 0o644, &cred);
+        assert!(matches!(res, Err(FsError::Backend(_))));
+        // The op applied despite the error: a replay sees AlreadyExists.
+        assert!(m.lookup(Ino::ROOT, "ghost", &cred).is_ok());
+        let replay = m.create(Ino::ROOT, "ghost", FileKind::File, 0o644, &cred);
+        assert_eq!(replay.err(), Some(FsError::AlreadyExists));
     }
 }

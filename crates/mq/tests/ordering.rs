@@ -2,10 +2,57 @@
 //!
 //! Pacon's correctness argument leans on two queue properties: messages
 //! from one publisher are delivered in publish order (program order per
-//! client), and nothing is lost or duplicated under concurrency.
+//! client), and nothing is lost or duplicated under concurrency. Group
+//! commit adds a third: a *batched* message is one queue element, so its
+//! inner ops stay contiguous and ordered relative to the publisher's
+//! singles and barrier markers — including through the disconnect-after-
+//! drain path used at shutdown.
 
-use mq::push_pull;
+use mq::{push_pull, TryRecvError};
 use proptest::prelude::*;
+
+/// Miniature of the commit queue's payload shapes: single ops, batches of
+/// ops, and barrier markers. Op ids are per-publisher sequence numbers.
+#[derive(Clone, Debug, PartialEq)]
+enum Payload {
+    Single(usize),
+    Batch(Vec<usize>),
+    Barrier(usize),
+}
+
+/// `(kind, len)`: 0 = single, 1 = batch of `len`, 2 = barrier.
+fn shape_strategy() -> impl Strategy<Value = (u8, usize)> {
+    prop_oneof![
+        3 => Just((0u8, 1usize)),
+        3 => (2usize..6).prop_map(|l| (1u8, l)),
+        2 => Just((2u8, 0usize)),
+    ]
+}
+
+/// Build one publisher's message stream from its generated shapes, plus
+/// the op count expected at each barrier marker.
+fn build_stream(plan: &[(u8, usize)]) -> (Vec<Payload>, Vec<usize>, usize) {
+    let mut msgs = Vec::new();
+    let mut ops_at_barrier = Vec::new();
+    let mut next_op = 0usize;
+    for &(kind, len) in plan {
+        match kind {
+            0 => {
+                msgs.push(Payload::Single(next_op));
+                next_op += 1;
+            }
+            1 => {
+                msgs.push(Payload::Batch((next_op..next_op + len).collect()));
+                next_op += len;
+            }
+            _ => {
+                ops_at_barrier.push(next_op);
+                msgs.push(Payload::Barrier(ops_at_barrier.len() - 1));
+            }
+        }
+    }
+    (msgs, ops_at_barrier, next_op)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -55,5 +102,98 @@ proptest! {
             prop_assert_eq!(seq, &(0..counts[p]).collect::<Vec<_>>(),
                 "publisher {} order violated", p);
         }
+    }
+
+    /// Batched messages interleaved with singles and barrier markers from
+    /// concurrent publishers: flattening each publisher's stream yields
+    /// its exact publish order, every barrier arrives after precisely the
+    /// ops published before it, and batches stay contiguous (they are one
+    /// queue element).
+    #[test]
+    fn batched_payloads_keep_per_publisher_fifo_across_barriers(
+        plans in proptest::collection::vec(
+            proptest::collection::vec(shape_strategy(), 1..40),
+            2..5,
+        ),
+    ) {
+        let (tx0, rx) = push_pull::<(usize, Payload)>(16);
+        let mut expected_ops = Vec::new();
+        let mut expected_barrier_cuts = Vec::new();
+        let mut producers = Vec::new();
+        for (p, plan) in plans.iter().enumerate() {
+            let (msgs, cuts, n_ops) = build_stream(plan);
+            expected_ops.push(n_ops);
+            expected_barrier_cuts.push(cuts);
+            let tx = tx0.clone();
+            producers.push(std::thread::spawn(move || {
+                for m in msgs {
+                    tx.send((p, m)).unwrap();
+                }
+            }));
+        }
+        drop(tx0);
+
+        let mut ops_seen = vec![0usize; plans.len()];
+        let mut barriers_seen = vec![0usize; plans.len()];
+        while let Ok((p, payload)) = rx.recv() {
+            match payload {
+                Payload::Single(i) => {
+                    prop_assert_eq!(i, ops_seen[p], "publisher {} FIFO violated", p);
+                    ops_seen[p] += 1;
+                }
+                Payload::Batch(batch) => {
+                    for i in batch {
+                        prop_assert_eq!(i, ops_seen[p], "publisher {} batch order violated", p);
+                        ops_seen[p] += 1;
+                    }
+                }
+                Payload::Barrier(k) => {
+                    prop_assert_eq!(k, barriers_seen[p], "publisher {} barrier order", p);
+                    prop_assert_eq!(
+                        ops_seen[p], expected_barrier_cuts[p][k],
+                        "barrier {} of publisher {} overtook or lagged its ops", k, p
+                    );
+                    barriers_seen[p] += 1;
+                }
+            }
+        }
+        for h in producers {
+            h.join().unwrap();
+        }
+        prop_assert_eq!(&ops_seen, &expected_ops, "ops lost or duplicated");
+        for (p, cuts) in expected_barrier_cuts.iter().enumerate() {
+            prop_assert_eq!(barriers_seen[p], cuts.len(), "barriers lost (publisher {})", p);
+        }
+    }
+
+    /// Disconnect-after-drain with batched payloads: everything queued
+    /// before the last publisher drops — batches, singles, markers — is
+    /// still delivered in order, and only then does the consumer see
+    /// `Disconnected`.
+    #[test]
+    fn disconnected_drain_delivers_batches_in_order(
+        plan in proptest::collection::vec(shape_strategy(), 1..30),
+    ) {
+        let (msgs, _, _) = build_stream(&plan);
+        // Capacity covers the whole stream: the publisher finishes and
+        // disconnects before the consumer pulls anything.
+        let (tx, rx) = push_pull::<Payload>(msgs.len().max(1));
+        for m in &msgs {
+            tx.send(m.clone()).unwrap();
+        }
+        drop(tx);
+
+        let mut got = Vec::new();
+        loop {
+            match rx.try_recv() {
+                Ok(m) => got.push(m),
+                Err(TryRecvError::Disconnected) => break,
+                Err(TryRecvError::Empty) => prop_assert!(
+                    false, "queue reported empty instead of disconnected after drain"
+                ),
+            }
+        }
+        prop_assert_eq!(got, msgs);
+        prop_assert!(matches!(rx.try_recv(), Err(TryRecvError::Disconnected)));
     }
 }

@@ -107,6 +107,9 @@ impl PaconClient {
         if self.core.config.synchronous_commit {
             return self.commit_synchronously(op);
         }
+        if self.core.config.commit_batch_size > 1 {
+            return self.publish_buffered(op);
+        }
         charge(Station::ClientCpu, self.profile().queue_push);
         let msg = QueueMsg {
             op,
@@ -118,6 +121,66 @@ impl PaconClient {
             .send(msg)
             .map_err(|_| FsError::Backend("commit queue closed".into()))?;
         self.core.note_enqueued();
+        Ok(())
+    }
+
+    /// Group commit: buffer the op in the node's publish buffer instead
+    /// of dispatching a queue message per op; flush as one batch message
+    /// when the buffer reaches the configured size. Coalescing may settle
+    /// the op entirely client-side (create×unlink annihilation, writeback
+    /// collapse) — those ops complete without ever touching the queue.
+    fn publish_buffered(&self, op: CommitOp) -> FsResult<()> {
+        use crate::commit::publish::Buffered;
+        let unlink_path = match &op {
+            CommitOp::Unlink { path } => Some(path.clone()),
+            _ => None,
+        };
+        let msg = QueueMsg {
+            op,
+            client: self.id.0,
+            epoch: self.core.board.current_epoch(),
+            timestamp: self.core.now(),
+        };
+        self.core.note_enqueued();
+        let node = self.node.index();
+        let mut buf = self.core.publish_bufs[node].lock();
+        let outcome = buf.push(msg, self.core.config.commit_batch_coalescing);
+        let flush = buf.len() >= self.core.config.commit_batch_size;
+        drop(buf);
+        match outcome {
+            Buffered::Queued => {
+                if flush {
+                    charge(Station::ClientCpu, self.profile().queue_push);
+                    // `flush_publish_buffer` re-takes the lock; a racing
+                    // publisher may have flushed first, which is fine —
+                    // an empty buffer makes this a no-op.
+                    self.core.flush_publish_buffer(node, &self.publishers[node])?;
+                }
+            }
+            Buffered::Cancelled { absorbed } => {
+                // The create (plus its trailing writebacks) and this
+                // unlink annihilated in the buffer: the file never reaches
+                // the DFS. Settle all of them as completed and mirror the
+                // worker's post-unlink cleanup on the primary copy.
+                for _ in 0..absorbed + 1 {
+                    self.core.note_completed();
+                }
+                self.core.counters.add("coalesced_cancel", absorbed as u64 + 1);
+                let path = unlink_path.expect("only unlinks cancel");
+                if let Some((meta, _)) = self.cache.get(&path) {
+                    if meta.removed {
+                        self.cache.delete(&path);
+                    }
+                }
+                self.core.staging.lock().remove(path.as_str());
+            }
+            Buffered::Collapsed => {
+                // Duplicate writeback absorbed by the buffered one, which
+                // reads the current primary copy at commit time anyway.
+                self.core.note_completed();
+                self.core.counters.incr("coalesced_collapse");
+            }
+        }
         Ok(())
     }
 
@@ -135,13 +198,21 @@ impl PaconClient {
                 }
                 r
             }
-            CommitOp::WriteInline { path } => match self.cache.get(path) {
-                Some((meta, _)) if !meta.removed && !meta.large => {
-                    self.dfs.write(path, &cred, 0, &meta.inline).map(|_| ())
+            CommitOp::WriteInline { path } => {
+                // Mirror the async worker: free the coalescing slot before
+                // reading the primary copy so later writes re-queue.
+                self.core.pending_writebacks.lock().remove(path.as_str());
+                match self.cache.get(path) {
+                    Some((meta, _)) if !meta.removed && !meta.large => {
+                        self.dfs.write(path, &cred, 0, &meta.inline).map(|_| ())
+                    }
+                    _ => Ok(()),
                 }
-                _ => Ok(()),
-            },
+            }
             CommitOp::Barrier { .. } => Ok(()),
+            // Batches are assembled by the publish buffer, which is never
+            // engaged in synchronous-commit mode.
+            CommitOp::Batch(_) => unreachable!("no group commit under synchronous_commit"),
         };
         if res.is_ok() {
             if let Some(path) = op.path() {
@@ -292,7 +363,11 @@ impl PaconClient {
     fn barrier(&self) -> FsResult<crate::commit::barrier::BarrierGuard<'_>> {
         let guard = self.core.board.start_barrier();
         let epoch = guard.epoch();
-        for tx in &self.publishers {
+        for (n, tx) in self.publishers.iter().enumerate() {
+            // Barriers always force publish buffers out: every op queued
+            // before the marker must commit before the dependent op runs,
+            // including ops still coalescing below the batch threshold.
+            self.core.flush_publish_buffer(n, tx)?;
             charge(Station::ClientCpu, self.profile().queue_push);
             tx.send(QueueMsg {
                 op: CommitOp::Barrier { epoch },
@@ -431,6 +506,11 @@ impl FileSystem for PaconClient {
                 if updated.is_none() {
                     return Err(FsError::NotFound);
                 }
+                // Release the writeback-coalescing slot: a WriteInline
+                // queued before this unlink must not absorb writes made
+                // after a re-creation (the worker would apply it ahead of
+                // the queued unlink+create and the data would be lost).
+                self.core.pending_writebacks.lock().remove(path);
                 self.publish(CommitOp::Unlink { path: path.to_string() })?;
                 self.core.counters.incr("unlink");
                 Ok(())
@@ -484,6 +564,12 @@ impl FileSystem for PaconClient {
                 {
                     let mut staging = self.core.staging.lock();
                     staging.retain(|k, _| !fspath::is_same_or_ancestor(path, k));
+                }
+                {
+                    // Same rationale as unlink: re-creations after the
+                    // rmdir must queue fresh writebacks.
+                    let mut pending = self.core.pending_writebacks.lock();
+                    pending.retain(|k| !fspath::is_same_or_ancestor(path, k));
                 }
                 // Backup copy: everything earlier is committed, so the
                 // DFS subtree is complete; remove it synchronously.

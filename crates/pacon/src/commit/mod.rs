@@ -16,8 +16,10 @@
 
 pub mod barrier;
 pub mod op;
+pub mod publish;
 pub mod worker;
 
 pub use barrier::BarrierBoard;
 pub use op::{CommitOp, QueueMsg};
+pub use publish::{Buffered, PublishBuffer};
 pub use worker::{CommitWorker, WorkerStep};

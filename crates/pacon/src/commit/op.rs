@@ -16,6 +16,11 @@ pub enum CommitOp {
     /// Barrier marker: every op before this marker belongs to an epoch
     /// `< epoch` and must be committed before the dependent operation.
     Barrier { epoch: u64 },
+    /// Group commit: one queue message carrying many single operations in
+    /// publish order. Each inner message keeps its own client, epoch and
+    /// timestamp (they may straddle a coalescing window); inner ops are
+    /// always single ops — batches never nest and never carry barriers.
+    Batch(Vec<QueueMsg>),
 }
 
 impl CommitOp {
@@ -26,7 +31,7 @@ impl CommitOp {
             | CommitOp::Create { path, .. }
             | CommitOp::Unlink { path }
             | CommitOp::WriteInline { path } => Some(path),
-            CommitOp::Barrier { .. } => None,
+            CommitOp::Barrier { .. } | CommitOp::Batch(_) => None,
         }
     }
 

@@ -1,0 +1,240 @@
+//! Per-node publish buffer for group commit.
+//!
+//! Clients on one node funnel their operation messages through a shared
+//! [`PublishBuffer`] instead of pushing each one into the commit queue
+//! directly. The buffer flushes as one [`CommitOp::Batch`] message when
+//! it reaches the configured batch size, when a barrier needs the queue
+//! flushed, or when the node's commit process pulls it on an empty queue
+//! (liveness for quiesce/shutdown without a timer).
+//!
+//! While ops sit in the buffer they can still annihilate each other:
+//!
+//! * a buffered `Create{p}` cancels against an incoming `Unlink{p}` —
+//!   the file never reaches the DFS at all, and any inline writeback
+//!   queued after that create vanishes with it;
+//! * an incoming `WriteInline{p}` collapses into a buffered one when no
+//!   `Unlink`/`Create` for `p` intervenes (the commit process reads the
+//!   *current* primary copy at commit time, so one entry suffices). The
+//!   client-side `pending_writebacks` set already coalesces this case
+//!   before publish; the buffer-level rule is the backstop that keeps
+//!   the invariant local.
+//!
+//! Coalescing never crosses a flush boundary: once ops leave the buffer
+//! their queue order is final, and per-publisher FIFO of the underlying
+//! queue does the rest.
+
+use crate::commit::op::{CommitOp, QueueMsg};
+
+/// What happened to a pushed message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Buffered {
+    /// The message entered the buffer.
+    Queued,
+    /// An incoming `Unlink` annihilated a buffered `Create` of the same
+    /// path (plus the writebacks queued after it). `absorbed` counts the
+    /// buffered messages removed; the unlink itself was swallowed too,
+    /// so `absorbed + 1` operations complete without touching the queue.
+    Cancelled { absorbed: usize },
+    /// An incoming `WriteInline` collapsed into a buffered one.
+    Collapsed,
+}
+
+/// Order-preserving op buffer with pre-queue coalescing.
+#[derive(Debug, Default)]
+pub struct PublishBuffer {
+    ops: Vec<QueueMsg>,
+}
+
+impl PublishBuffer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Buffer `msg`, coalescing against buffered ops when allowed.
+    /// Barriers and batches must not be pushed — they bypass the buffer.
+    pub fn push(&mut self, msg: QueueMsg, coalesce: bool) -> Buffered {
+        debug_assert!(
+            !matches!(msg.op, CommitOp::Barrier { .. } | CommitOp::Batch(_)),
+            "barriers and batches bypass the publish buffer"
+        );
+        if coalesce {
+            match &msg.op {
+                CommitOp::Unlink { path } => {
+                    if let Some(absorbed) = self.cancel_create(path) {
+                        return Buffered::Cancelled { absorbed };
+                    }
+                }
+                CommitOp::WriteInline { path }
+                    if self.collapses_into_buffered_writeback(path) =>
+                {
+                    return Buffered::Collapsed;
+                }
+                _ => {}
+            }
+        }
+        self.ops.push(msg);
+        Buffered::Queued
+    }
+
+    /// Drain the buffer in publish order.
+    pub fn take_all(&mut self) -> Vec<QueueMsg> {
+        std::mem::take(&mut self.ops)
+    }
+
+    /// Annihilate the most recent buffered `Create{path}` together with
+    /// every `WriteInline{path}` queued after it (they belong to the
+    /// cancelled incarnation of the file). Returns how many buffered
+    /// messages were removed, or `None` when no create is buffered —
+    /// the unlink must then queue normally behind the committed create.
+    fn cancel_create(&mut self, path: &str) -> Option<usize> {
+        let create_idx = self.ops.iter().rposition(
+            |m| matches!(&m.op, CommitOp::Create { path: p, .. } if p == path),
+        )?;
+        let before = self.ops.len();
+        let mut idx = 0;
+        self.ops.retain(|m| {
+            let keep = match &m.op {
+                _ if idx == create_idx => false,
+                CommitOp::WriteInline { path: p } => idx < create_idx || p != path,
+                _ => true,
+            };
+            idx += 1;
+            keep
+        });
+        Some(before - self.ops.len())
+    }
+
+    /// Safe to collapse only when the *last* buffered op for `path` is a
+    /// writeback: an intervening `Unlink`/`Create` means the buffered
+    /// writeback belongs to the previous incarnation of the file and a
+    /// fresh entry must queue behind the re-creation.
+    fn collapses_into_buffered_writeback(&self, path: &str) -> bool {
+        self.ops
+            .iter()
+            .rev()
+            .find_map(|m| match &m.op {
+                CommitOp::WriteInline { path: p } if p == path => Some(true),
+                other if other.path() == Some(path) => Some(false),
+                _ => None,
+            })
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(op: CommitOp) -> QueueMsg {
+        QueueMsg { op, client: 0, epoch: 0, timestamp: 0 }
+    }
+
+    fn create(p: &str) -> QueueMsg {
+        msg(CommitOp::Create { path: p.into(), mode: 0o644 })
+    }
+
+    fn mkdir(p: &str) -> QueueMsg {
+        msg(CommitOp::Mkdir { path: p.into(), mode: 0o755 })
+    }
+
+    fn unlink(p: &str) -> QueueMsg {
+        msg(CommitOp::Unlink { path: p.into() })
+    }
+
+    fn wi(p: &str) -> QueueMsg {
+        msg(CommitOp::WriteInline { path: p.into() })
+    }
+
+    #[test]
+    fn create_then_unlink_annihilate() {
+        let mut b = PublishBuffer::new();
+        assert_eq!(b.push(create("/f"), true), Buffered::Queued);
+        assert_eq!(b.push(unlink("/f"), true), Buffered::Cancelled { absorbed: 1 });
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn cancel_absorbs_trailing_writeback_only() {
+        let mut b = PublishBuffer::new();
+        b.push(wi("/f"), true); // previous incarnation, already unlinked below
+        b.push(unlink("/f"), true);
+        b.push(create("/f"), true);
+        b.push(wi("/f"), true);
+        b.push(create("/g"), true);
+        assert_eq!(b.push(unlink("/f"), true), Buffered::Cancelled { absorbed: 2 });
+        let rest: Vec<_> = b.take_all();
+        assert_eq!(rest.len(), 3);
+        assert!(matches!(&rest[0].op, CommitOp::WriteInline { path } if path == "/f"));
+        assert!(matches!(&rest[1].op, CommitOp::Unlink { path } if path == "/f"));
+        assert!(matches!(&rest[2].op, CommitOp::Create { path, .. } if path == "/g"));
+    }
+
+    #[test]
+    fn unlink_without_buffered_create_queues() {
+        let mut b = PublishBuffer::new();
+        b.push(wi("/f"), true);
+        assert_eq!(b.push(unlink("/f"), true), Buffered::Queued);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn mkdir_never_cancels_against_unlink() {
+        // Unlink of a directory is rejected client-side; a same-path
+        // mkdir must not be annihilated by an unrelated unlink message.
+        let mut b = PublishBuffer::new();
+        b.push(mkdir("/d"), true);
+        assert_eq!(b.push(unlink("/d"), true), Buffered::Queued);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_writeback_collapses() {
+        let mut b = PublishBuffer::new();
+        b.push(create("/f"), true);
+        assert_eq!(b.push(wi("/f"), true), Buffered::Queued);
+        assert_eq!(b.push(wi("/f"), true), Buffered::Collapsed);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn writeback_after_recreate_does_not_collapse() {
+        // [WI, Unlink, Create] + WI: collapsing onto the pre-unlink
+        // writeback would lose the re-created file's data.
+        let mut b = PublishBuffer::new();
+        b.push(wi("/f"), true);
+        b.push(unlink("/f"), true);
+        b.push(create("/f"), true);
+        assert_eq!(b.push(wi("/f"), true), Buffered::Queued);
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn coalescing_disabled_buffers_everything() {
+        let mut b = PublishBuffer::new();
+        b.push(create("/f"), false);
+        assert_eq!(b.push(unlink("/f"), false), Buffered::Queued);
+        assert_eq!(b.push(wi("/f"), false), Buffered::Queued);
+        assert_eq!(b.push(wi("/f"), false), Buffered::Queued);
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn take_all_preserves_publish_order() {
+        let mut b = PublishBuffer::new();
+        b.push(mkdir("/d"), true);
+        b.push(create("/d/a"), true);
+        b.push(create("/d/b"), true);
+        let batch = b.take_all();
+        assert!(b.is_empty());
+        let paths: Vec<_> = batch.iter().map(|m| m.op.path().unwrap().to_string()).collect();
+        assert_eq!(paths, ["/d", "/d/a", "/d/b"]);
+    }
+}

@@ -11,12 +11,23 @@
 //! (Section III.D-1). Barrier markers flush the backlog, report to the
 //! barrier board and stall the worker until the dependent operation
 //! completes (Section III.E-2).
+//!
+//! Group commit: a [`CommitOp::Batch`] message carries many operations
+//! from the node's publish buffer. The worker pays the dispatch cost
+//! once per message, commits the namespace ops through a single batched
+//! DFS RPC (one namespace-lock acquisition server-side), and settles
+//! each inner op independently — failed ops *disaggregate* into the
+//! single-op retry backlog, so a partial batch failure degrades to
+//! exactly the paper's independent-commit behaviour. When the queue runs
+//! empty the worker also pulls whatever is still sitting in its node's
+//! publish buffer, which gives quiesce/shutdown liveness without a flush
+//! timer.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use dfs::DfsClient;
-use fsapi::{path as fspath, FsError};
+use dfs::{BatchOp, DfsClient};
+use fsapi::{path as fspath, FsError, FsResult};
 use fsapi::FileSystem;
 use mq::{Consumer, TryRecvError};
 use simnet::{charge, NodeId, Station};
@@ -30,6 +41,9 @@ use crate::region::RegionCore;
 pub enum WorkerStep {
     /// One operation applied to the DFS.
     Committed,
+    /// One batched message handled; per-op outcomes tallied. Retried ops
+    /// were disaggregated into the single-op retry backlog.
+    Batch { committed: u32, retried: u32, discarded: u32 },
     /// One operation failed a namespace check and went (back) to the
     /// retry backlog.
     Retried,
@@ -47,14 +61,25 @@ pub enum WorkerStep {
     Disconnected,
 }
 
+/// One op awaiting resubmission.
+struct RetryEntry {
+    msg: QueueMsg,
+    attempts: u32,
+    /// A previous attempt failed with a transient backend error. The op
+    /// may have applied server-side with the reply lost, so a later
+    /// `AlreadyExists` on a creation is idempotent success, not a
+    /// conflict to retry.
+    backend_faulted: bool,
+}
+
 pub struct CommitWorker {
     node: NodeId,
     consumer: Consumer<QueueMsg>,
     dfs: DfsClient,
     cache: MetaCache,
     core: Arc<RegionCore>,
-    /// Ops awaiting resubmission: `(msg, attempts)`.
-    retry: VecDeque<(QueueMsg, u32)>,
+    /// Ops awaiting resubmission.
+    retry: VecDeque<RetryEntry>,
     /// Barrier epoch we reported and are stalled on.
     waiting: Option<u64>,
     /// Marker seen but backlog not yet flushed.
@@ -95,6 +120,13 @@ impl CommitWorker {
         self.retry.is_empty()
     }
 
+    fn charge_dispatch(&self) {
+        charge(
+            Station::CommitProc(self.core.config.station_base + self.node.0),
+            self.core.config_commit_dispatch(),
+        );
+    }
+
     /// Handle one unit of work. Never blocks.
     pub fn step(&mut self) -> WorkerStep {
         // Stalled at a barrier: resume only when released.
@@ -108,8 +140,8 @@ impl CommitWorker {
 
         // A marker was consumed: flush the retry backlog, then report.
         if let Some(epoch) = self.flushing_for {
-            if let Some((msg, attempts)) = self.retry.pop_front() {
-                return self.apply(msg, attempts);
+            if let Some(e) = self.retry.pop_front() {
+                return self.apply(e.msg, e.attempts, e.backend_faulted);
             }
             self.flushing_for = None;
             self.core.board.worker_reached(epoch);
@@ -117,23 +149,54 @@ impl CommitWorker {
             return WorkerStep::BarrierReported;
         }
 
-        // Fresh messages first; fall back to the retry backlog.
+        // Fresh messages first; fall back to the publish buffer, then the
+        // retry backlog.
         match self.consumer.try_recv() {
             Ok(msg) => {
                 self.stuck_retries = 0;
-                charge(
-                    Station::CommitProc(self.core.config.station_base + self.node.0),
-                    self.core.config_commit_dispatch(),
-                );
-                if let CommitOp::Barrier { epoch } = msg.op {
-                    self.flushing_for = Some(epoch);
-                    // Re-enter immediately on the next step to flush.
-                    return WorkerStep::Retried;
+                self.charge_dispatch();
+                match msg.op {
+                    CommitOp::Barrier { epoch } => {
+                        self.flushing_for = Some(epoch);
+                        // Re-enter immediately on the next step to flush.
+                        WorkerStep::Retried
+                    }
+                    CommitOp::Batch(inner) => self.apply_batch(inner),
+                    _ => self.apply(msg, 0, false),
                 }
-                self.apply(msg, 0)
             }
-            Err(TryRecvError::Empty) => self.step_retry(WorkerStep::Idle),
-            Err(TryRecvError::Disconnected) => self.step_retry(WorkerStep::Disconnected),
+            Err(TryRecvError::Empty) => match self.pull_publish_buffer() {
+                Some(step) => step,
+                None => self.step_retry(WorkerStep::Idle),
+            },
+            Err(TryRecvError::Disconnected) => match self.pull_publish_buffer() {
+                Some(step) => step,
+                None => self.step_retry(WorkerStep::Disconnected),
+            },
+        }
+    }
+
+    /// The queue is empty: drain whatever accumulated in this node's
+    /// publish buffer below the flush threshold. Queue-empty means every
+    /// earlier message was consumed, so buffered ops are the newest and
+    /// applying them directly preserves per-node FIFO order.
+    fn pull_publish_buffer(&mut self) -> Option<WorkerStep> {
+        if self.core.config.commit_batch_size <= 1 {
+            return None;
+        }
+        let batch = self.core.publish_bufs[self.node.0 as usize].lock().take_all();
+        if batch.is_empty() {
+            return None;
+        }
+        self.stuck_retries = 0;
+        self.charge_dispatch();
+        if batch.len() == 1 {
+            let msg = batch.into_iter().next().expect("len checked");
+            Some(self.apply(msg, 0, false))
+        } else {
+            self.core.counters.incr("batches_flushed");
+            self.core.counters.add("batched_ops", batch.len() as u64);
+            Some(self.apply_batch(batch))
         }
     }
 
@@ -148,8 +211,8 @@ impl CommitWorker {
             self.stuck_retries = 0;
             return empty_step;
         }
-        let (msg, attempts) = self.retry.pop_front().expect("checked non-empty");
-        match self.apply(msg, attempts) {
+        let e = self.retry.pop_front().expect("checked non-empty");
+        match self.apply(e.msg, e.attempts, e.backend_faulted) {
             WorkerStep::Retried => {
                 self.stuck_retries += 1;
                 WorkerStep::Retried
@@ -170,9 +233,71 @@ impl CommitWorker {
             .any(|(dir, epoch)| op_epoch <= *epoch && fspath::is_same_or_ancestor(dir, path))
     }
 
-    fn apply(&mut self, msg: QueueMsg, attempts: u32) -> WorkerStep {
+    /// Commit one batched message: namespace ops go through a single
+    /// batched DFS RPC (in publish order), inline-data writebacks follow
+    /// individually on the data path. Writebacks read the *current*
+    /// primary copy at commit time, so settling them after the batch's
+    /// namespace ops cannot regress any data. Each op settles
+    /// independently; failures disaggregate into single-op retries.
+    fn apply_batch(&mut self, inner: Vec<QueueMsg>) -> WorkerStep {
         let cred = self.core.config.cred;
-        let result = match &msg.op {
+        let mut ns_msgs = Vec::with_capacity(inner.len());
+        let mut wb_msgs = Vec::new();
+        for msg in inner {
+            match &msg.op {
+                CommitOp::WriteInline { .. } => wb_msgs.push(msg),
+                CommitOp::Barrier { .. } | CommitOp::Batch(_) => {
+                    unreachable!("markers and batches are never batched")
+                }
+                _ => ns_msgs.push(msg),
+            }
+        }
+
+        let mut committed = 0u32;
+        let mut retried = 0u32;
+        let mut discarded = 0u32;
+        let mut tally = |step: WorkerStep| match step {
+            WorkerStep::Committed => committed += 1,
+            WorkerStep::Retried => retried += 1,
+            WorkerStep::Discarded => discarded += 1,
+            other => unreachable!("settle yields commit/retry/discard, got {other:?}"),
+        };
+
+        if !ns_msgs.is_empty() {
+            let ops: Vec<BatchOp> = ns_msgs
+                .iter()
+                .map(|m| match &m.op {
+                    CommitOp::Mkdir { path, mode } => {
+                        BatchOp::Mkdir { path: path.clone(), mode: *mode }
+                    }
+                    CommitOp::Create { path, mode } => {
+                        BatchOp::Create { path: path.clone(), mode: *mode }
+                    }
+                    CommitOp::Unlink { path } => BatchOp::Unlink { path: path.clone() },
+                    _ => unreachable!("partitioned above"),
+                })
+                .collect();
+            let results = self.dfs.apply_batch(&ops, &cred);
+            for (msg, res) in ns_msgs.into_iter().zip(results) {
+                tally(self.settle(msg, 0, false, res));
+            }
+        }
+        for msg in wb_msgs {
+            let res = self.execute(&msg);
+            tally(self.settle(msg, 0, false, res));
+        }
+        WorkerStep::Batch { committed, retried, discarded }
+    }
+
+    fn apply(&mut self, msg: QueueMsg, attempts: u32, backend_faulted: bool) -> WorkerStep {
+        let result = self.execute(&msg);
+        self.settle(msg, attempts, backend_faulted, result)
+    }
+
+    /// Run one single operation against the DFS.
+    fn execute(&mut self, msg: &QueueMsg) -> FsResult<()> {
+        let cred = self.core.config.cred;
+        match &msg.op {
             CommitOp::Mkdir { path, mode } => self.dfs.mkdir(path, &cred, *mode),
             CommitOp::Create { path, mode } => self.dfs.create(path, &cred, *mode),
             CommitOp::Unlink { path } => self.dfs.unlink(path, &cred),
@@ -194,9 +319,20 @@ impl CommitWorker {
                     }
                 }
             }
-            CommitOp::Barrier { .. } => unreachable!("barriers handled in step()"),
-        };
+            CommitOp::Barrier { .. } | CommitOp::Batch(_) => {
+                unreachable!("barriers and batches handled in step()")
+            }
+        }
+    }
 
+    /// Book the outcome of one single operation's commit attempt.
+    fn settle(
+        &mut self,
+        msg: QueueMsg,
+        attempts: u32,
+        backend_faulted: bool,
+        result: FsResult<()>,
+    ) -> WorkerStep {
         match result {
             Ok(()) => {
                 self.after_success(&msg);
@@ -204,14 +340,29 @@ impl CommitWorker {
                 self.core.counters.incr("committed");
                 WorkerStep::Committed
             }
+            // A replayed creation that already failed with a transient
+            // backend error may have applied server-side with its reply
+            // lost; the DFS entry it "conflicts" with is its own. Treat
+            // the replay as success instead of burning retry budget.
+            Err(FsError::AlreadyExists)
+                if backend_faulted && attempts > 0 && msg.op.is_creation() =>
+            {
+                self.after_success(&msg);
+                self.core.note_completed();
+                self.core.counters.incr("committed");
+                self.core.counters.incr("idempotent_replays");
+                WorkerStep::Committed
+            }
             // Namespace-convention rejections (resubmit until the missing
             // prerequisite commit arrives — independent commit) and
             // transient backend faults (MDS outage / RPC timeout: retry
             // the same way, bounded by the retry budget).
-            Err(FsError::NotFound)
-            | Err(FsError::AlreadyExists)
-            | Err(FsError::NotEmpty)
-            | Err(FsError::Backend(_)) => {
+            Err(
+                e @ (FsError::NotFound
+                | FsError::AlreadyExists
+                | FsError::NotEmpty
+                | FsError::Backend(_)),
+            ) => {
                 if let Some(path) = msg.op.path() {
                     if self.under_removed_dir(path, msg.epoch) {
                         self.core.note_completed();
@@ -225,7 +376,11 @@ impl CommitWorker {
                     return WorkerStep::Discarded;
                 }
                 self.core.counters.incr("resubmitted");
-                self.retry.push_back((msg, attempts + 1));
+                self.retry.push_back(RetryEntry {
+                    msg,
+                    attempts: attempts + 1,
+                    backend_faulted: backend_faulted || matches!(e, FsError::Backend(_)),
+                });
                 WorkerStep::Retried
             }
             Err(_) => {
@@ -270,7 +425,7 @@ impl CommitWorker {
                 }
                 self.core.staging.lock().remove(path.as_str());
             }
-            CommitOp::WriteInline { .. } | CommitOp::Barrier { .. } => {}
+            CommitOp::WriteInline { .. } | CommitOp::Barrier { .. } | CommitOp::Batch(_) => {}
         }
     }
 }

@@ -34,6 +34,16 @@ pub struct PaconConfig {
     pub eviction_threshold: Option<usize>,
     /// Capacity of each per-node commit queue.
     pub commit_queue_capacity: usize,
+    /// Group commit: buffer up to this many operations per node before
+    /// publishing them as one batched queue message. `1` disables
+    /// batching — every op is published directly, the paper prototype's
+    /// behaviour. Barriers always flush the buffer regardless of fill.
+    pub commit_batch_size: usize,
+    /// Coalesce buffered operations before they reach the queue: a
+    /// buffered `Create` cancels against a later `Unlink` of the same
+    /// path, and repeated inline-data writebacks for one path collapse
+    /// into a single entry. Only consulted when `commit_batch_size > 1`.
+    pub commit_batch_coalescing: bool,
     /// Give up retrying one op's commit after this many attempts (guards
     /// against workloads that violate the namespace conventions).
     pub max_commit_retries: u32,
@@ -66,6 +76,8 @@ impl PaconConfig {
             permissions: None,
             eviction_threshold: None,
             commit_queue_capacity: 1 << 16,
+            commit_batch_size: 1,
+            commit_batch_coalescing: true,
             max_commit_retries: 10_000,
             hierarchical_permission_check: false,
             synchronous_commit: false,
@@ -114,6 +126,19 @@ impl PaconConfig {
         self.synchronous_commit = true;
         self
     }
+
+    /// Builder-style: enable group commit with batches of up to `n` ops.
+    pub fn with_commit_batch(mut self, n: usize) -> Self {
+        assert!(n >= 1, "batch size must be at least 1");
+        self.commit_batch_size = n;
+        self
+    }
+
+    /// Builder-style: disable pre-queue coalescing (keep batching).
+    pub fn without_commit_coalescing(mut self) -> Self {
+        self.commit_batch_coalescing = false;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -138,5 +163,22 @@ mod tests {
         assert!(!c.parent_check);
         assert_eq!(c.small_file_threshold, 1024);
         assert_eq!(c.eviction_threshold, Some(1 << 20));
+    }
+
+    #[test]
+    fn batching_defaults_off_and_builders_set_it() {
+        let c = PaconConfig::new("/app", Topology::new(1, 1), Credentials::new(1, 1));
+        assert_eq!(c.commit_batch_size, 1, "seed behaviour: direct publish");
+        assert!(c.commit_batch_coalescing);
+        let c = c.with_commit_batch(32).without_commit_coalescing();
+        assert_eq!(c.commit_batch_size, 32);
+        assert!(!c.commit_batch_coalescing);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_rejected() {
+        let _ = PaconConfig::new("/app", Topology::new(1, 1), Credentials::new(1, 1))
+            .with_commit_batch(0);
     }
 }

@@ -21,6 +21,7 @@ use simnet::{ClientId, Counters, NodeId};
 use crate::client::PaconClient;
 use crate::commit::barrier::BarrierBoard;
 use crate::commit::op::{CommitOp, QueueMsg};
+use crate::commit::publish::PublishBuffer;
 use crate::commit::worker::{CommitWorker, WorkerStep};
 use crate::config::PaconConfig;
 use crate::permission::RegionPermissions;
@@ -46,6 +47,10 @@ pub struct RegionCore {
     /// one queued writeback covers every earlier write to the file —
     /// repeated small-file writes coalesce instead of flooding the queue.
     pub pending_writebacks: Mutex<std::collections::HashSet<String>>,
+    /// Group commit: one publish buffer per node, coalescing ops before
+    /// they enter the commit queue. Unused (always empty) when
+    /// `commit_batch_size <= 1`.
+    pub publish_bufs: Vec<Mutex<PublishBuffer>>,
     pub counters: Counters,
     /// Operations published to the commit queues (barrier markers not
     /// counted).
@@ -80,6 +85,39 @@ impl RegionCore {
     /// True when every published operation has been handled.
     pub fn drained(&self) -> bool {
         self.enqueued.load(Ordering::Acquire) == self.completed.load(Ordering::Acquire)
+    }
+
+    /// Flush node `node`'s publish buffer into its commit queue as one
+    /// message. The buffer lock is held across the send so concurrent
+    /// publishers on the node cannot reorder around the flush. This is
+    /// deadlock-free: the commit process only takes the buffer lock when
+    /// its queue is *empty*, so a full queue implies it is draining and
+    /// the blocking send resolves.
+    pub(crate) fn flush_publish_buffer(
+        &self,
+        node: usize,
+        publisher: &Publisher<QueueMsg>,
+    ) -> FsResult<()> {
+        let mut buf = self.publish_bufs[node].lock();
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let batch = buf.take_all();
+        let msg = if batch.len() == 1 {
+            batch.into_iter().next().expect("len checked")
+        } else {
+            self.counters.incr("batches_flushed");
+            self.counters.add("batched_ops", batch.len() as u64);
+            QueueMsg {
+                op: CommitOp::Batch(batch),
+                client: u32::MAX,
+                epoch: self.board.current_epoch(),
+                timestamp: self.now(),
+            }
+        };
+        publisher
+            .send(msg)
+            .map_err(|_| FsError::Backend("commit queue closed".into()))
     }
 }
 
@@ -160,6 +198,7 @@ impl PaconRegion {
             removed_dirs: RwLock::new(Vec::new()),
             staging: Mutex::new(HashMap::new()),
             pending_writebacks: Mutex::new(std::collections::HashSet::new()),
+            publish_bufs: (0..nodes).map(|_| Mutex::new(PublishBuffer::new())).collect(),
             counters: Counters::new(),
             enqueued: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -208,6 +247,7 @@ impl PaconRegion {
                     }
                     match worker.step() {
                         WorkerStep::Committed
+                        | WorkerStep::Batch { .. }
                         | WorkerStep::Retried
                         | WorkerStep::Discarded
                         | WorkerStep::BarrierReported => {}
@@ -303,7 +343,12 @@ impl PaconRegion {
     pub fn sync_barrier(&self) {
         let guard = self.core.board.start_barrier();
         let epoch = guard.epoch();
-        for tx in &self.publishers {
+        for (n, tx) in self.publishers.iter().enumerate() {
+            // Barriers always force the publish buffer out first; the
+            // marker must sit behind every op published before it.
+            self.core
+                .flush_publish_buffer(n, tx)
+                .expect("commit queue closed during sync barrier");
             tx.send(QueueMsg {
                 op: CommitOp::Barrier { epoch },
                 client: u32::MAX,

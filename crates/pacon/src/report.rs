@@ -32,6 +32,18 @@ pub struct RegionReport {
     pub resubmitted: u64,
     /// Creations discarded under removed directories.
     pub discarded: u64,
+    /// Group commit: multi-op batch messages flushed into the queues.
+    pub batches_flushed: u64,
+    /// Operations carried inside those batch messages.
+    pub batched_ops: u64,
+    /// Ops settled client-side by create×unlink annihilation in the
+    /// publish buffer (counts both sides plus absorbed writebacks).
+    pub coalesced_cancel: u64,
+    /// Duplicate inline writebacks collapsed in the publish buffer.
+    pub coalesced_collapse: u64,
+    /// Replayed creations recognized as already applied after a lost
+    /// reply (idempotent success instead of a burned retry).
+    pub idempotent_replays: u64,
     /// Completed barrier epochs.
     pub barrier_epoch: u64,
     /// Files staged durably while awaiting their create's commit.
@@ -80,6 +92,15 @@ impl fmt::Display for RegionReport {
             self.discarded,
             self.backlog()
         )?;
+        writeln!(
+            f,
+            "  batch:  {} batches / {} ops, {} cancelled, {} collapsed, {} idempotent replays",
+            self.batches_flushed,
+            self.batched_ops,
+            self.coalesced_cancel,
+            self.coalesced_collapse,
+            self.idempotent_replays
+        )?;
         write!(
             f,
             "  state:  barrier epoch {}, {} staged file(s), {} evicted record(s)",
@@ -108,6 +129,11 @@ impl PaconRegion {
             resubmitted: core.counters.get("resubmitted"),
             discarded: core.counters.get("discarded_removed_dir")
                 + core.counters.get("dropped_retry_budget"),
+            batches_flushed: core.counters.get("batches_flushed"),
+            batched_ops: core.counters.get("batched_ops"),
+            coalesced_cancel: core.counters.get("coalesced_cancel"),
+            coalesced_collapse: core.counters.get("coalesced_collapse"),
+            idempotent_replays: core.counters.get("idempotent_replays"),
             barrier_epoch: core.board.current_epoch(),
             staged_files: core.staging.lock().len(),
             evicted: core.counters.get("evicted"),
@@ -155,6 +181,42 @@ mod tests {
         assert!(text.contains("region /app"));
         assert!(text.contains("10/10 applied"));
         region.shutdown().unwrap();
+    }
+
+    #[test]
+    fn report_tracks_group_commit_counters() {
+        let dfs = dfs::DfsCluster::with_default_config(Arc::new(LatencyProfile::zero()));
+        let cred = Credentials::new(1, 1);
+        // Paused region: the worker only runs after all 40 creates are
+        // buffered, so exactly 5 full batches of 8 form deterministically.
+        let region = PaconRegion::launch_paused(
+            PaconConfig::new("/app", Topology::new(1, 1), cred).with_commit_batch(8),
+            &dfs,
+        )
+        .unwrap();
+        let c = region.client(ClientId(0));
+        for i in 0..40 {
+            c.create(&format!("/app/f{i}"), &cred, 0o644).unwrap();
+        }
+        let mut w = region.take_worker(0);
+        let mut spins = 0;
+        while !region.core().drained() {
+            w.step();
+            spins += 1;
+            assert!(spins < 10_000, "commit never converged");
+        }
+
+        let r = region.report();
+        assert_eq!(r.committed, 40);
+        assert_eq!(r.backlog(), 0);
+        assert_eq!(r.batches_flushed, 5);
+        assert_eq!(r.batched_ops, 40);
+        let text = r.to_string();
+        assert!(text.contains("batch:"), "display must surface batching: {text}");
+
+        // Backup copy is complete.
+        use fsapi::FileSystem as _;
+        assert_eq!(dfs.client().readdir("/app", &cred).unwrap().len(), 40);
     }
 
     #[test]

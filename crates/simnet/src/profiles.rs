@@ -41,6 +41,13 @@ pub struct LatencyProfile {
     pub mds_readdir_base: u64,
     /// MDS service time: readdir, per returned entry.
     pub mds_readdir_per_entry: u64,
+    /// MDS service time: batched namespace update, fixed part (one
+    /// request decode + one namespace-lock acquisition per batch).
+    pub mds_batch_base: u64,
+    /// MDS service time: batched namespace update, per operation. Group
+    /// commit amortizes the per-request overheads, so this sits well
+    /// below the standalone create/unlink demands.
+    pub mds_batch_per_op: u64,
 
     // ---- BeeGFS-like data servers ----
     /// Data server service time per MiB written.
@@ -97,6 +104,8 @@ impl Default for LatencyProfile {
             mds_rmdir: 45_000,
             mds_readdir_base: 20_000,
             mds_readdir_per_entry: 300,
+            mds_batch_base: 50_000,
+            mds_batch_per_op: 20_000,
 
             data_write_per_mib: 1_000_000,
             data_read_per_mib: 800_000,
@@ -134,6 +143,8 @@ impl LatencyProfile {
             mds_rmdir: 0,
             mds_readdir_base: 0,
             mds_readdir_per_entry: 0,
+            mds_batch_base: 0,
+            mds_batch_per_op: 0,
             data_write_per_mib: 0,
             data_read_per_mib: 0,
             idx_put: 0,
@@ -167,6 +178,8 @@ impl LatencyProfile {
             mds_rmdir: s(self.mds_rmdir),
             mds_readdir_base: s(self.mds_readdir_base),
             mds_readdir_per_entry: s(self.mds_readdir_per_entry),
+            mds_batch_base: s(self.mds_batch_base),
+            mds_batch_per_op: s(self.mds_batch_per_op),
             data_write_per_mib: s(self.data_write_per_mib),
             data_read_per_mib: s(self.data_read_per_mib),
             idx_put: s(self.idx_put),
@@ -202,6 +215,13 @@ mod tests {
         assert!(p.net_hop_remote < p.net_rtt_storage);
         // Bulk insertion amortizes below the per-op put cost.
         assert!(p.idx_bulk_per_record < p.idx_put);
+        // Batched namespace updates amortize below standalone ops: the
+        // marginal cost per batched op undercuts every single-op demand
+        // it can replace, and a large batch must beat the unbatched path
+        // (32 ops batched vs 32 standalone unlinks, the cheapest case).
+        assert!(p.mds_batch_per_op < p.mds_unlink);
+        assert!(p.mds_batch_per_op < p.mds_create);
+        assert!(p.mds_batch_base + 32 * p.mds_batch_per_op < 32 * p.mds_unlink);
     }
 
     #[test]

@@ -76,6 +76,11 @@ impl Process for PaconWorkerProc {
         }
         match step {
             WorkerStep::Committed | WorkerStep::Discarded => Step::Work { trace, ops: 1 },
+            WorkerStep::Batch { committed, discarded, .. } => {
+                // One batched message settles many ops at once; retried
+                // ones re-count when their resubmission lands.
+                Step::Work { trace, ops: (committed + discarded) as u64 }
+            }
             WorkerStep::Retried | WorkerStep::BarrierReported => Step::Work { trace, ops: 0 },
             WorkerStep::Blocked(_) | WorkerStep::Idle | WorkerStep::Disconnected => {
                 if worker.backlog_empty() {

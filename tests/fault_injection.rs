@@ -1,10 +1,17 @@
 //! Failure injection: transient MDS outages must not lose committed-
 //! queue operations — the independent-commit resubmission absorbs them
 //! (Section III.E-1's "resubmit the operation until it succeeds").
+//!
+//! Group commit adds two hazards covered here: an outage striking *inside*
+//! a batched message must disaggregate the failed ops into single-op
+//! retries without losing or duplicating anything, and a lost reply must
+//! not make the replayed creation burn its retry budget against its own
+//! already-applied DFS entry.
 
 use std::sync::Arc;
 
 use fsapi::{Credentials, FileSystem, FsError};
+use pacon::commit::worker::WorkerStep;
 use pacon::{PaconConfig, PaconRegion};
 use simnet::{ClientId, LatencyProfile, Topology};
 
@@ -72,4 +79,140 @@ fn persistent_outage_exhausts_the_retry_budget() {
     // Primary copy still serves the application.
     assert!(c.stat("/job/doomed", &cred).unwrap().is_file());
     region.shutdown().unwrap();
+}
+
+/// MDS outage striking mid-batch: the failed ops disaggregate into the
+/// single-op retry backlog, the rest of the batch commits, and nothing is
+/// lost or duplicated. Every counter reconciles with the op count.
+#[test]
+fn mid_batch_outage_disaggregates_into_single_op_retries() {
+    let dfs = dfs::DfsCluster::with_default_config(Arc::new(LatencyProfile::zero()));
+    let cred = Credentials::new(1, 1);
+    let region = PaconRegion::launch_paused(
+        PaconConfig::new("/job", Topology::new(1, 1), cred).with_commit_batch(8),
+        &dfs,
+    )
+    .unwrap();
+    let c = region.client(ClientId(0));
+
+    // Exactly one full batch: the 8th create flushes the buffer.
+    for i in 0..8 {
+        c.create(&format!("/job/f{i}"), &cred, 0o644).unwrap();
+    }
+    // The outage starts before the commit process dequeues the batch and
+    // fails its first 3 ops (per-request fault consumption).
+    dfs.inject_mds_failures(0, 3);
+
+    let mut w = region.take_worker(0);
+    assert_eq!(
+        w.step(),
+        WorkerStep::Batch { committed: 5, retried: 3, discarded: 0 },
+        "partial batch failure must settle per-op"
+    );
+    assert!(!w.backlog_empty(), "failed ops sit in the single-op retry backlog");
+
+    // Drain: the disaggregated retries go through the plain single-op path.
+    let mut spins = 0;
+    while !region.core().drained() {
+        w.step();
+        spins += 1;
+        assert!(spins < 10_000, "retries never converged");
+    }
+
+    // No lost ops, no duplicates.
+    let mut names = dfs.client().readdir("/job", &cred).unwrap();
+    names.sort();
+    assert_eq!(names, (0..8).map(|i| format!("f{i}")).collect::<Vec<_>>());
+
+    // Counters reconcile with the op count.
+    let report = region.report();
+    let counters = &region.core().counters;
+    assert_eq!(report.committed, 8);
+    assert_eq!(report.resubmitted, 3);
+    assert_eq!(report.discarded, 0);
+    assert_eq!(counters.get("commit_errors"), 0);
+    assert_eq!(report.batches_flushed, 1);
+    assert_eq!(report.batched_ops, 8);
+    assert_eq!(report.ops_enqueued, 8);
+    assert_eq!(report.ops_completed, 8);
+    assert_eq!(
+        report.committed + report.discarded + counters.get("commit_errors")
+            + report.coalesced_cancel + report.coalesced_collapse,
+        report.ops_enqueued,
+        "every enqueued op must be accounted for exactly once"
+    );
+    // One batched RPC for the flush; the MDS saw all 8 ops inside it.
+    assert_eq!(dfs.mds_counter("batch"), 1);
+    assert_eq!(dfs.mds_counter("batch_ops"), 8);
+    assert_eq!(dfs.mds_counter("injected_failures"), 3);
+}
+
+/// Regression: a creation whose first attempt hit a transient backend
+/// fault *after* the MDS applied it (reply lost) must treat the replay's
+/// `AlreadyExists` as idempotent success — not burn retry budget against
+/// its own entry and miscount it as dropped.
+#[test]
+fn replayed_create_after_lost_reply_is_idempotent_success() {
+    let dfs = dfs::DfsCluster::with_default_config(Arc::new(LatencyProfile::zero()));
+    let cred = Credentials::new(1, 1);
+    let mut config = PaconConfig::new("/job", Topology::new(1, 1), cred);
+    // A tight budget makes the pre-fix failure mode (retrying
+    // AlreadyExists until the budget drops the op) unmissable.
+    config.max_commit_retries = 4;
+    let region = PaconRegion::launch_paused(config, &dfs).unwrap();
+    let c = region.client(ClientId(0));
+
+    c.create("/job/once", &cred, 0o644).unwrap();
+    // The create applies on the MDS but its reply is lost.
+    dfs.inject_mds_reply_loss(0, 1);
+
+    let mut w = region.take_worker(0);
+    assert_eq!(w.step(), WorkerStep::Retried, "lost reply surfaces as a backend fault");
+    assert!(dfs.client().stat("/job/once", &cred).unwrap().is_file(), "op applied server-side");
+    assert_eq!(
+        w.step(),
+        WorkerStep::Committed,
+        "replay must recognize its own entry instead of retrying"
+    );
+
+    let report = region.report();
+    assert_eq!(report.committed, 1);
+    assert_eq!(report.idempotent_replays, 1);
+    assert_eq!(report.resubmitted, 1);
+    assert_eq!(report.discarded, 0, "no budget burned on the replay");
+    assert!(region.core().drained());
+    assert!(c.stat("/job/once", &cred).unwrap().is_file());
+}
+
+/// The same lost-reply hazard inside a batch: the faulted op disaggregates
+/// carrying its backend-fault history, so its single-op replay is still
+/// recognized as idempotent.
+#[test]
+fn lost_reply_mid_batch_replays_idempotently() {
+    let dfs = dfs::DfsCluster::with_default_config(Arc::new(LatencyProfile::zero()));
+    let cred = Credentials::new(1, 1);
+    let mut config =
+        PaconConfig::new("/job", Topology::new(1, 1), cred).with_commit_batch(4);
+    config.max_commit_retries = 4;
+    let region = PaconRegion::launch_paused(config, &dfs).unwrap();
+    let c = region.client(ClientId(0));
+
+    for i in 0..4 {
+        c.create(&format!("/job/g{i}"), &cred, 0o644).unwrap();
+    }
+    // First op of the batch applies but its reply is lost.
+    dfs.inject_mds_reply_loss(0, 1);
+
+    let mut w = region.take_worker(0);
+    assert_eq!(w.step(), WorkerStep::Batch { committed: 3, retried: 1, discarded: 0 });
+    assert_eq!(w.step(), WorkerStep::Committed, "disaggregated replay is idempotent");
+
+    let report = region.report();
+    assert_eq!(report.committed, 4);
+    assert_eq!(report.idempotent_replays, 1);
+    assert_eq!(report.discarded, 0);
+    assert!(region.core().drained());
+    let mut names = dfs.client().readdir("/job", &cred).unwrap();
+    names.sort();
+    assert_eq!(names, (0..4).map(|i| format!("g{i}")).collect::<Vec<_>>());
 }

@@ -1,0 +1,126 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Enough of the criterion 0.5 API for `benches/micro.rs` to compile and
+//! run without network access: benchmark groups, `iter`/`iter_batched`,
+//! and the `criterion_group!`/`criterion_main!` macros. Instead of
+//! statistical sampling it times a short fixed burst per benchmark and
+//! prints the mean — adequate for a smoke signal, not for regressions.
+
+use std::time::{Duration, Instant};
+
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.total = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.total = total;
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u64,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { iters: self.iters, total: Duration::ZERO };
+        f(&mut b);
+        let per_iter = b.total.as_nanos() as f64 / b.iters.max(1) as f64;
+        println!("bench {}/{}: {:.0} ns/iter ({} iters)", self.name, id, per_iter, b.iters);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep bench binaries fast when driven by `cargo test`: a tiny
+        // burst is enough to prove the benchmarked code path works.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { iters: if test_mode { 3 } else { 200 } }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let iters = self.iters;
+        BenchmarkGroup { name: name.to_string(), iters, _c: self }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { iters: self.iters, total: Duration::ZERO };
+        f(&mut b);
+        let per_iter = b.total.as_nanos() as f64 / b.iters.max(1) as f64;
+        println!("bench {}: {:.0} ns/iter ({} iters)", id, per_iter, b.iters);
+        self
+    }
+}
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($f:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,3 @@
+//! Offline placeholder. The workspace declares `crossbeam` in several
+//! manifests but no source file uses it; this empty crate satisfies the
+//! dependency graph without network access to crates.io.

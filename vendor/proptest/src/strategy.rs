@@ -1,0 +1,456 @@
+//! The [`Strategy`] trait and the generators the workspace's property
+//! tests use. Generation is a single pass over a deterministic RNG; see
+//! the crate docs for the differences from real proptest.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+use crate::test_runner::TestRng;
+
+/// How many times a filter may reject before the strategy gives up. Real
+/// proptest rejects the whole case instead; with deterministic seeds a
+/// hard failure is more useful than silent starvation.
+const MAX_FILTER_RETRIES: usize = 1_000;
+
+pub trait Strategy {
+    type Value: fmt::Debug;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, whence, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V: fmt::Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn gen_value(&self, rng: &mut TestRng) -> V {
+        (**self).gen_value(rng)
+    }
+}
+
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..MAX_FILTER_RETRIES {
+            let v = self.inner.gen_value(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter {:?} rejected {MAX_FILTER_RETRIES} values in a row", self.whence);
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted union of strategies over one value type (`prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<(u32, BoxedStrategy<V>)>,
+    total_weight: u64,
+}
+
+impl<V: fmt::Debug> Union<V> {
+    pub fn new(options: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        let total_weight = options.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "prop_oneof! needs at least one positive weight");
+        Self { options, total_weight }
+    }
+}
+
+impl<V: fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+
+    fn gen_value(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total_weight);
+        for (w, strat) in &self.options {
+            if pick < *w as u64 {
+                return strat.gen_value(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weight bookkeeping");
+    }
+}
+
+/// `any::<T>()` — full-range generation for primitive types.
+#[derive(Clone)]
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+pub trait Arbitrary: fmt::Debug + Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// String strategies from a pattern literal. Supports the subset of regex
+/// this workspace uses: literal characters plus character classes with a
+/// repetition count — `[a-z0-9_.-]{1,12}`, `[abc]`, `[a-z]{3}`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+mod pattern {
+    use crate::test_runner::TestRng;
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c == '[' {
+                let mut class: Vec<char> = Vec::new();
+                for c in chars.by_ref() {
+                    if c == ']' {
+                        break;
+                    }
+                    // A '-' between two class members denotes a range; a
+                    // leading or trailing '-' is a literal.
+                    if c != '-' && class.len() >= 2 && class.ends_with(&['-']) {
+                        class.pop();
+                        let start = class.pop().expect("range start");
+                        for rc in start..=c {
+                            class.push(rc);
+                        }
+                        continue;
+                    }
+                    class.push(c);
+                }
+                assert!(!class.is_empty(), "empty character class in {pattern:?}");
+                let (lo, hi) = parse_repeat(&mut chars);
+                let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+                for _ in 0..n {
+                    out.push(class[rng.below(class.len() as u64) as usize]);
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+        if chars.peek() != Some(&'{') {
+            return (1, 1);
+        }
+        chars.next();
+        let mut spec = String::new();
+        for c in chars.by_ref() {
+            if c == '}' {
+                break;
+            }
+            spec.push(c);
+        }
+        match spec.split_once(',') {
+            Some((lo, hi)) => (
+                lo.trim().parse().expect("repeat lower bound"),
+                hi.trim().parse().expect("repeat upper bound"),
+            ),
+            None => {
+                let n = spec.trim().parse().expect("repeat count");
+                (n, n)
+            }
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.gen_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+pub mod collection_impl {
+    use std::collections::BTreeMap;
+    use std::fmt;
+    use std::ops::{Range, RangeInclusive};
+
+    use super::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Element-count range for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_incl: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            self.min + rng.below((self.max_incl - self.min + 1) as u64) as usize
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            Self { min: r.start, max_incl: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self { min: *r.start(), max_incl: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max_incl: n }
+        }
+    }
+
+    #[derive(Clone)]
+pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.elem.gen_value(rng)).collect()
+        }
+    }
+
+    #[derive(Clone)]
+pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord + fmt::Debug,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let target = self.size.sample(rng);
+            let mut map = BTreeMap::new();
+            // Key collisions shrink the map below target, mirroring real
+            // proptest's "up to size" behaviour closely enough.
+            for _ in 0..target.max(1) * 4 {
+                if map.len() >= target {
+                    break;
+                }
+                map.insert(self.key.gen_value(rng), self.value.gen_value(rng));
+            }
+            map
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(0xDEADBEEF)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (3usize..17).gen_value(&mut r);
+            assert!((3..17).contains(&v));
+            let w = (0u16..=0o777).gen_value(&mut r);
+            assert!(w <= 0o777);
+        }
+    }
+
+    #[test]
+    fn pattern_strategy_matches_class_and_count() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z0-9_.-]{1,12}".gen_value(&mut r);
+            assert!(!s.is_empty() && s.len() <= 12, "bad length: {s:?}");
+            assert!(
+                s.chars().all(|c| c.is_ascii_lowercase()
+                    || c.is_ascii_digit()
+                    || matches!(c, '_' | '.' | '-')),
+                "bad char in {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oneof_respects_weights_loosely() {
+        let u: Union<u8> = Union::new(vec![
+            (9, Just(0u8).boxed()),
+            (1, Just(1u8).boxed()),
+        ]);
+        let mut r = rng();
+        let ones = (0..1000).filter(|_| u.gen_value(&mut r) == 1).count();
+        assert!(ones > 20 && ones < 300, "weighting off: {ones}/1000");
+    }
+
+    #[test]
+    fn map_filter_vec_compose() {
+        let strat = crate::collection::vec((0u8..10).prop_map(|v| v * 2), 2..5)
+            .prop_filter("nonempty", |v| !v.is_empty());
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = strat.gen_value(&mut r);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|x| x % 2 == 0));
+        }
+    }
+}

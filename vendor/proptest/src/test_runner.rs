@@ -1,0 +1,160 @@
+//! Deterministic case runner behind the `proptest!` macro.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Per-test configuration. Only `cases` matters for this stand-in.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// A `prop_assert*` failed: the property is violated.
+    Fail(String),
+    /// A `prop_assume!` rejected the inputs: try another case.
+    Reject(String),
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic splitmix64 stream used for input generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish value in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drive `config.cases` successful cases of `case`, panicking with the
+/// generated inputs on the first failure. `case` receives the RNG and an
+/// out-slot it must fill with a debug rendering of its inputs *before*
+/// running the property body (so panics still report them).
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng, &mut String) -> TestCaseResult,
+{
+    let base = fnv1a(name);
+    let mut executed = 0u32;
+    let mut rejected = 0u64;
+    let mut attempt = 0u64;
+    while executed < config.cases {
+        let seed = base ^ (attempt.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        attempt += 1;
+        let mut rng = TestRng::new(seed);
+        let mut inputs = String::new();
+        let outcome = catch_unwind(AssertUnwindSafe(|| case(&mut rng, &mut inputs)));
+        match outcome {
+            Ok(Ok(())) => executed += 1,
+            Ok(Err(TestCaseError::Reject(why))) => {
+                rejected += 1;
+                if rejected > 16 * config.cases as u64 + 1_024 {
+                    panic!("{name}: too many prop_assume! rejections (last: {why})");
+                }
+            }
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!(
+                    "{name}: property failed at case {executed} (seed {seed:#018x}):\n{msg}\ninputs:\n{inputs}"
+                );
+            }
+            Err(payload) => {
+                eprintln!(
+                    "{name}: property panicked at case {executed} (seed {seed:#018x});\ninputs:\n{inputs}"
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut n = 0;
+        run_cases(&ProptestConfig::with_cases(10), "counter", |_rng, _inp| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn rejects_do_not_count_as_cases() {
+        let mut total = 0;
+        let mut kept = 0;
+        run_cases(&ProptestConfig::with_cases(5), "rejecting", |rng, _inp| {
+            total += 1;
+            if rng.below(2) == 0 {
+                return Err(TestCaseError::Reject("coin".into()));
+            }
+            kept += 1;
+            Ok(())
+        });
+        assert_eq!(kept, 5);
+        assert!(total >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_inputs() {
+        run_cases(&ProptestConfig::with_cases(3), "failing", |_rng, inp| {
+            *inp = "x = 42".into();
+            Err(TestCaseError::Fail("boom".into()))
+        });
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let collect = || {
+            let mut seen = Vec::new();
+            run_cases(&ProptestConfig::with_cases(4), "det", |rng, _inp| {
+                seen.push(rng.next_u64());
+                Ok(())
+            });
+            seen
+        };
+        assert_eq!(collect(), collect());
+    }
+}
