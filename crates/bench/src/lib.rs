@@ -5,6 +5,8 @@
 //! paper-vs-measured. The [`harness`] module holds the shared assembly:
 //! backend test beds, the phase runner, and table printing.
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 
 pub use harness::*;

@@ -15,8 +15,8 @@ use std::sync::Arc;
 use fsapi::types::ACCESS_X;
 use fsapi::{path as fspath, Credentials, FileKind, FileStat, FsError, FsResult, Perm};
 use fsapi::FileSystem;
-use parking_lot::Mutex;
 use simnet::{charge, Counters, Station};
+use syncguard::{level, Mutex};
 
 use crate::cluster::DfsCluster;
 use crate::datasrv::CHUNK_SIZE;
@@ -73,7 +73,7 @@ impl DentryCache {
         self.lru.insert(tick, path);
         while self.map.len() > self.capacity {
             let (&t, _) = self.lru.iter().next().expect("lru empty while over capacity");
-            let victim = self.lru.remove(&t).unwrap();
+            let victim = self.lru.remove(&t).expect("tick came from this lru");
             self.map.remove(&victim);
         }
     }
@@ -113,7 +113,7 @@ impl DfsClient {
     pub(crate) fn new(cluster: Arc<DfsCluster>, dentry_capacity: usize) -> Self {
         Self {
             cluster,
-            dentries: Mutex::new(DentryCache::new(dentry_capacity)),
+            dentries: Mutex::new(level::FS_CLIENT, "dfs.client.dentries", DentryCache::new(dentry_capacity)),
             counters: Counters::new(),
         }
     }

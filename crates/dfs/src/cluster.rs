@@ -3,8 +3,8 @@
 use std::sync::Arc;
 
 use fsapi::{FsResult, Perm};
-use parking_lot::RwLock;
 use simnet::LatencyProfile;
+use syncguard::{level, RwLock};
 
 use crate::client::DfsClient;
 use crate::datasrv::DataServer;
@@ -41,7 +41,7 @@ pub struct DfsCluster {
 impl DfsCluster {
     pub fn new(config: DfsConfig, profile: Arc<LatencyProfile>) -> Arc<Self> {
         assert!(config.n_mds > 0 && config.n_data > 0, "cluster needs servers");
-        let ns = Arc::new(RwLock::new(Namespace::new(config.root_mode)));
+        let ns = Arc::new(RwLock::new(level::BACKEND, "dfs.namespace", Namespace::new(config.root_mode)));
         let mds = (0..config.n_mds)
             .map(|i| Mds::new(i, Arc::clone(&ns), Arc::clone(&profile)))
             .collect();

@@ -8,8 +8,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
 use simnet::{charge, LatencyProfile, Station};
+use syncguard::{level, RwLock};
 
 use crate::namespace::Ino;
 
@@ -25,7 +25,7 @@ pub struct DataServer {
 
 impl DataServer {
     pub fn new(id: u32, profile: Arc<LatencyProfile>) -> Arc<Self> {
-        Arc::new(Self { id, chunks: RwLock::new(HashMap::new()), profile })
+        Arc::new(Self { id, chunks: RwLock::new(level::BACKEND, "dfs.datasrv.chunks", HashMap::new()), profile })
     }
 
     fn charge_bytes(&self, bytes: usize, write: bool) {

@@ -18,6 +18,8 @@
 //! Figures 2 and 9 measure, and what Pacon's batch permission management
 //! eliminates.
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod cluster;
 pub mod datasrv;

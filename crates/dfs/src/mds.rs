@@ -11,8 +11,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use fsapi::{path as fspath, Credentials, FileKind, FileStat, FsError, FsResult};
-use parking_lot::RwLock;
 use simnet::{charge, Counters, LatencyProfile, Station};
+use syncguard::RwLock;
 
 use crate::namespace::{Ino, Namespace};
 
@@ -299,7 +299,7 @@ mod tests {
     use simnet::with_recording;
 
     fn mds() -> Arc<Mds> {
-        let ns = Arc::new(RwLock::new(Namespace::new(0o777)));
+        let ns = Arc::new(RwLock::new(syncguard::level::BACKEND, "dfs.namespace", Namespace::new(0o777)));
         Mds::new(0, ns, Arc::new(LatencyProfile::default()))
     }
 

@@ -8,6 +8,8 @@
 //! [`path`] helpers, so the `workloads` crate can drive any backend
 //! generically.
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod fs;
 pub mod mount;

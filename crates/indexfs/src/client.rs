@@ -7,8 +7,8 @@ use std::sync::Arc;
 use fsapi::types::ACCESS_X;
 use fsapi::{path as fspath, Credentials, FileKind, FileStat, FsError, FsResult, Perm};
 use fsapi::FileSystem;
-use parking_lot::Mutex;
 use simnet::{charge, Counters, NodeId, Station};
+use syncguard::{level, Mutex};
 
 use crate::cluster::{IndexFsCluster, ROOT_DIR_ID};
 use crate::codec::{entry_key, Record};
@@ -36,8 +36,8 @@ impl IndexFsClient {
         Self {
             cluster,
             local,
-            leases: Mutex::new(LeaseCache::new(lease_capacity)),
-            bulk: Mutex::new(None),
+            leases: Mutex::new(level::FS_CLIENT_LEASE, "indexfs.client.leases", LeaseCache::new(lease_capacity)),
+            bulk: Mutex::new(level::FS_CLIENT, "indexfs.client.bulk", None),
             counters: Counters::new(),
         }
     }

@@ -24,6 +24,8 @@
 //! `dfs` client), and per-component permission checks happen client-side
 //! against cached entry attributes.
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod cluster;
 pub mod codec;

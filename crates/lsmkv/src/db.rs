@@ -2,7 +2,7 @@
 
 use std::path::{Path, PathBuf};
 
-use parking_lot::Mutex;
+use syncguard::{level, Mutex};
 
 use crate::error::{LsmError, LsmResult};
 use crate::memtable::Memtable;
@@ -151,7 +151,7 @@ impl Db {
         Ok(Self {
             dir: dir.to_path_buf(),
             opts,
-            inner: Mutex::new(Inner {
+            inner: Mutex::new(level::BACKEND, "lsmkv.db", Inner {
                 mem,
                 wal,
                 l0: l0.into_iter().map(|(_, r)| r).collect(),

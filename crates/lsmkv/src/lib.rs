@@ -33,6 +33,8 @@
 //! # drop(db); std::fs::remove_dir_all(&dir).ok();
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bloom;
 pub mod db;
 pub mod error;

@@ -188,7 +188,7 @@ impl SstReader {
         }
         let mut footer = [0u8; FOOTER_LEN as usize];
         file.read_exact_at(&mut footer, file_len - FOOTER_LEN)?;
-        let rd = |i: usize| u64::from_le_bytes(footer[i * 8..i * 8 + 8].try_into().unwrap());
+        let rd = |i: usize| u64::from_le_bytes(footer[i * 8..i * 8 + 8].try_into().expect("8-byte slice"));
         let (index_off, index_len, bloom_off, bloom_len, count, max_seq, magic) =
             (rd(0), rd(1), rd(2), rd(3), rd(4), rd(5), rd(6));
         if magic != MAGIC {
@@ -206,8 +206,8 @@ impl SstReader {
             if pos + 12 > index_bytes.len() {
                 return Err(LsmError::Corrupt("truncated index entry".into()));
             }
-            let klen = u32::from_le_bytes(index_bytes[pos..pos + 4].try_into().unwrap()) as usize;
-            let off = u64::from_le_bytes(index_bytes[pos + 4..pos + 12].try_into().unwrap());
+            let klen = u32::from_le_bytes(index_bytes[pos..pos + 4].try_into().expect("4-byte slice")) as usize;
+            let off = u64::from_le_bytes(index_bytes[pos + 4..pos + 12].try_into().expect("8-byte slice"));
             let kstart = pos + 12;
             if kstart + klen > index_bytes.len() {
                 return Err(LsmError::Corrupt("truncated index key".into()));
@@ -336,9 +336,9 @@ impl<'f> RegionIter<'f> {
         }
         let base = (self.pos - self.buf_base) as usize;
         let hdr = &self.buf[base..base + ENTRY_HDR];
-        let klen = u32::from_le_bytes(hdr[0..4].try_into().unwrap()) as usize;
-        let vlen = u32::from_le_bytes(hdr[4..8].try_into().unwrap()) as usize;
-        let seq = u64::from_le_bytes(hdr[8..16].try_into().unwrap());
+        let klen = u32::from_le_bytes(hdr[0..4].try_into().expect("4-byte slice")) as usize;
+        let vlen = u32::from_le_bytes(hdr[4..8].try_into().expect("4-byte slice")) as usize;
+        let seq = u64::from_le_bytes(hdr[8..16].try_into().expect("8-byte slice"));
         let kind = hdr[16];
         let total = ENTRY_HDR + klen + vlen;
         if !self.ensure(total)? {

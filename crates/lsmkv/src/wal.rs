@@ -107,8 +107,8 @@ impl Wal {
         let mut records = Vec::new();
         let mut pos = 0usize;
         while pos + 8 <= data.len() {
-            let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
-            let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+            let len = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4-byte slice")) as usize;
+            let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4-byte slice"));
             let start = pos + 8;
             if start + len > data.len() {
                 break; // torn tail

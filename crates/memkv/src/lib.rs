@@ -19,6 +19,8 @@
 //! own metadata) and byte-usage introspection (for the eviction
 //! threshold).
 
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod ring;
 pub mod shard;

@@ -7,7 +7,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use parking_lot::Mutex;
+use syncguard::{level, Mutex};
 
 /// Result of a CAS attempt.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,7 +64,7 @@ fn entry_cost(key: &[u8], value: &[u8]) -> usize {
 impl Shard {
     pub fn new(max_bytes: Option<usize>) -> Self {
         Self {
-            inner: Mutex::new(Inner {
+            inner: Mutex::new(level::SHARD, "memkv.shard", Inner {
                 map: HashMap::new(),
                 lru: BTreeMap::new(),
                 tick: 0,
@@ -273,7 +273,7 @@ impl Shard {
         let Some(max) = self.max_bytes else { return };
         while g.used_bytes > max && g.map.len() > 1 {
             let Some((&tick, _)) = g.lru.iter().next() else { break };
-            let key = g.lru.remove(&tick).unwrap();
+            let key = g.lru.remove(&tick).expect("tick came from this lru");
             if let Some(e) = g.map.remove(&key) {
                 g.used_bytes -= entry_cost(&key, &e.value);
                 g.stats.evictions += 1;

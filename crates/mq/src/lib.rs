@@ -17,6 +17,8 @@
 //! they can be driven by the discrete-event harness as well as by real
 //! threads.
 
+#![forbid(unsafe_code)]
+
 pub mod pubsub;
 pub mod queue;
 

@@ -4,7 +4,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use syncguard::{level, Mutex};
 
 struct SubQueue<T> {
     buf: VecDeque<T>,
@@ -28,7 +28,11 @@ impl<T: Clone> Default for PubSub<T> {
 
 impl<T: Clone> PubSub<T> {
     pub fn new() -> Self {
-        Self { shared: Arc::new(Shared { subs: Mutex::new(Vec::new()) }) }
+        Self {
+            shared: Arc::new(Shared {
+                subs: Mutex::new(level::QUEUE, "mq.pubsub.hub", Vec::new()),
+            }),
+        }
     }
 
     /// Publish to every current subscriber.
@@ -42,7 +46,11 @@ impl<T: Clone> PubSub<T> {
 
     /// Register a new subscriber; it sees messages published from now on.
     pub fn subscribe(&self) -> Subscriber<T> {
-        let q = Arc::new(Mutex::new(SubQueue { buf: VecDeque::new(), alive: true }));
+        let q = Arc::new(Mutex::new(
+            level::QUEUE_SUB,
+            "mq.pubsub.sub",
+            SubQueue { buf: VecDeque::new(), alive: true },
+        ));
         self.shared.subs.lock().push(Arc::clone(&q));
         Subscriber { queue: q }
     }

@@ -9,7 +9,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
+use syncguard::{level, Condvar, Mutex};
 
 /// Error from a blocking receive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,7 +48,7 @@ struct Shared<T> {
 pub fn push_pull<T>(capacity: usize) -> (Publisher<T>, Consumer<T>) {
     assert!(capacity > 0, "queue capacity must be positive");
     let shared = Arc::new(Shared {
-        state: Mutex::new(State {
+        state: Mutex::new(level::QUEUE, "mq.queue", State {
             buf: VecDeque::with_capacity(capacity.min(1024)),
             publishers: 1,
             consumers: 1,
@@ -71,6 +71,7 @@ impl<T> Publisher<T> {
     /// Block until there is room, then enqueue. Returns `Err(msg)` when
     /// every consumer is gone.
     pub fn send(&self, msg: T) -> Result<(), T> {
+        syncguard::enter_blocking("mq::Publisher::send");
         let mut st = self.shared.state.lock();
         loop {
             if st.consumers == 0 {
@@ -132,6 +133,7 @@ pub struct Consumer<T> {
 impl<T> Consumer<T> {
     /// Block until a message arrives or all publishers disconnect.
     pub fn recv(&self) -> Result<T, RecvError> {
+        syncguard::enter_blocking("mq::Consumer::recv");
         let mut st = self.shared.state.lock();
         loop {
             if let Some(msg) = st.buf.pop_front() {
@@ -148,6 +150,7 @@ impl<T> Consumer<T> {
 
     /// Block with a timeout.
     pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvError> {
+        syncguard::enter_blocking("mq::Consumer::recv_timeout");
         let deadline = std::time::Instant::now() + timeout;
         let mut st = self.shared.state.lock();
         loop {
@@ -301,6 +304,26 @@ mod tests {
         got.sort_unstable();
         got.dedup();
         assert_eq!(got.len(), 400, "no message may be duplicated or lost");
+    }
+
+    #[test]
+    fn panicked_worker_does_not_wedge_publishers() {
+        // A worker thread that panics mid-consumption must not poison the
+        // queue lock: syncguard locks are non-poisoning, so every
+        // subsequent publisher and consumer proceeds normally.
+        let (tx, rx) = push_pull::<u32>(16);
+        tx.send(1).unwrap();
+        let rx2 = rx.clone();
+        let worker = std::thread::spawn(move || {
+            let v = rx2.recv().unwrap();
+            panic!("worker dies holding queue state in scope: {v}");
+        });
+        assert!(worker.join().is_err());
+        tx.send(2).unwrap();
+        tx.send(3).unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+        assert_eq!(rx.backlog(), 0);
     }
 
     #[test]

@@ -21,8 +21,8 @@ use fsapi::types::{ACCESS_R, ACCESS_W, ACCESS_X};
 use fsapi::{path as fspath, Credentials, FileKind, FileStat, FsError, FsResult, Perm};
 use fsapi::FileSystem;
 use mq::Publisher;
-use parking_lot::RwLock;
 use simnet::{charge, ClientId, NodeId, Station};
+use syncguard::{level, Mutex, RwLock};
 
 use crate::cache::MetaCache;
 use crate::commit::op::{CommitOp, QueueMsg};
@@ -50,7 +50,7 @@ pub struct PaconClient {
     /// Memo of the most recently verified parent directory: consecutive
     /// creations in one directory (the common mdtest/N-N pattern) pay the
     /// parent-existence check only once. Invalidated by rmdir.
-    parent_memo: parking_lot::Mutex<Option<String>>,
+    parent_memo: Mutex<Option<String>>,
 }
 
 /// Encoded-metadata header size (see `CachedMeta::encode`); counted
@@ -71,10 +71,10 @@ impl PaconClient {
             cache: MetaCache::new(kv),
             publishers,
             dfs,
-            merged: RwLock::new(Vec::new()),
+            merged: RwLock::new(level::CLIENT_VIEW, "pacon.client.merged", Vec::new()),
             id,
             node,
-            parent_memo: parking_lot::Mutex::new(None),
+            parent_memo: Mutex::new(level::CLIENT_MEMO, "pacon.client.parent_memo", None),
         }
     }
 
@@ -369,11 +369,16 @@ impl PaconClient {
             // including ops still coalescing below the batch threshold.
             self.core.flush_publish_buffer(n, tx)?;
             charge(Station::ClientCpu, self.profile().queue_push);
-            tx.send(QueueMsg {
-                op: CommitOp::Barrier { epoch },
-                client: self.id.0,
-                epoch,
-                timestamp: self.core.now(),
+            // permit_blocking: the barrier slot is held across the marker
+            // send by design — workers never take the slot, they only
+            // drain the queue, so a full queue always resolves.
+            syncguard::permit_blocking(|| {
+                tx.send(QueueMsg {
+                    op: CommitOp::Barrier { epoch },
+                    client: self.id.0,
+                    epoch,
+                    timestamp: self.core.now(),
+                })
             })
             .map_err(|_| FsError::Backend("commit queue closed".into()))?;
         }

@@ -16,7 +16,7 @@
 //! Both blocking waits (threaded mode) and non-blocking polls (the
 //! discrete-event harness) are provided.
 
-use parking_lot::{Condvar, Mutex, MutexGuard};
+use syncguard::{level, Condvar, Mutex, MutexGuard};
 
 struct BoardState {
     /// Completed epoch: all ops with `epoch <= current` are committed.
@@ -28,6 +28,13 @@ struct BoardState {
 }
 
 /// Region-wide barrier coordination.
+///
+/// Two locks with very different spans: `slot` is *outermost* — it is held
+/// by the triggering client across the whole dependent operation (publish
+/// flush, queue sends, cache invalidation, the DFS mutation itself) — while
+/// `state` is a short-lived leaf taken by clients and workers alike, often
+/// while the publish-buffer lock is already held (the epoch read in
+/// `flush_publish_buffer`). Hence the distinct lock levels.
 pub struct BarrierBoard {
     workers: usize,
     state: Mutex<BoardState>,
@@ -42,9 +49,13 @@ impl BarrierBoard {
         assert!(workers > 0, "barrier board needs at least one worker");
         Self {
             workers,
-            state: Mutex::new(BoardState { current: 0, active: None, reached: 0 }),
+            state: Mutex::new(
+                level::BARRIER,
+                "pacon.barrier.state",
+                BoardState { current: 0, active: None, reached: 0 },
+            ),
             cv: Condvar::new(),
-            slot: Mutex::new(()),
+            slot: Mutex::new(level::REGION, "pacon.barrier.slot", ()),
         }
     }
 

@@ -16,19 +16,31 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use fsapi::{path as fspath, FsError, FsResult};
-use parking_lot::RwLock;
+use syncguard::{level, RwLock};
 
 use crate::region::{PaconRegion, RegionHandle};
 
 /// Shared registry of running consistent regions.
-#[derive(Default, Clone)]
+#[derive(Clone)]
 pub struct RegionDirectory {
     inner: Arc<RwLock<BTreeMap<String, RegionHandle>>>,
 }
 
+impl Default for RegionDirectory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl RegionDirectory {
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            inner: Arc::new(RwLock::new(
+                level::CLIENT_VIEW,
+                "pacon.region_directory",
+                BTreeMap::new(),
+            )),
+        }
     }
 
     /// Register a running region under its workspace root. Fails if a

@@ -41,6 +41,8 @@
 //! assert!(dfs.client().stat("/app1/out/result.dat", &cred).unwrap().is_file());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod checkpoint;
 pub mod client;

@@ -15,8 +15,8 @@ use fsapi::{path as fspath, FsError, FsResult};
 use fsapi::FileSystem;
 use memkv::KvCluster;
 use mq::{push_pull, Consumer, Publisher};
-use parking_lot::{Mutex, RwLock};
 use simnet::{ClientId, Counters, NodeId};
+use syncguard::{level, Mutex, RwLock};
 
 use crate::client::PaconClient;
 use crate::commit::barrier::BarrierBoard;
@@ -115,9 +115,13 @@ impl RegionCore {
                 timestamp: self.now(),
             }
         };
-        publisher
-            .send(msg)
-            .map_err(|_| FsError::Backend("commit queue closed".into()))
+        // permit_blocking: the send blocks while the buffer lock is held by
+        // design (see the method doc for the deadlock-freedom argument).
+        syncguard::permit_blocking(|| {
+            publisher
+                .send(msg)
+                .map_err(|_| FsError::Backend("commit queue closed".into()))
+        })
     }
 }
 
@@ -195,10 +199,16 @@ impl PaconRegion {
             perms,
             cache_cluster,
             board: BarrierBoard::new(nodes),
-            removed_dirs: RwLock::new(Vec::new()),
-            staging: Mutex::new(HashMap::new()),
-            pending_writebacks: Mutex::new(std::collections::HashSet::new()),
-            publish_bufs: (0..nodes).map(|_| Mutex::new(PublishBuffer::new())).collect(),
+            removed_dirs: RwLock::new(level::REGION_STATE, "pacon.region.removed_dirs", Vec::new()),
+            staging: Mutex::new(level::REGION_STATE, "pacon.region.staging", HashMap::new()),
+            pending_writebacks: Mutex::new(
+                level::REGION_STATE,
+                "pacon.region.pending_writebacks",
+                std::collections::HashSet::new(),
+            ),
+            publish_bufs: (0..nodes)
+                .map(|_| Mutex::new(level::PUBLISH, "pacon.region.publish_buf", PublishBuffer::new()))
+                .collect(),
             counters: Counters::new(),
             enqueued: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -225,8 +235,8 @@ impl PaconRegion {
             core,
             dfs: Arc::clone(dfs),
             publishers,
-            worker_slots: Mutex::new(workers),
-            threads: Mutex::new(Vec::new()),
+            worker_slots: Mutex::new(level::REGION_STATE, "pacon.region.worker_slots", workers),
+            threads: Mutex::new(level::REGION_STATE, "pacon.region.threads", Vec::new()),
             stop: Arc::new(AtomicBool::new(false)),
             hard_stop: Arc::new(AtomicBool::new(false)),
         }))
@@ -234,14 +244,16 @@ impl PaconRegion {
 
     /// Spawn one thread per remaining worker slot.
     pub fn start_worker_threads(&self) {
+        // Collect the handles locally so `worker_slots` and `threads`
+        // (same lock level) are never held together.
+        let mut spawned = Vec::new();
         let mut slots = self.worker_slots.lock();
-        let mut threads = self.threads.lock();
         for slot in slots.iter_mut() {
             if let Some(mut worker) = slot.take() {
                 let stop = Arc::clone(&self.stop);
                 let hard_stop = Arc::clone(&self.hard_stop);
                 let core = Arc::clone(&self.core);
-                threads.push(std::thread::spawn(move || loop {
+                spawned.push(std::thread::spawn(move || loop {
                     if hard_stop.load(Ordering::Acquire) {
                         break;
                     }
@@ -263,6 +275,8 @@ impl PaconRegion {
                 }));
             }
         }
+        drop(slots);
+        self.threads.lock().extend(spawned);
     }
 
     /// Claim node `n`'s commit worker for external (DES) driving.
@@ -349,11 +363,16 @@ impl PaconRegion {
             self.core
                 .flush_publish_buffer(n, tx)
                 .expect("commit queue closed during sync barrier");
-            tx.send(QueueMsg {
-                op: CommitOp::Barrier { epoch },
-                client: u32::MAX,
-                epoch,
-                timestamp: self.core.now(),
+            // permit_blocking: the barrier slot is held across the marker
+            // send by design — workers never take the slot, they only
+            // drain the queue, so a full queue always resolves.
+            syncguard::permit_blocking(|| {
+                tx.send(QueueMsg {
+                    op: CommitOp::Barrier { epoch },
+                    client: u32::MAX,
+                    epoch,
+                    timestamp: self.core.now(),
+                })
             })
             .expect("commit queue closed during sync barrier");
         }

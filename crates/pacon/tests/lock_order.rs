@@ -1,0 +1,96 @@
+//! Lock-order inversion regression test (syncguard cycle detection).
+//!
+//! The shipped hierarchy splits the barrier board into two lock classes:
+//! the *slot* (`pacon.barrier.slot`, outermost — held across the whole
+//! dependent operation) and the *state* (`pacon.barrier.state`, a leaf
+//! taken while region-level locks such as the publish buffer are held).
+//! With a single class those two usage patterns would form exactly the
+//! inversion this test constructs: one thread nesting region-state →
+//! barrier-state, another nesting barrier-state → region-state.
+//!
+//! Here we recreate that inversion across the same lock classes and
+//! assert syncguard reports the cycle with both acquisition sites, which
+//! is the diagnostic a developer would get if the hierarchy regressed.
+//!
+//! Run with `cargo test -p pacon --features syncguard/check`; without the
+//! feature the test is a no-op (passthrough mode records nothing).
+
+use syncguard::level;
+
+#[test]
+fn region_barrier_inversion_is_reported_as_cycle() {
+    if !syncguard::check_enabled() {
+        eprintln!("syncguard/check disabled; skipping inversion test");
+        return;
+    }
+
+    // Same class names and levels as pacon::region / pacon::commit::barrier.
+    let region = std::sync::Arc::new(syncguard::Mutex::new(
+        level::REGION_STATE,
+        "pacon.region.staging",
+        (),
+    ));
+    let barrier = std::sync::Arc::new(syncguard::Mutex::new(
+        level::BARRIER,
+        "pacon.barrier.state",
+        (),
+    ));
+
+    // Thread 1: the legal order — region state outer, barrier state inner
+    // (what `flush_publish_buffer` does when it reads the current epoch).
+    {
+        let region = std::sync::Arc::clone(&region);
+        let barrier = std::sync::Arc::clone(&barrier);
+        std::thread::spawn(move || {
+            let _r = region.lock();
+            let _b = barrier.lock();
+        })
+        .join()
+        .unwrap();
+    }
+
+    // Thread 2: the inversion — barrier state held while region state is
+    // acquired. Joined after thread 1 so both edges exist; no actual
+    // deadlock is needed for the class graph to close the cycle.
+    {
+        let region = std::sync::Arc::clone(&region);
+        let barrier = std::sync::Arc::clone(&barrier);
+        std::thread::spawn(move || {
+            let _b = barrier.lock();
+            let _r = region.lock();
+        })
+        .join()
+        .unwrap();
+    }
+
+    let report = syncguard::report();
+
+    let cycle = report
+        .cycles
+        .iter()
+        .find(|c| {
+            c.classes.iter().any(|n| n == "pacon.region.staging")
+                && c.classes.iter().any(|n| n == "pacon.barrier.state")
+        })
+        .unwrap_or_else(|| {
+            panic!("no cycle across region/barrier classes in {:?}", report.cycles)
+        });
+    // Both acquisition sites must point into this file so the diagnostic
+    // is actionable.
+    assert!(cycle.held_site.contains("lock_order.rs"), "held site: {}", cycle.held_site);
+    assert!(
+        cycle.acquire_site.contains("lock_order.rs"),
+        "acquire site: {}",
+        cycle.acquire_site
+    );
+
+    // The inversion is also a level violation: BARRIER (40) was held while
+    // REGION_STATE (16) was acquired.
+    assert!(
+        report.level_violations.iter().any(|v| {
+            v.held == "pacon.barrier.state" && v.acquired == "pacon.region.staging"
+        }),
+        "no level violation recorded: {:?}",
+        report.level_violations
+    );
+}

@@ -13,6 +13,8 @@
 //! The engine is validated against an exact Mean-Value-Analysis solver
 //! ([`mva`]) and the asymptotic operational bounds of closed networks.
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod mva;
 

@@ -21,6 +21,8 @@
 //! functional code paths can also be used directly by unit tests and
 //! real-thread examples.
 
+#![forbid(unsafe_code)]
+
 pub mod profiles;
 pub mod station;
 pub mod stats;

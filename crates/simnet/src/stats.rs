@@ -7,17 +7,24 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::RwLock;
+use syncguard::{level, RwLock};
 
 /// A concurrent map of named monotonically increasing counters.
-#[derive(Default)]
 pub struct Counters {
     inner: RwLock<BTreeMap<&'static str, AtomicU64>>,
 }
 
+impl Default for Counters {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Counters {
     pub fn new() -> Self {
-        Self::default()
+        // Innermost tier: counters are bumped from inside arbitrary
+        // critical sections across the workspace.
+        Self { inner: RwLock::new(level::STATS, "simnet.counters", BTreeMap::new()) }
     }
 
     /// Add `n` to the counter named `name`, creating it at zero first if

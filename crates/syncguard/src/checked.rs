@@ -1,0 +1,855 @@
+//! Checking implementation: lock-order graph, cycle detection, level
+//! enforcement, hold-time tracking, blocking-call auditing.
+//!
+//! The registry itself is guarded by a raw `parking_lot::Mutex` (the one
+//! place allowed to construct a lock directly — it cannot participate in
+//! its own ordering). The registry lock is only ever the innermost lock:
+//! every helper acquires it, does pure in-memory work, and releases it
+//! before returning, so instrumentation cannot deadlock the instrumented
+//! program.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::panic::Location;
+use std::time::Instant;
+
+use parking_lot as pl;
+
+use crate::report::{
+    BlockingViolation, ClassStats, CycleReport, EdgeReport, LevelViolation, Report,
+};
+
+/// True when lock-order checking is compiled in.
+pub fn check_enabled() -> bool {
+    true
+}
+
+type ClassId = usize;
+
+struct ClassData {
+    name: &'static str,
+    level: u16,
+    first_site: &'static Location<'static>,
+    acquisitions: u64,
+    max_hold_ns: u64,
+    total_hold_ns: u64,
+}
+
+struct EdgeData {
+    from_site: &'static Location<'static>,
+    to_site: &'static Location<'static>,
+    count: u64,
+}
+
+#[derive(Default)]
+struct Registry {
+    ids: HashMap<&'static str, ClassId>,
+    classes: Vec<ClassData>,
+    edges: HashMap<(ClassId, ClassId), EdgeData>,
+    /// Adjacency over classes, mirroring `edges` keys.
+    adj: Vec<Vec<ClassId>>,
+    cycles: Vec<CycleReport>,
+    level_violations: Vec<LevelViolation>,
+    blocking_violations: Vec<BlockingViolation>,
+    /// Dedup keys so each distinct finding is recorded once.
+    seen_cycles: Vec<Vec<ClassId>>,
+    seen_level: Vec<(ClassId, ClassId)>,
+    seen_blocking: Vec<(&'static str, ClassId)>,
+}
+
+static REGISTRY: pl::Mutex<Option<Registry>> = pl::Mutex::new(None);
+
+fn with_registry<R>(f: impl FnOnce(&mut Registry) -> R) -> R {
+    let mut slot = REGISTRY.lock();
+    f(slot.get_or_insert_with(Registry::default))
+}
+
+#[derive(Clone, Copy)]
+struct HeldEntry {
+    class: ClassId,
+    level: u16,
+    site: &'static Location<'static>,
+    token: u64,
+}
+
+thread_local! {
+    static HELD: RefCell<Vec<HeldEntry>> = const { RefCell::new(Vec::new()) };
+    static NEXT_TOKEN: Cell<u64> = const { Cell::new(0) };
+    static BLOCK_PERMITS: Cell<u32> = const { Cell::new(0) };
+}
+
+fn panic_on_finding() -> bool {
+    std::env::var_os("SYNCGUARD_PANIC").is_some_and(|v| v == "1")
+}
+
+fn loc(l: &'static Location<'static>) -> String {
+    format!("{}:{}:{}", l.file(), l.line(), l.column())
+}
+
+impl Registry {
+    fn intern(&mut self, name: &'static str, level: u16, site: &'static Location<'static>) -> ClassId {
+        if let Some(&id) = self.ids.get(name) {
+            debug_assert_eq!(
+                self.classes[id].level, level,
+                "lock class {name} declared with two levels"
+            );
+            return id;
+        }
+        let id = self.classes.len();
+        self.ids.insert(name, id);
+        self.classes.push(ClassData {
+            name,
+            level,
+            first_site: site,
+            acquisitions: 0,
+            max_hold_ns: 0,
+            total_hold_ns: 0,
+        });
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Shortest path `from -> ... -> to` in the class graph, if any.
+    fn path_from(&self, from: ClassId, to: ClassId, path: &mut Vec<ClassId>) -> bool {
+        if from == to {
+            path.push(from);
+            return true;
+        }
+        let n = self.classes.len();
+        let mut pred: Vec<Option<ClassId>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        visited[from] = true;
+        queue.push_back(from);
+        while let Some(node) = queue.pop_front() {
+            for &next in &self.adj[node] {
+                if visited[next] {
+                    continue;
+                }
+                visited[next] = true;
+                pred[next] = Some(node);
+                if next == to {
+                    let mut chain = vec![to];
+                    let mut cur = to;
+                    while let Some(p) = pred[cur] {
+                        chain.push(p);
+                        cur = p;
+                    }
+                    chain.reverse();
+                    path.extend(chain);
+                    return true;
+                }
+                queue.push_back(next);
+            }
+        }
+        false
+    }
+}
+
+/// Record an acquisition attempt of (`name`, `level`) at `site`. Runs
+/// *before* blocking on the underlying lock so a real deadlock still gets
+/// its report out first. Returns the class id.
+fn note_acquire(
+    name: &'static str,
+    level: u16,
+    site: &'static Location<'static>,
+) -> ClassId {
+    let held: Vec<HeldEntry> = HELD.with(|h| h.borrow().clone());
+    let (class, finding) = with_registry(|reg| {
+        let class = reg.intern(name, level, site);
+        reg.classes[class].acquisitions += 1;
+        let mut finding: Option<String> = None;
+
+        // Same-class reentrancy and hierarchy inversions.
+        if let Some(worst) = held.iter().max_by_key(|e| e.level) {
+            let same = held.iter().find(|e| e.class == class);
+            if let Some(prev) = same {
+                if !reg.seen_level.contains(&(class, class)) {
+                    reg.seen_level.push((class, class));
+                    reg.level_violations.push(LevelViolation {
+                        held: name.to_string(),
+                        held_level: level,
+                        held_site: loc(prev.site),
+                        acquired: name.to_string(),
+                        acquired_level: level,
+                        acquire_site: loc(site),
+                        same_class: true,
+                    });
+                    finding = Some(format!(
+                        "syncguard: reentrant acquisition of lock class `{name}` \
+                         (held at {}, reacquired at {})",
+                        loc(prev.site),
+                        loc(site)
+                    ));
+                }
+            } else if level < worst.level && !reg.seen_level.contains(&(worst.class, class)) {
+                reg.seen_level.push((worst.class, class));
+                reg.level_violations.push(LevelViolation {
+                    held: reg.classes[worst.class].name.to_string(),
+                    held_level: worst.level,
+                    held_site: loc(worst.site),
+                    acquired: name.to_string(),
+                    acquired_level: level,
+                    acquire_site: loc(site),
+                    same_class: false,
+                });
+                finding = Some(format!(
+                    "syncguard: hierarchy inversion — `{name}` (level {level}, at {}) \
+                     acquired while holding `{}` (level {}, at {})",
+                    loc(site),
+                    reg.classes[worst.class].name,
+                    worst.level,
+                    loc(worst.site)
+                ));
+            }
+        }
+
+        // Order edge from the innermost held lock; transitivity covers the
+        // rest (each held lock already has an edge to the next).
+        if let Some(prev) = held.last() {
+            if prev.class != class {
+                // Cycle check *before* inserting: is `prev` reachable from
+                // `class` already? Then class -> ... -> prev -> class.
+                let mut path = Vec::new();
+                if reg.path_from(class, prev.class, &mut path) {
+                    let mut key: Vec<ClassId> = path.clone();
+                    key.sort_unstable();
+                    key.dedup();
+                    if !reg.seen_cycles.contains(&key) {
+                        reg.seen_cycles.push(key);
+                        let classes: Vec<String> =
+                            path.iter().map(|&c| reg.classes[c].name.to_string()).collect();
+                        reg.cycles.push(CycleReport {
+                            classes: classes.clone(),
+                            held_site: loc(prev.site),
+                            acquire_site: loc(site),
+                        });
+                        finding = Some(format!(
+                            "syncguard: lock-order cycle {} -> {} (held `{}` at {}, \
+                             acquiring `{name}` at {})",
+                            classes.join(" -> "),
+                            classes[0],
+                            reg.classes[prev.class].name,
+                            loc(prev.site),
+                            loc(site)
+                        ));
+                    }
+                }
+                let edge = reg.edges.entry((prev.class, class)).or_insert_with(|| {
+                    EdgeData { from_site: prev.site, to_site: site, count: 0 }
+                });
+                edge.count += 1;
+                if !reg.adj[prev.class].contains(&class) {
+                    reg.adj[prev.class].push(class);
+                }
+            }
+        }
+        (class, finding)
+    });
+    if let Some(msg) = finding {
+        if panic_on_finding() {
+            panic!("{msg}");
+        }
+    }
+    class
+}
+
+/// Hold bookkeeping for one live guard. Pushed on acquisition, popped on
+/// drop; pause/resume bracket condvar waits so wait time is not billed as
+/// hold time (and the lock is not considered held while parked).
+struct HeldToken {
+    class: ClassId,
+    level: u16,
+    site: &'static Location<'static>,
+    token: u64,
+    since: Instant,
+}
+
+impl HeldToken {
+    fn acquire(class: ClassId, level: u16, site: &'static Location<'static>) -> Self {
+        let token = NEXT_TOKEN.with(|t| {
+            let v = t.get();
+            t.set(v + 1);
+            v
+        });
+        HELD.with(|h| h.borrow_mut().push(HeldEntry { class, level, site, token }));
+        Self { class, level, site, token, since: Instant::now() }
+    }
+
+    fn settle_hold(&self) {
+        let ns = self.since.elapsed().as_nanos() as u64;
+        with_registry(|reg| {
+            let c = &mut reg.classes[self.class];
+            c.total_hold_ns += ns;
+            c.max_hold_ns = c.max_hold_ns.max(ns);
+        });
+    }
+
+    fn pop(&self) {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|e| e.token == self.token) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    /// Condvar wait entry: stop billing and unmark as held.
+    fn pause(&self) {
+        self.settle_hold();
+        self.pop();
+    }
+
+    /// Condvar wait exit: remark as held, restart the clock.
+    fn resume(&mut self) {
+        HELD.with(|h| {
+            h.borrow_mut().push(HeldEntry {
+                class: self.class,
+                level: self.level,
+                site: self.site,
+                token: self.token,
+            })
+        });
+        self.since = Instant::now();
+    }
+}
+
+impl Drop for HeldToken {
+    fn drop(&mut self) {
+        self.settle_hold();
+        self.pop();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+
+pub struct Mutex<T: ?Sized> {
+    level: u16,
+    name: &'static str,
+    inner: pl::Mutex<T>,
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    token: HeldToken,
+    inner: pl::MutexGuard<'a, T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(level: u16, name: &'static str, value: T) -> Self {
+        Self { level, name, inner: pl::Mutex::new(value) }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    #[track_caller]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let site = Location::caller();
+        let class = note_acquire(self.name, self.level, site);
+        let inner = self.inner.lock();
+        MutexGuard { token: HeldToken::acquire(class, self.level, site), inner }
+    }
+
+    #[track_caller]
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let site = Location::caller();
+        let inner = self.inner.try_lock()?;
+        let class = note_acquire(self.name, self.level, site);
+        Some(MutexGuard { token: HeldToken::acquire(class, self.level, site), inner })
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+
+pub struct RwLock<T: ?Sized> {
+    level: u16,
+    name: &'static str,
+    inner: pl::RwLock<T>,
+}
+
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    _token: HeldToken,
+    inner: pl::RwLockReadGuard<'a, T>,
+}
+
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    _token: HeldToken,
+    inner: pl::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(level: u16, name: &'static str, value: T) -> Self {
+        Self { level, name, inner: pl::RwLock::new(value) }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    #[track_caller]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let site = Location::caller();
+        let class = note_acquire(self.name, self.level, site);
+        let inner = self.inner.read();
+        RwLockReadGuard { _token: HeldToken::acquire(class, self.level, site), inner }
+    }
+
+    #[track_caller]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let site = Location::caller();
+        let class = note_acquire(self.name, self.level, site);
+        let inner = self.inner.write();
+        RwLockWriteGuard { _token: HeldToken::acquire(class, self.level, site), inner }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+#[derive(Default)]
+pub struct Condvar(pl::Condvar);
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Self(pl::Condvar::new())
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        guard.token.pause();
+        self.0.wait(&mut guard.inner);
+        guard.token.resume();
+    }
+
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        guard.token.pause();
+        let res = self.0.wait_until(&mut guard.inner, deadline);
+        guard.token.resume();
+        WaitTimeoutResult(res.timed_out())
+    }
+
+    pub fn notify_one(&self) -> bool {
+        self.0.notify_one()
+    }
+
+    pub fn notify_all(&self) -> usize {
+        self.0.notify_all()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blocking-call auditing
+
+/// Mark the current thread as entering a blocking call (channel send or
+/// receive, thread join, I/O wait). If any syncguard lock is held and no
+/// [`permit_blocking`] scope is active, a violation is recorded: blocking
+/// while holding a lock stalls every other thread that needs it, and if
+/// the blocked-on resource is drained by one of those threads, the
+/// process deadlocks.
+#[track_caller]
+pub fn enter_blocking(label: &'static str) {
+    if BLOCK_PERMITS.with(|p| p.get()) > 0 {
+        return;
+    }
+    let held: Vec<HeldEntry> = HELD.with(|h| h.borrow().clone());
+    if held.is_empty() {
+        return;
+    }
+    let site = Location::caller();
+    let msg = with_registry(|reg| {
+        let first = held[0].class;
+        if reg.seen_blocking.contains(&(label, first)) {
+            return None;
+        }
+        reg.seen_blocking.push((label, first));
+        let names: Vec<String> =
+            held.iter().map(|e| reg.classes[e.class].name.to_string()).collect();
+        reg.blocking_violations.push(BlockingViolation {
+            label: label.to_string(),
+            held: names.clone(),
+            site: loc(site),
+        });
+        Some(format!(
+            "syncguard: blocking call `{label}` at {} while holding [{}]",
+            loc(site),
+            names.join(", ")
+        ))
+    });
+    if let Some(msg) = msg {
+        if panic_on_finding() {
+            panic!("{msg}");
+        }
+    }
+}
+
+/// Run `f` with blocking-call auditing suspended on this thread. Use only
+/// at sites with a written deadlock-freedom argument (e.g. the publish
+/// buffer held across a queue send, where the consumer never takes the
+/// buffer lock while its queue is non-empty).
+pub fn permit_blocking<R>(f: impl FnOnce() -> R) -> R {
+    struct Permit;
+    impl Drop for Permit {
+        fn drop(&mut self) {
+            BLOCK_PERMITS.with(|p| p.set(p.get() - 1));
+        }
+    }
+    BLOCK_PERMITS.with(|p| p.set(p.get() + 1));
+    let _permit = Permit;
+    f()
+}
+
+// ---------------------------------------------------------------------------
+// Reporting
+
+/// Snapshot of everything observed since process start (or [`reset`]).
+pub fn report() -> Report {
+    with_registry(|reg| Report {
+        classes: reg
+            .classes
+            .iter()
+            .map(|c| ClassStats {
+                name: c.name.to_string(),
+                level: c.level,
+                first_site: loc(c.first_site),
+                acquisitions: c.acquisitions,
+                max_hold_ns: c.max_hold_ns,
+                total_hold_ns: c.total_hold_ns,
+            })
+            .collect(),
+        edges: reg
+            .edges
+            .iter()
+            .map(|(&(f, t), e)| EdgeReport {
+                from: reg.classes[f].name.to_string(),
+                to: reg.classes[t].name.to_string(),
+                from_site: loc(e.from_site),
+                to_site: loc(e.to_site),
+                count: e.count,
+            })
+            .collect(),
+        cycles: reg.cycles.clone(),
+        level_violations: reg.level_violations.clone(),
+        blocking_violations: reg.blocking_violations.clone(),
+    })
+}
+
+/// The lock-order graph in Graphviz DOT form. Nodes are lock classes
+/// (labelled with their level), edges are observed orderings; edges on a
+/// detected cycle are drawn red.
+pub fn dot() -> String {
+    let rep = report();
+    let mut cyclic: Vec<(String, String)> = Vec::new();
+    for c in &rep.cycles {
+        for w in c.classes.windows(2) {
+            cyclic.push((w[0].clone(), w[1].clone()));
+        }
+        if let (Some(first), Some(last)) = (c.classes.first(), c.classes.last()) {
+            cyclic.push((last.clone(), first.clone()));
+        }
+    }
+    let mut out = String::from("digraph lock_order {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    let mut classes = rep.classes.clone();
+    classes.sort_by_key(|c| (c.level, c.name.clone()));
+    for c in &classes {
+        out.push_str(&format!(
+            "  \"{}\" [label=\"{}\\nlevel {}\"];\n",
+            c.name, c.name, c.level
+        ));
+    }
+    let mut edges = rep.edges.clone();
+    edges.sort_by(|a, b| (&a.from, &a.to).cmp(&(&b.from, &b.to)));
+    for e in &edges {
+        let red = cyclic.iter().any(|(f, t)| *f == e.from && *t == e.to);
+        out.push_str(&format!(
+            "  \"{}\" -> \"{}\" [label=\"{}\"{}];\n",
+            e.from,
+            e.to,
+            e.count,
+            if red { ", color=red, penwidth=2" } else { "" }
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Clear all recorded state (tests). Locks currently held by live guards
+/// keep their thread-local entries; call between quiesced phases only.
+pub fn reset() {
+    *REGISTRY.lock() = None;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    // The registry is process-global, so tests that assert on absence of
+    // findings use distinct class names and filter by them.
+
+    #[test]
+    fn ordered_nesting_is_clean() {
+        let a = Mutex::new(10, "t1.outer", 1);
+        let b = Mutex::new(20, "t1.inner", 2);
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        let rep = report();
+        assert!(rep.cycles.iter().all(|c| !c.classes.contains(&"t1.outer".to_string())));
+        assert!(rep
+            .level_violations
+            .iter()
+            .all(|v| v.held != "t1.outer" && v.acquired != "t1.inner"));
+        assert!(rep
+            .edges
+            .iter()
+            .any(|e| e.from == "t1.outer" && e.to == "t1.inner" && e.count == 1));
+    }
+
+    #[test]
+    fn inverted_order_reports_cycle_with_sites() {
+        let a = Arc::new(Mutex::new(30, "t2.a", ()));
+        let b = Arc::new(Mutex::new(30, "t2.b", ()));
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        std::thread::spawn(move || {
+            let _gb = b2.lock();
+            let _ga = a2.lock();
+        })
+        .join()
+        .unwrap();
+        let rep = report();
+        let cycle = rep
+            .cycles
+            .iter()
+            .find(|c| c.classes.contains(&"t2.a".to_string()))
+            .expect("inversion must be reported");
+        assert!(cycle.classes.contains(&"t2.b".to_string()));
+        assert!(cycle.held_site.contains("checked.rs"));
+        assert!(cycle.acquire_site.contains("checked.rs"));
+    }
+
+    #[test]
+    fn three_lock_transitive_cycle_detected() {
+        let a = Arc::new(Mutex::new(30, "t3.a", ()));
+        let b = Arc::new(Mutex::new(30, "t3.b", ()));
+        let c = Arc::new(Mutex::new(30, "t3.c", ()));
+        {
+            let _g = a.lock();
+            let _h = b.lock();
+        }
+        {
+            let _g = b.lock();
+            let _h = c.lock();
+        }
+        let (a2, c2) = (Arc::clone(&a), Arc::clone(&c));
+        std::thread::spawn(move || {
+            let _g = c2.lock();
+            let _h = a2.lock();
+        })
+        .join()
+        .unwrap();
+        let rep = report();
+        let cycle = rep
+            .cycles
+            .iter()
+            .find(|c| c.classes.contains(&"t3.c".to_string()))
+            .expect("transitive cycle must be reported");
+        assert!(cycle.classes.len() >= 3, "cycle should span all three classes");
+    }
+
+    #[test]
+    fn level_inversion_reported() {
+        let outer = Mutex::new(10, "t4.outer", ());
+        let inner = Mutex::new(50, "t4.inner", ());
+        let _gi = inner.lock();
+        let _go = outer.lock();
+        drop((_go, _gi));
+        let rep = report();
+        assert!(rep
+            .level_violations
+            .iter()
+            .any(|v| v.held == "t4.inner" && v.acquired == "t4.outer" && !v.same_class));
+    }
+
+    #[test]
+    fn reentrant_same_class_reported() {
+        // Two instances of one class locked together is what bites in
+        // practice: two shards of one map held at once.
+        let a = Mutex::new(30, "t5.a", ());
+        let b = Mutex::new(30, "t5.a", ());
+        let _g = a.lock();
+        let _h = b.lock();
+        drop((_g, _h));
+        let rep = report();
+        assert!(rep.level_violations.iter().any(|v| v.acquired == "t5.a" && v.same_class));
+    }
+
+    #[test]
+    fn blocking_with_lock_held_is_reported_and_permit_suppresses() {
+        let m = Mutex::new(30, "t6.m", ());
+        {
+            let _g = m.lock();
+            permit_blocking(|| enter_blocking("t6.permitted"));
+        }
+        {
+            let _g = m.lock();
+            enter_blocking("t6.naked");
+        }
+        enter_blocking("t6.unlocked");
+        let rep = report();
+        assert!(rep.blocking_violations.iter().any(|v| v.label == "t6.naked"));
+        assert!(!rep.blocking_violations.iter().any(|v| v.label == "t6.permitted"));
+        assert!(!rep.blocking_violations.iter().any(|v| v.label == "t6.unlocked"));
+    }
+
+    #[test]
+    fn condvar_wait_releases_hold() {
+        let pair = Arc::new((Mutex::new(40, "t7.m", false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut done = m.lock();
+            while !*done {
+                cv.wait(&mut done);
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        *pair.0.lock() = true;
+        pair.1.notify_all();
+        h.join().unwrap();
+        let rep = report();
+        let c = rep.classes.iter().find(|c| c.name == "t7.m").unwrap();
+        // The waiter paused its hold while parked, so no hold comes close
+        // to the 10ms sleep.
+        assert!(c.max_hold_ns < 8_000_000, "wait time must not bill as hold time");
+    }
+
+    #[test]
+    fn panicked_holder_does_not_wedge_the_lock() {
+        let m = Arc::new(Mutex::new(30, "t8.m", 7));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("worker dies while holding the lock");
+        })
+        .join();
+        // Non-poisoning: the next locker proceeds and sees intact data.
+        assert_eq!(*m.lock(), 7);
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let a = Mutex::new(10, "t9.a", ());
+        let b = Mutex::new(20, "t9.b", ());
+        let _ga = a.lock();
+        let _gb = b.lock();
+        drop((_gb, _ga));
+        let d = dot();
+        assert!(d.contains("digraph lock_order"));
+        assert!(d.contains("\"t9.a\""));
+        assert!(d.contains("\"t9.a\" -> \"t9.b\""));
+    }
+
+    #[test]
+    fn rwlock_participates_in_ordering() {
+        let rw = RwLock::new(10, "t10.rw", 1);
+        let m = Mutex::new(20, "t10.m", ());
+        {
+            let _r = rw.read();
+            let _g = m.lock();
+        }
+        {
+            let _w = rw.write();
+        }
+        let rep = report();
+        assert!(rep.edges.iter().any(|e| e.from == "t10.rw" && e.to == "t10.m"));
+        let c = rep.classes.iter().find(|c| c.name == "t10.rw").unwrap();
+        assert_eq!(c.acquisitions, 2);
+    }
+
+    #[test]
+    fn try_lock_failure_records_nothing() {
+        let m = Mutex::new(30, "t11.m", ());
+        let _g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(_g);
+        let rep = report();
+        let c = rep.classes.iter().find(|c| c.name == "t11.m").unwrap();
+        assert_eq!(c.acquisitions, 1, "failed try_lock must not count");
+    }
+}

@@ -1,0 +1,49 @@
+//! The repo-wide lock hierarchy (outermost first, lower value = outer).
+//!
+//! A thread may only acquire locks at the *same or a higher* level than
+//! every lock it already holds. The tiers, from outermost to innermost:
+//!
+//! ```text
+//! SIM_DRIVER      DES worker-process mutex (workloads): wraps a whole
+//!                 commit-worker step, so it sits outside everything the
+//!                 step can touch.
+//! REGION          barrier slot — serializes region-wide dependent
+//!                 operations (rmdir/readdir); held across publish-buffer
+//!                 flushes, marker sends and the dependent op itself.
+//! CLIENT_VIEW     pacon client merged-region map, region directory.
+//! CLIENT_MEMO     pacon client parent-existence memo.
+//! REGION_STATE    region-core maps: removed_dirs, staging,
+//!                 pending_writebacks, worker slots, thread registry.
+//! PUBLISH         per-node publish (group-commit) buffers. Held across
+//!                 the queue send and the barrier-epoch read, so it
+//!                 orders before BARRIER and QUEUE.
+//! BARRIER         barrier-board state (epoch/reached counters).
+//! QUEUE           mq PUSH/PULL queue state; PUB/SUB hub.
+//! QUEUE_SUB       PUB/SUB per-subscriber buffers (locked under the hub).
+//! SHARD           memkv cache shards.
+//! FS_CLIENT       per-client fs caches: dfs dentry cache, indexfs bulk
+//!                 buffer.
+//! FS_CLIENT_LEASE indexfs lease cache (locked under the bulk buffer).
+//! BACKEND         dfs namespace, data-server chunks, lsmkv database.
+//! STATS           simnet counters — innermost; safe to touch while
+//!                 holding anything.
+//! ```
+//!
+//! Gaps between values are deliberate: new locks slot in without
+//! renumbering. `tools/lint` enforces that locks are only constructed
+//! through syncguard, so every lock site declares its tier.
+
+pub const SIM_DRIVER: u16 = 5;
+pub const REGION: u16 = 10;
+pub const CLIENT_VIEW: u16 = 12;
+pub const CLIENT_MEMO: u16 = 14;
+pub const REGION_STATE: u16 = 16;
+pub const PUBLISH: u16 = 30;
+pub const BARRIER: u16 = 40;
+pub const QUEUE: u16 = 50;
+pub const QUEUE_SUB: u16 = 55;
+pub const SHARD: u16 = 60;
+pub const FS_CLIENT: u16 = 70;
+pub const FS_CLIENT_LEASE: u16 = 72;
+pub const BACKEND: u16 = 80;
+pub const STATS: u16 = 90;

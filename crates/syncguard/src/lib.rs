@@ -1,0 +1,54 @@
+//! Drop-in `Mutex`/`RwLock`/`Condvar` wrappers with lock-order checking.
+//!
+//! Every lock is created with a **level** (its tier in the repo-wide lock
+//! hierarchy, see [`level`]) and a **class name**. Under the `check`
+//! feature the wrappers maintain, per process:
+//!
+//! - a thread-local stack of held locks;
+//! - a global lock-order graph over lock *classes* (edges record the two
+//!   acquisition sites that created them);
+//! - cycle detection at acquisition time — a cycle in the class graph is
+//!   a potential deadlock, reported with both involved sites;
+//! - level checking — acquiring a lock whose level is *lower* (more
+//!   outer) than a lock already held inverts the declared hierarchy;
+//! - hold-time statistics per class;
+//! - blocking-call violations: a thread that enters a blocking call
+//!   (channel send/recv, see [`enter_blocking`]) while holding any
+//!   syncguard lock is reported unless the site is wrapped in
+//!   [`permit_blocking`] with a written deadlock-freedom argument.
+//!
+//! Violations are *recorded*, not panicked on, so a full test run
+//! surfaces every problem at once; [`report`] returns the findings and
+//! [`dot`] dumps the class graph in Graphviz DOT form for docs. Set
+//! `SYNCGUARD_PANIC=1` to abort at the first finding instead (useful to
+//! get a backtrace pointing at the offending acquisition).
+//!
+//! Without the `check` feature everything compiles to `#[inline]`
+//! delegation to `parking_lot` — the level/name arguments are ignored
+//! and no state exists. The locks are non-poisoning in both modes: a
+//! panicking thread releases its guards and the next locker proceeds.
+
+#![forbid(unsafe_code)]
+
+pub mod level;
+mod report;
+
+pub use report::{
+    BlockingViolation, ClassStats, CycleReport, EdgeReport, LevelViolation, Report,
+};
+
+#[cfg(feature = "check")]
+mod checked;
+#[cfg(feature = "check")]
+pub use checked::{
+    check_enabled, dot, enter_blocking, permit_blocking, report, reset, Condvar, Mutex,
+    MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
+
+#[cfg(not(feature = "check"))]
+mod passthrough;
+#[cfg(not(feature = "check"))]
+pub use passthrough::{
+    check_enabled, dot, enter_blocking, permit_blocking, report, reset, Condvar, Mutex,
+    MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};

@@ -1,0 +1,172 @@
+//! Release-mode implementation: `#[inline]` delegation to `parking_lot`.
+//! The level/name arguments are accepted for API parity and discarded;
+//! the wrapper structs carry no extra state.
+
+use std::time::Instant;
+
+use parking_lot as pl;
+
+use crate::report::Report;
+
+/// True when lock-order checking is compiled in.
+#[inline]
+pub fn check_enabled() -> bool {
+    false
+}
+
+pub type MutexGuard<'a, T> = pl::MutexGuard<'a, T>;
+pub type RwLockReadGuard<'a, T> = pl::RwLockReadGuard<'a, T>;
+pub type RwLockWriteGuard<'a, T> = pl::RwLockWriteGuard<'a, T>;
+pub type WaitTimeoutResult = pl::WaitTimeoutResult;
+
+pub struct Mutex<T: ?Sized>(pl::Mutex<T>);
+
+impl<T> Mutex<T> {
+    #[inline]
+    pub fn new(_level: u16, _name: &'static str, value: T) -> Self {
+        Self(pl::Mutex::new(value))
+    }
+
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.0.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    #[inline]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock()
+    }
+
+    #[inline]
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        self.0.try_lock()
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut()
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+pub struct RwLock<T: ?Sized>(pl::RwLock<T>);
+
+impl<T> RwLock<T> {
+    #[inline]
+    pub fn new(_level: u16, _name: &'static str, value: T) -> Self {
+        Self(pl::RwLock::new(value))
+    }
+
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.0.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    #[inline]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read()
+    }
+
+    #[inline]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write()
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut()
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+#[derive(Default)]
+pub struct Condvar(pl::Condvar);
+
+impl Condvar {
+    #[inline]
+    pub const fn new() -> Self {
+        Self(pl::Condvar::new())
+    }
+
+    #[inline]
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        self.0.wait(guard)
+    }
+
+    #[inline]
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        self.0.wait_until(guard, deadline)
+    }
+
+    #[inline]
+    pub fn notify_one(&self) -> bool {
+        self.0.notify_one()
+    }
+
+    #[inline]
+    pub fn notify_all(&self) -> usize {
+        self.0.notify_all()
+    }
+}
+
+/// No-op without the `check` feature.
+#[inline]
+pub fn enter_blocking(_label: &'static str) {}
+
+/// Without the `check` feature this just runs `f`.
+#[inline]
+pub fn permit_blocking<R>(f: impl FnOnce() -> R) -> R {
+    f()
+}
+
+/// Empty without the `check` feature.
+#[inline]
+pub fn report() -> Report {
+    Report::default()
+}
+
+/// Empty graph without the `check` feature.
+pub fn dot() -> String {
+    String::from("digraph lock_order {\n}\n")
+}
+
+/// No-op without the `check` feature.
+#[inline]
+pub fn reset() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_basics() {
+        assert!(!check_enabled());
+        let m = Mutex::new(10, "p.m", 1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        let rw = RwLock::new(20, "p.rw", vec![1]);
+        rw.write().push(2);
+        assert_eq!(rw.read().len(), 2);
+        assert!(report().is_clean());
+        enter_blocking("noop");
+        assert_eq!(permit_blocking(|| 7), 7);
+    }
+}

@@ -1,0 +1,85 @@
+//! Report types returned by [`crate::report`]. Compiled in both modes so
+//! callers can consume reports unconditionally; without the `check`
+//! feature every report is empty.
+
+/// Per-class acquisition and hold-time statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassStats {
+    pub name: String,
+    pub level: u16,
+    /// Source location of the first acquisition observed.
+    pub first_site: String,
+    pub acquisitions: u64,
+    /// Longest single hold, in nanoseconds (condvar waits excluded).
+    pub max_hold_ns: u64,
+    pub total_hold_ns: u64,
+}
+
+/// One observed ordering edge: a lock of class `to` was acquired while a
+/// lock of class `from` was held.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeReport {
+    pub from: String,
+    pub to: String,
+    /// Acquisition site of the held (`from`) lock when first observed.
+    pub from_site: String,
+    /// Acquisition site of the `to` lock when first observed.
+    pub to_site: String,
+    pub count: u64,
+}
+
+/// A cycle in the class order graph — a potential deadlock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleReport {
+    /// The classes on the cycle, starting at the edge that closed it.
+    pub classes: Vec<String>,
+    /// Acquisition site of the held lock of the closing edge.
+    pub held_site: String,
+    /// Acquisition site that closed the cycle.
+    pub acquire_site: String,
+}
+
+/// A lock acquired at a lower (more outer) level than one already held,
+/// or a reentrant same-class acquisition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelViolation {
+    pub held: String,
+    pub held_level: u16,
+    pub held_site: String,
+    pub acquired: String,
+    pub acquired_level: u16,
+    pub acquire_site: String,
+    /// True when `held` and `acquired` are the same class (possible
+    /// self-deadlock), false for a plain hierarchy inversion.
+    pub same_class: bool,
+}
+
+/// A blocking call entered while syncguard locks were held, outside any
+/// [`crate::permit_blocking`] scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockingViolation {
+    /// Label passed to [`crate::enter_blocking`] (e.g. `mq::send`).
+    pub label: String,
+    /// Classes held at the time, outermost first.
+    pub held: Vec<String>,
+    pub site: String,
+}
+
+/// Everything syncguard observed since process start (or [`crate::reset`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    pub classes: Vec<ClassStats>,
+    pub edges: Vec<EdgeReport>,
+    pub cycles: Vec<CycleReport>,
+    pub level_violations: Vec<LevelViolation>,
+    pub blocking_violations: Vec<BlockingViolation>,
+}
+
+impl Report {
+    /// No cycles, no hierarchy inversions, no unvetted blocking calls.
+    pub fn is_clean(&self) -> bool {
+        self.cycles.is_empty()
+            && self.level_violations.is_empty()
+            && self.blocking_violations.is_empty()
+    }
+}

@@ -56,12 +56,18 @@ const WORKER_IDLE_POLL_NS: u64 = 20_000;
 /// deployment).
 #[derive(Clone)]
 pub struct PaconWorkerProc {
-    worker: std::sync::Arc<parking_lot::Mutex<CommitWorker>>,
+    worker: std::sync::Arc<syncguard::Mutex<CommitWorker>>,
 }
 
 impl PaconWorkerProc {
     pub fn new(worker: CommitWorker) -> Self {
-        Self { worker: std::sync::Arc::new(parking_lot::Mutex::new(worker)) }
+        Self {
+            worker: std::sync::Arc::new(syncguard::Mutex::new(
+                syncguard::level::SIM_DRIVER,
+                "workloads.worker",
+                worker,
+            )),
+        }
     }
 }
 

@@ -19,6 +19,8 @@
 //!   Pacon's commit processes run as background DES processes;
 //! * [`threaded`] — a small real-thread driver used by smoke tests.
 
+#![forbid(unsafe_code)]
+
 pub mod driver;
 pub mod madbench;
 pub mod mdtest;

@@ -13,6 +13,8 @@
 //! * [`workloads`] — mdtest / memaslap / MADbench2 drivers,
 //! * [`fsapi`] — the shared file-system interface.
 
+#![forbid(unsafe_code)]
+
 pub use dfs;
 pub use fsapi;
 pub use indexfs;

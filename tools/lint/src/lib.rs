@@ -1,0 +1,439 @@
+#![forbid(unsafe_code)]
+//! Repo-wide concurrency lint (no external dependencies).
+//!
+//! Four rules, each motivated by a class of bug the syncguard work was
+//! built to prevent:
+//!
+//! - **R1** — no direct `std::sync` / `parking_lot` lock construction
+//!   outside `crates/syncguard` and `vendor/`. Every lock must go through
+//!   syncguard so it carries a lock level and participates in lock-order
+//!   checking.
+//! - **R2** — no `.lock().unwrap()` / `.lock().expect(..)` (or the
+//!   read/write equivalents) in library code. Syncguard locks are
+//!   non-poisoning; unwrap-on-lock is both unnecessary and a wedge
+//!   hazard when it survives a refactor back to std locks.
+//! - **R3** — no `Instant::now()` / `SystemTime` inside `qsim` /
+//!   `simnet` library code: the deterministic simulator must take time
+//!   from virtual clocks only.
+//! - **R4** — no `.unwrap()` in non-test code of the core crates
+//!   (`memkv`, `mq`, `pacon`, `dfs`, `lsmkv`), except for per-file
+//!   budgets in `unwrap_allowlist.txt`. The allowlist may shrink, never
+//!   grow: a file exceeding its budget fails, and a budget larger than
+//!   the actual count also fails (tighten it).
+//!
+//! Test code — `#[cfg(test)]` blocks, and anything under `tests/`,
+//! `benches/` or `examples/` — is exempt from every rule.
+
+use std::fmt;
+
+/// Crates whose non-test code may not call `.unwrap()` (rule R4).
+pub const CORE_CRATES: &[&str] = &["memkv", "mq", "pacon", "dfs", "lsmkv"];
+
+/// Crates whose library code must stay on virtual time (rule R3).
+pub const DETERMINISTIC_CRATES: &[&str] = &["qsim", "simnet"];
+
+/// Which lint rule fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Direct lock construction outside syncguard.
+    R1DirectLock,
+    /// `.lock().unwrap()`-style patterns in library code.
+    R2LockUnwrap,
+    /// Wall-clock time in deterministic simulator code.
+    R3WallClock,
+    /// `.unwrap()` in core-crate library code beyond the allowlist.
+    R4Unwrap,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Rule::R1DirectLock => "R1 direct-lock",
+            Rule::R2LockUnwrap => "R2 lock-unwrap",
+            Rule::R3WallClock => "R3 wall-clock",
+            Rule::R4Unwrap => "R4 unwrap",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One lint hit: rule, file, 1-based line, and what matched.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: Rule,
+    pub file: String,
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Per-line mask: `true` where the line belongs to a `#[cfg(test)]` item.
+///
+/// Brace-depth tracker: a `#[cfg(test)]` attribute arms the next opening
+/// brace; everything until the matching close brace is test code. Good
+/// enough for rustfmt-shaped sources; it does not try to parse strings
+/// containing braces beyond skipping obvious literals.
+pub fn test_mask(source: &str) -> Vec<bool> {
+    let lines: Vec<&str> = source.lines().collect();
+    let mut mask = vec![false; lines.len()];
+    let mut depth: i32 = 0;
+    // Depth at which each active #[cfg(test)] region closes.
+    let mut test_until: Vec<i32> = Vec::new();
+    let mut armed = false;
+    for (i, raw) in lines.iter().enumerate() {
+        let code = strip_noncode(raw);
+        if code.contains("#[cfg(test)]") {
+            armed = true;
+        }
+        let in_test = !test_until.is_empty();
+        if in_test || armed {
+            mask[i] = in_test;
+        }
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    if armed {
+                        test_until.push(depth);
+                        armed = false;
+                        mask[i] = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if test_until.last() == Some(&depth) {
+                        test_until.pop();
+                        mask[i] = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if armed {
+            // Attribute lines between #[cfg(test)] and the item body.
+            mask[i] = true;
+        }
+    }
+    mask
+}
+
+/// Drop `//` comments and the contents of ordinary string literals so
+/// brace counting and pattern matching see only code.
+fn strip_noncode(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => {
+                    in_str = false;
+                    out.push('"');
+                }
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push('"');
+            }
+            '\'' => {
+                // Char literal (or lifetime): skip a possible escaped char
+                // so '{' / '}' literals don't skew the depth counter.
+                out.push('\'');
+                if let Some(&n) = chars.peek() {
+                    if n == '\\' {
+                        chars.next();
+                        chars.next();
+                        if chars.peek() == Some(&'\'') {
+                            chars.next();
+                        }
+                    } else if chars.clone().nth(1) == Some('\'') {
+                        chars.next();
+                        chars.next();
+                    }
+                }
+            }
+            '/' if chars.peek() == Some(&'/') => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Which crate (directory under `crates/`) a repo-relative path is in, if
+/// any. The workspace root package (`src/`) reports `None`.
+fn crate_of(rel_path: &str) -> Option<&str> {
+    let rest = rel_path.strip_prefix("crates/")?;
+    rest.split('/').next()
+}
+
+/// Is this path test code as a whole (integration tests, benches,
+/// examples)?
+pub fn is_test_path(rel_path: &str) -> bool {
+    rel_path.split('/').any(|seg| seg == "tests" || seg == "benches" || seg == "examples")
+}
+
+/// Lint one file. `rel_path` is repo-relative with `/` separators.
+/// R4 findings are emitted one per `.unwrap()` call; the caller compares
+/// their count against the allowlist budget.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if is_test_path(rel_path) {
+        return findings;
+    }
+    let krate = crate_of(rel_path);
+    let in_syncguard = krate == Some("syncguard");
+    let r3_applies = krate.is_some_and(|c| DETERMINISTIC_CRATES.contains(&c));
+    let r4_applies = krate.is_some_and(|c| CORE_CRATES.contains(&c));
+    let mask = test_mask(source);
+
+    for (i, raw) in source.lines().enumerate() {
+        if mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let code = strip_noncode(raw);
+        let lineno = i + 1;
+
+        if !in_syncguard {
+            for pat in [
+                "parking_lot::",
+                "use parking_lot",
+                "std::sync::Mutex",
+                "std::sync::RwLock",
+            ] {
+                if code.contains(pat) {
+                    findings.push(Finding {
+                        rule: Rule::R1DirectLock,
+                        file: rel_path.to_string(),
+                        line: lineno,
+                        message: format!(
+                            "direct lock use `{pat}` — construct locks through syncguard"
+                        ),
+                    });
+                    break;
+                }
+            }
+            if code.contains("use std::sync::")
+                && (code.contains("Mutex") || code.contains("RwLock"))
+            {
+                findings.push(Finding {
+                    rule: Rule::R1DirectLock,
+                    file: rel_path.to_string(),
+                    line: lineno,
+                    message: "std::sync lock import — construct locks through syncguard"
+                        .to_string(),
+                });
+            }
+        }
+
+        for pat in [
+            ".lock().unwrap()",
+            ".lock().expect(",
+            ".read().unwrap()",
+            ".read().expect(",
+            ".write().unwrap()",
+            ".write().expect(",
+        ] {
+            if code.contains(pat) {
+                findings.push(Finding {
+                    rule: Rule::R2LockUnwrap,
+                    file: rel_path.to_string(),
+                    line: lineno,
+                    message: format!(
+                        "`{pat}` in library code — syncguard locks are non-poisoning"
+                    ),
+                });
+                break;
+            }
+        }
+
+        if r3_applies {
+            for pat in ["Instant::now()", "SystemTime"] {
+                if code.contains(pat) {
+                    findings.push(Finding {
+                        rule: Rule::R3WallClock,
+                        file: rel_path.to_string(),
+                        line: lineno,
+                        message: format!(
+                            "`{pat}` in deterministic simulator code — use virtual time"
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+
+        if r4_applies {
+            let mut rest = code.as_str();
+            while let Some(pos) = rest.find(".unwrap()") {
+                findings.push(Finding {
+                    rule: Rule::R4Unwrap,
+                    file: rel_path.to_string(),
+                    line: lineno,
+                    message: "`.unwrap()` in core-crate library code".to_string(),
+                });
+                rest = &rest[pos + ".unwrap()".len()..];
+            }
+        }
+    }
+    findings
+}
+
+/// Parse `unwrap_allowlist.txt`: `count<space>path` per line, `#`
+/// comments and blank lines ignored.
+pub fn parse_allowlist(text: &str) -> Result<Vec<(String, usize)>, String> {
+    let mut entries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (count, path) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("allowlist line {}: expected `count path`", i + 1))?;
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("allowlist line {}: bad count `{count}`", i + 1))?;
+        entries.push((path.trim().to_string(), count));
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(findings: &[Finding]) -> Vec<Rule> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn r1_fires_on_direct_parking_lot() {
+        let src = "use parking_lot::Mutex;\nfn f() { let m = parking_lot::Mutex::new(0); }\n";
+        let f = lint_source("crates/mq/src/bad.rs", src);
+        assert!(f.iter().all(|f| f.rule == Rule::R1DirectLock));
+        assert_eq!(f.len(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn r1_fires_on_std_sync_lock() {
+        let src = "use std::sync::{Arc, Mutex};\n";
+        let f = lint_source("crates/pacon/src/bad.rs", src);
+        assert_eq!(rules(&f), vec![Rule::R1DirectLock]);
+        // Arc alone is fine.
+        let ok = lint_source("crates/pacon/src/good.rs", "use std::sync::Arc;\n");
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn r1_exempts_syncguard() {
+        let src = "use parking_lot as pl;\n";
+        assert!(lint_source("crates/syncguard/src/checked.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r2_fires_on_lock_unwrap() {
+        let src = "fn f(m: &std::sync::Mutex<u32>) { *m.lock().unwrap() += 1; }\n";
+        let f = lint_source("src/thing.rs", src);
+        assert!(rules(&f).contains(&Rule::R2LockUnwrap), "{f:?}");
+        let src2 = "fn g() { let _ = RW.write().expect(\"poisoned\"); }\n";
+        let f2 = lint_source("src/thing.rs", src2);
+        assert_eq!(rules(&f2), vec![Rule::R2LockUnwrap]);
+    }
+
+    #[test]
+    fn r3_fires_only_in_deterministic_crates() {
+        let src = "fn now() -> std::time::Instant { Instant::now() }\n";
+        let f = lint_source("crates/qsim/src/engine.rs", src);
+        assert_eq!(rules(&f), vec![Rule::R3WallClock]);
+        assert!(lint_source("crates/mq/src/queue.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r4_counts_each_unwrap() {
+        let src = "fn f() { a().unwrap(); b().unwrap(); }\n";
+        let f = lint_source("crates/memkv/src/shard.rs", src);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|f| f.rule == Rule::R4Unwrap));
+        // Non-core crates are not under R4.
+        assert!(lint_source("crates/qsim/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_exempt() {
+        let src = "\
+fn lib() {}
+
+#[cfg(test)]
+mod tests {
+    use parking_lot::Mutex;
+    #[test]
+    fn t() {
+        x.lock().unwrap();
+        y.unwrap();
+    }
+}
+";
+        let f = lint_source("crates/mq/src/queue.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn code_after_cfg_test_block_is_linted_again() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn t() { y.unwrap(); }
+}
+
+fn lib() { z.unwrap(); }
+";
+        let f = lint_source("crates/mq/src/queue.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 6);
+    }
+
+    #[test]
+    fn integration_tests_and_benches_are_exempt() {
+        let src = "fn t() { a.lock().unwrap(); }\nuse parking_lot::Mutex;\n";
+        assert!(lint_source("crates/mq/tests/stress.rs", src).is_empty());
+        assert!(lint_source("tests/smoke.rs", src).is_empty());
+        assert!(lint_source("crates/bench/benches/b.rs", src).is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_fire() {
+        let src = "\
+// parking_lot::Mutex is banned; .lock().unwrap() too
+fn f() { println!(\"parking_lot::Mutex .unwrap()\"); }
+";
+        let f = lint_source("crates/mq/src/queue.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn allowlist_parses_and_rejects_garbage() {
+        let text = "# comment\n3 crates/mq/src/queue.rs\n\n1 src/lib.rs\n";
+        let e = parse_allowlist(text).unwrap();
+        assert_eq!(
+            e,
+            vec![
+                ("crates/mq/src/queue.rs".to_string(), 3),
+                ("src/lib.rs".to_string(), 1)
+            ]
+        );
+        assert!(parse_allowlist("nonsense line").is_err());
+        assert!(parse_allowlist("x path").is_err());
+    }
+}

@@ -1,0 +1,144 @@
+#![forbid(unsafe_code)]
+//! Repo lint driver: `cargo run -p tools-lint` from anywhere in the
+//! workspace. Exits non-zero on any finding. `--write-allowlist`
+//! regenerates `tools/lint/unwrap_allowlist.txt` from the current tree
+//! (use only when deleting unwraps, never to admit new ones).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use tools_lint::{lint_source, parse_allowlist, Finding, Rule};
+
+/// Directories scanned for `.rs` files, relative to the repo root.
+/// `vendor/` (third-party stand-ins) and `tools/` (this lint — its rule
+/// patterns appear literally in its own source) are deliberately absent.
+const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "benches", "examples"];
+
+fn main() -> ExitCode {
+    let write_allowlist = std::env::args().any(|a| a == "--write-allowlist");
+    let root = repo_root();
+    let allowlist_path = root.join("tools/lint/unwrap_allowlist.txt");
+
+    let mut files = Vec::new();
+    for dir in SCAN_ROOTS {
+        collect_rs_files(&root.join(dir), &mut files);
+    }
+    files.sort();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut unwrap_counts: BTreeMap<String, usize> = BTreeMap::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(&root)
+            .expect("scanned file under root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("lint: cannot read {rel}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for f in lint_source(&rel, &source) {
+            if f.rule == Rule::R4Unwrap {
+                *unwrap_counts.entry(rel.clone()).or_insert(0) += 1;
+            } else {
+                findings.push(f);
+            }
+        }
+    }
+
+    if write_allowlist {
+        let mut out = String::from(
+            "# Per-file .unwrap() budgets for core-crate library code (lint rule R4).\n\
+             # Format: `count path`. This list may shrink, never grow: remove\n\
+             # entries as unwraps are eliminated. Regenerate with\n\
+             # `cargo run -p tools-lint -- --write-allowlist` ONLY after deleting\n\
+             # unwraps, never to admit new ones.\n",
+        );
+        for (file, count) in &unwrap_counts {
+            out.push_str(&format!("{count} {file}\n"));
+        }
+        if let Err(e) = std::fs::write(&allowlist_path, out) {
+            eprintln!("lint: cannot write allowlist: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("lint: wrote {} entries to {}", unwrap_counts.len(), allowlist_path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    // R4: compare counts against the allowlist.
+    let allow_text = std::fs::read_to_string(&allowlist_path).unwrap_or_default();
+    let allow: BTreeMap<String, usize> = match parse_allowlist(&allow_text) {
+        Ok(entries) => entries.into_iter().collect(),
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut r4_errors = Vec::new();
+    for (file, &count) in &unwrap_counts {
+        let budget = allow.get(file).copied().unwrap_or(0);
+        if count > budget {
+            r4_errors.push(format!(
+                "{file}: {count} `.unwrap()` calls in library code (budget {budget}) — \
+                 handle the error or use expect with an invariant message"
+            ));
+        } else if count < budget {
+            r4_errors.push(format!(
+                "{file}: allowlist budget {budget} but only {count} unwraps remain — \
+                 shrink the entry (the allowlist may never overshoot)"
+            ));
+        }
+    }
+    for (file, &budget) in &allow {
+        if !unwrap_counts.contains_key(file) && budget > 0 {
+            r4_errors.push(format!(
+                "{file}: allowlisted ({budget}) but has no unwraps — remove the entry"
+            ));
+        }
+    }
+
+    for f in &findings {
+        eprintln!("lint: {f}");
+    }
+    for e in &r4_errors {
+        eprintln!("lint: [R4 unwrap] {e}");
+    }
+    let total = findings.len() + r4_errors.len();
+    if total > 0 {
+        eprintln!("lint: {total} finding(s) across {} files", files.len());
+        ExitCode::FAILURE
+    } else {
+        println!("lint: clean ({} files)", files.len());
+        ExitCode::SUCCESS
+    }
+}
+
+/// Repo root = two levels above this crate's manifest (tools/lint).
+fn repo_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("tools/lint lives two levels below the repo root")
+        .to_path_buf()
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if entry.file_name() != "target" {
+                collect_rs_files(&path, out);
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
