@@ -46,6 +46,36 @@ pub trait FileSystem: Send + Sync {
 
     /// Flush buffered data of `path` to durable storage.
     fn fsync(&self, path: &str, cred: &Credentials) -> FsResult<()>;
+
+    /// Get attributes of many paths in one call. The default loops over
+    /// [`FileSystem::stat`]; backends with a batched metadata path (e.g.
+    /// a multi-get against a distributed cache) override this to pay one
+    /// round trip per metadata server instead of one per path. Results
+    /// are in input order, one per path.
+    fn stat_many(&self, paths: &[String], cred: &Credentials) -> Vec<FsResult<FileStat>> {
+        paths.iter().map(|p| self.stat(p, cred)).collect()
+    }
+
+    /// List a directory together with each entry's attributes (the
+    /// `readdirplus` pattern of mdtest and NFSv3). The default issues
+    /// `readdir` plus one `stat` per child; entries that vanish between
+    /// the two calls are skipped. Batched backends override this.
+    fn readdir_plus(
+        &self,
+        path: &str,
+        cred: &Credentials,
+    ) -> FsResult<Vec<(String, FileStat)>> {
+        let names = self.readdir(path, cred)?;
+        let mut out = Vec::with_capacity(names.len());
+        for name in names {
+            match self.stat(&crate::path::join(path, &name), cred) {
+                Ok(st) => out.push((name, st)),
+                Err(crate::error::FsError::NotFound) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -119,5 +149,63 @@ mod tests {
         assert_eq!(fs.stat("/a/f", &cred).unwrap().kind, FileKind::File);
         fs.unlink("/a/f", &cred).unwrap();
         assert_eq!(fs.stat("/a/f", &cred), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn default_stat_many_mirrors_per_path_stat() {
+        let fs = MemFs::new();
+        let cred = Credentials::root();
+        fs.create("/x", &cred, 0o644).unwrap();
+        fs.mkdir("/d", &cred, 0o755).unwrap();
+        let paths = vec!["/x".to_string(), "/missing".to_string(), "/d".to_string()];
+        let res = fs.stat_many(&paths, &cred);
+        assert_eq!(res.len(), 3);
+        assert_eq!(res[0].as_ref().unwrap().kind, FileKind::File);
+        assert_eq!(res[1], Err(FsError::NotFound));
+        assert_eq!(res[2].as_ref().unwrap().kind, FileKind::Dir);
+    }
+
+    #[test]
+    fn default_readdir_plus_skips_vanished_entries() {
+        // MemFs::readdir returns nothing, so exercise the default through
+        // a wrapper that lists names, one of which has no stat.
+        struct Listing(MemFs);
+        impl FileSystem for Listing {
+            fn mkdir(&self, p: &str, c: &Credentials, m: u16) -> FsResult<()> {
+                self.0.mkdir(p, c, m)
+            }
+            fn create(&self, p: &str, c: &Credentials, m: u16) -> FsResult<()> {
+                self.0.create(p, c, m)
+            }
+            fn stat(&self, p: &str, c: &Credentials) -> FsResult<FileStat> {
+                self.0.stat(p, c)
+            }
+            fn unlink(&self, p: &str, c: &Credentials) -> FsResult<()> {
+                self.0.unlink(p, c)
+            }
+            fn rmdir(&self, p: &str, c: &Credentials) -> FsResult<()> {
+                self.0.rmdir(p, c)
+            }
+            fn readdir(&self, _p: &str, _c: &Credentials) -> FsResult<Vec<String>> {
+                Ok(vec!["live".into(), "ghost".into()])
+            }
+            fn write(&self, p: &str, c: &Credentials, o: u64, d: &[u8]) -> FsResult<usize> {
+                self.0.write(p, c, o, d)
+            }
+            fn read(&self, p: &str, c: &Credentials, o: u64, l: usize) -> FsResult<Vec<u8>> {
+                self.0.read(p, c, o, l)
+            }
+            fn fsync(&self, p: &str, c: &Credentials) -> FsResult<()> {
+                self.0.fsync(p, c)
+            }
+        }
+        let fs = Listing(MemFs::new());
+        let cred = Credentials::root();
+        fs.mkdir("/d", &cred, 0o755).unwrap();
+        fs.create("/d/live", &cred, 0o644).unwrap();
+        let entries = fs.readdir_plus("/d", &cred).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, "live");
+        assert_eq!(entries[0].1.kind, FileKind::File);
     }
 }

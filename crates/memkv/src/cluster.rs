@@ -12,7 +12,7 @@ use std::sync::Arc;
 use simnet::{charge, LatencyProfile, NodeId, Station, Topology};
 
 use crate::ring::Ring;
-use crate::shard::{CasOutcome, Shard, ShardStats};
+use crate::shard::{CasOutcome, Shard, ShardStats, Value};
 
 /// A distributed cache: one shard per node plus the hash ring.
 pub struct KvCluster {
@@ -144,6 +144,9 @@ impl KvCluster {
             agg.cas_conflicts += st.cas_conflicts;
             agg.deletes += st.deletes;
             agg.evictions += st.evictions;
+            agg.multi_gets += st.multi_gets;
+            agg.multi_keys += st.multi_keys;
+            agg.bytes_referenced += st.bytes_referenced;
         }
         agg
     }
@@ -184,9 +187,54 @@ impl KvClient {
     }
 
     /// `gets`: value and CAS version.
-    pub fn get(&self, key: &[u8]) -> Option<(Vec<u8>, u64)> {
+    pub fn get(&self, key: &[u8]) -> Option<(Value, u64)> {
         let node = self.charge_access(key, 0);
         self.cluster.shard(node).get(key)
+    }
+
+    /// Batched `gets`: group keys by owning shard node and pay **one**
+    /// network hop plus one batched shard service per node group instead
+    /// of a full round trip per key (the read-side analogue of group
+    /// commit). Results are in input order; a missing key yields `None`.
+    pub fn multi_gets(&self, keys: &[&[u8]]) -> Vec<Option<(Value, u64)>> {
+        let mut out: Vec<Option<(Value, u64)>> = vec![None; keys.len()];
+        // Group key indices by owning node, preserving first-seen order.
+        // Node counts are small (one per cluster node), so a linear scan
+        // beats a hash map here.
+        let mut groups: Vec<(NodeId, Vec<usize>)> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            let node = self.cluster.shard_node(key);
+            match groups.iter_mut().find(|(n, _)| *n == node) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((node, vec![i])),
+            }
+        }
+        let p = &self.cluster.profile;
+        for (node, idxs) in &groups {
+            let hop = match self.local {
+                Some(local) if *node == local => p.net_local,
+                _ => p.net_hop_remote,
+            };
+            charge(Station::Network, hop);
+            let batch: Vec<&[u8]> = idxs.iter().map(|&i| keys[i]).collect();
+            let results = self.cluster.shard(*node).get_many(&batch);
+            // One request decode (`kv_op`) plus a marginal probe per
+            // extra key, plus the payload actually returned.
+            let payload: usize = results.iter().flatten().map(|(v, _)| v.len()).sum();
+            let payload_ns = (payload as u64).div_ceil(1024) * p.kv_payload_per_kib;
+            let service =
+                p.kv_op + (idxs.len() as u64 - 1) * p.kv_multi_per_key + payload_ns;
+            charge(Station::KvShard(self.cluster.station_base + node.0), service);
+            for (&i, r) in idxs.iter().zip(results) {
+                out[i] = r;
+            }
+        }
+        out
+    }
+
+    /// Batched `get` (no versions): convenience over [`KvClient::multi_gets`].
+    pub fn multi_get(&self, keys: &[&[u8]]) -> Vec<Option<Value>> {
+        self.multi_gets(keys).into_iter().map(|r| r.map(|(v, _)| v)).collect()
     }
 
     /// Unconditional store; returns the new version.
@@ -239,7 +287,7 @@ mod tests {
         let a = c.client(NodeId(0));
         let b = c.client(NodeId(3));
         a.set(b"/w/f1", b"hello");
-        assert_eq!(b.get(b"/w/f1").unwrap().0, b"hello");
+        assert_eq!(&*b.get(b"/w/f1").unwrap().0, b"hello");
         assert!(b.delete(b"/w/f1"));
         assert_eq!(a.get(b"/w/f1"), None);
     }
@@ -319,6 +367,50 @@ mod tests {
     fn foreign_node_client_rejected() {
         let c = cluster(2);
         let _ = c.client(NodeId(7));
+    }
+
+    #[test]
+    fn multi_get_matches_sequential_and_charges_per_node_group() {
+        let c = cluster(4);
+        let p = c.profile().clone();
+        let client = c.client(NodeId(0));
+        let keys: Vec<String> = (0..24).map(|i| format!("/batch/f{i:02}")).collect();
+        for (i, k) in keys.iter().enumerate() {
+            if i % 3 != 0 {
+                client.set(k.as_bytes(), format!("v{i}").as_bytes());
+            }
+        }
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_bytes()).collect();
+        let (batched, trace) = with_recording(|| client.multi_gets(&refs));
+        // Byte-for-byte equal to sequential gets, in input order.
+        for (k, got) in refs.iter().zip(&batched) {
+            assert_eq!(got, &client.get(k));
+        }
+        // One network hop per distinct owning node, not one per key.
+        let nodes: std::collections::BTreeSet<u32> =
+            refs.iter().map(|k| c.shard_node(k).0).collect();
+        assert!(trace.station_ns(Station::Network) <= nodes.len() as u64 * p.net_hop_remote);
+        let mut shard_ns = 0;
+        for n in &nodes {
+            let ns = trace.station_ns(Station::KvShard(*n));
+            assert!(ns >= p.kv_op, "every touched shard pays at least one kv_op");
+            shard_ns += ns;
+        }
+        // Total shard demand = one kv_op per node group + marginal keys.
+        let expected =
+            nodes.len() as u64 * p.kv_op + (refs.len() - nodes.len()) as u64 * p.kv_multi_per_key;
+        assert!(shard_ns >= expected, "payload only adds to the base demand");
+        assert!(shard_ns < refs.len() as u64 * p.kv_op, "must beat per-key gets");
+    }
+
+    #[test]
+    fn multi_get_empty_and_single() {
+        let c = cluster(2);
+        let client = c.client(NodeId(0));
+        assert!(client.multi_gets(&[]).is_empty());
+        client.set(b"k", b"v");
+        let got = client.multi_get(&[b"k".as_ref()]);
+        assert_eq!(&*got[0].clone().unwrap(), b"v");
     }
 
     #[test]

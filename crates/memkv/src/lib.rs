@@ -8,10 +8,11 @@
 //!
 //! * [`ring`] — a consistent-hash ring with virtual nodes mapping keys to
 //!   shard nodes,
-//! * [`shard`] — one in-memory shard: versioned entries, CAS, LRU
-//!   eviction, byte accounting,
+//! * [`shard`] — one in-memory shard: versioned `Arc<[u8]>` entries, CAS,
+//!   CLOCK eviction, byte accounting; reads share an `RwLock`,
 //! * [`cluster`] — the cluster facade plus the per-node client handle
-//!   that charges simulated network/service costs.
+//!   that charges simulated network/service costs; batched `multi_get`
+//!   pays one round trip per shard node per batch.
 //!
 //! Two small extensions beyond memcached's wire surface exist because
 //! Pacon's design needs them: prefix enumeration (for consistent-region
@@ -27,4 +28,4 @@ pub mod shard;
 
 pub use cluster::{KvClient, KvCluster};
 pub use ring::Ring;
-pub use shard::{CasOutcome, Shard, ShardStats};
+pub use shard::{CasOutcome, Shard, ShardStats, Value};

@@ -56,7 +56,7 @@ proptest! {
                     prop_assert_eq!(existed, model.remove(k).is_some());
                 }
                 Op::Get(k) => {
-                    let got = shard.get(&[*k]).map(|(v, _)| v);
+                    let got = shard.get(&[*k]).map(|(v, _)| v.to_vec());
                     prop_assert_eq!(got.as_ref(), model.get(k));
                 }
                 Op::CasCurrent(k, v) => {
@@ -79,7 +79,7 @@ proptest! {
                         let conflicted = matches!(out, CasOutcome::Conflict { .. });
                         prop_assert!(conflicted);
                         // Value unchanged.
-                        let got = shard.get(&[*k]).map(|(v, _)| v);
+                        let got = shard.get(&[*k]).map(|(v, _)| v.to_vec());
                         prop_assert_eq!(got.as_ref(), model.get(k));
                     }
                 }

@@ -32,6 +32,18 @@ impl MetaCache {
             .and_then(|(bytes, ver)| CachedMeta::decode(&bytes).map(|m| (m, ver)))
     }
 
+    /// Batched fetch: one multi-get against the KV cluster — one round
+    /// trip per shard node instead of one per path. Results are in input
+    /// order; a missing (or undecodable) record yields `None`.
+    pub fn multi_get(&self, paths: &[&str]) -> Vec<Option<(CachedMeta, u64)>> {
+        let keys: Vec<&[u8]> = paths.iter().map(|p| p.as_bytes()).collect();
+        self.kv
+            .multi_gets(&keys)
+            .into_iter()
+            .map(|r| r.and_then(|(bytes, ver)| CachedMeta::decode(&bytes).map(|m| (m, ver))))
+            .collect()
+    }
+
     /// Insert a brand-new record; fails if the path is already cached.
     pub fn add_new(&self, path: &str, meta: &CachedMeta) -> FsResult<u64> {
         self.kv
@@ -103,6 +115,19 @@ mod tests {
         let (m, _) = c.get("/w/f").unwrap();
         assert_eq!(m, meta());
         assert_eq!(c.add_new("/w/f", &meta()), Err(FsError::AlreadyExists));
+    }
+
+    #[test]
+    fn multi_get_matches_sequential_gets() {
+        let c = cache();
+        c.add_new("/w/a", &meta()).unwrap();
+        c.add_new("/w/b", &meta()).unwrap();
+        let paths = ["/w/a", "/w/missing", "/w/b"];
+        let batched = c.multi_get(&paths);
+        for (p, got) in paths.iter().zip(&batched) {
+            assert_eq!(got, &c.get(p));
+        }
+        assert!(batched[1].is_none());
     }
 
     #[test]

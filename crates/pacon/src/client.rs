@@ -82,6 +82,15 @@ impl PaconClient {
     /// view (read-only access, Section III.D-4).
     pub fn merge_region(&self, handle: RegionHandle) {
         let cache = MetaCache::new(handle.cache_cluster.remote_client());
+        if self.core.config.read_batching {
+            // Warm-up: prefetch the merged region's "basic information"
+            // (Section III.D-4) — the root record plus every
+            // special-permission path — in one batched read so the first
+            // accesses after the merge do not each pay a remote miss.
+            let mut paths: Vec<&str> = vec![handle.root.as_str()];
+            paths.extend(handle.perms.special.iter().map(|(p, _)| p.as_str()));
+            let _ = self.batched_get_on(&cache, &paths);
+        }
         self.merged.write().push(Merged { handle, cache });
     }
 
@@ -231,14 +240,18 @@ impl PaconClient {
     /// traditional hierarchical check would.
     fn check_perm(&self, path: &str, cred: &Credentials, want: u8) -> FsResult<()> {
         if self.core.config.hierarchical_permission_check {
-            for anc in fspath::ancestors(path) {
-                if !self.core.contains(anc) || anc == self.core.root {
-                    continue;
-                }
-                // Charged cache lookup per component; the permission bits
-                // themselves still come from the region table so the
-                // ablation changes cost, not semantics.
-                let _ = self.cache.get(anc);
+            let ancs: Vec<&str> = fspath::ancestors(path)
+                .into_iter()
+                .filter(|anc| self.core.contains(anc) && *anc != self.core.root)
+                .collect();
+            // Charged cache lookups for every in-region component — one
+            // batched round per shard node rather than one per component;
+            // the permission bits themselves still come from the region
+            // table so the ablation changes cost, not semantics.
+            if !ancs.is_empty() {
+                let _ = self.batched_get(&ancs);
+            }
+            for anc in ancs {
                 if !self.core.perms.check(anc, cred, ACCESS_X) {
                     return Err(FsError::PermissionDenied);
                 }
@@ -307,6 +320,39 @@ impl PaconClient {
             Some((meta, _)) => Ok(meta),
             None => self.load_from_dfs(path, cred),
         }
+    }
+
+    /// Batched cache fetch with read-path accounting. With batching
+    /// disabled (the unbatched baseline) this degrades to one charged
+    /// lookup per path.
+    fn batched_get_on(
+        &self,
+        cache: &MetaCache,
+        paths: &[&str],
+    ) -> Vec<Option<(CachedMeta, u64)>> {
+        if !self.core.config.read_batching {
+            return paths.iter().map(|p| cache.get(p)).collect(); // lint:allow-per-key-get
+        }
+        if paths.is_empty() {
+            return Vec::new();
+        }
+        let cluster = cache.kv().cluster();
+        let mut nodes: Vec<NodeId> = Vec::new();
+        for p in paths {
+            let n = cluster.shard_node(p.as_bytes());
+            if !nodes.contains(&n) {
+                nodes.push(n);
+            }
+        }
+        self.core.counters.incr("batched_reads");
+        self.core.counters.add("batched_read_keys", paths.len() as u64);
+        self.core.counters.add("read_rtts_saved", (paths.len() - nodes.len()) as u64);
+        cache.multi_get(paths)
+    }
+
+    /// [`Self::batched_get_on`] against this client's own region cache.
+    fn batched_get(&self, paths: &[&str]) -> Vec<Option<(CachedMeta, u64)>> {
+        self.batched_get_on(&self.cache, paths)
     }
 
     fn create_kind(
@@ -486,6 +532,59 @@ impl FileSystem for PaconClient {
         }
     }
 
+    fn stat_many(&self, paths: &[String], cred: &Credentials) -> Vec<FsResult<FileStat>> {
+        if !self.core.config.read_batching {
+            // Unbatched baseline: a full stat round trip per path.
+            return paths.iter().map(|p| self.stat(p, cred)).collect();
+        }
+        self.charge_overhead();
+        let mut own: Vec<usize> = Vec::new();
+        let mut other: Vec<usize> = Vec::new();
+        {
+            let merged = self.merged.read();
+            for (i, p) in paths.iter().enumerate() {
+                match route(&self.core, &merged, p) {
+                    Route::Own => own.push(i),
+                    // Merged and redirected paths keep their per-path
+                    // handling; batching targets the own-region cache.
+                    Route::Merged(_) | Route::Redirect => other.push(i),
+                }
+            }
+        }
+        let mut out: Vec<FsResult<FileStat>> =
+            (0..paths.len()).map(|_| Err(FsError::NotFound)).collect();
+        for i in other {
+            out[i] = self.stat(&paths[i], cred);
+        }
+        // Permission checks are local table matches; do them up front,
+        // then fetch every remaining record in one batched call.
+        let mut lookup: Vec<usize> = Vec::new();
+        for &i in &own {
+            let p = paths[i].as_str();
+            let allowed = if p == self.core.root {
+                Ok(())
+            } else {
+                self.parent_of(p).and_then(|par| self.check_perm(par, cred, ACCESS_X))
+            };
+            match allowed {
+                Ok(()) => lookup.push(i),
+                Err(e) => out[i] = Err(e),
+            }
+        }
+        let keys: Vec<&str> = lookup.iter().map(|&i| paths[i].as_str()).collect();
+        let metas = self.batched_get(&keys);
+        for (&i, meta) in lookup.iter().zip(metas) {
+            out[i] = match meta {
+                Some((m, _)) if m.removed => Err(FsError::NotFound),
+                Some((m, _)) => Ok(m.to_stat()),
+                // Miss: sync DFS load that also populates the cache
+                // (getattr-miss path) — an unavoidable per-path trip.
+                None => self.load_from_dfs(&paths[i], cred).map(|m| m.to_stat()),
+            };
+        }
+        out
+    }
+
     fn unlink(&self, path: &str, cred: &Credentials) -> FsResult<()> {
         self.charge_overhead();
         let merged = self.merged.read();
@@ -613,6 +712,75 @@ impl FileSystem for PaconClient {
                 self.dfs.readdir(path, cred)
             }
             Route::Redirect => self.dfs.readdir(path, cred),
+        }
+    }
+
+    fn readdir_plus(
+        &self,
+        path: &str,
+        cred: &Credentials,
+    ) -> FsResult<Vec<(String, FileStat)>> {
+        self.charge_overhead();
+        let merged = self.merged.read();
+        match route(&self.core, &merged, path) {
+            Route::Own => {
+                drop(merged);
+                self.check_perm(path, cred, ACCESS_R)?;
+                // Barrier, then list on the DFS, exactly as `readdir`...
+                let guard = self.barrier()?;
+                let names = self.dfs.readdir(path, cred);
+                guard.complete();
+                self.core.counters.incr("readdir");
+                let names = names?;
+                // ...then fetch all child metadata in one batched call
+                // instead of a stat round trip per entry.
+                let children: Vec<String> =
+                    names.iter().map(|n| fspath::join(path, n.as_str())).collect();
+                let keys: Vec<&str> = children.iter().map(|p| p.as_str()).collect();
+                let metas = self.batched_get(&keys);
+                let mut out = Vec::with_capacity(names.len());
+                for ((name, child), meta) in names.into_iter().zip(&children).zip(metas) {
+                    match meta {
+                        Some((m, _)) if m.removed => {}
+                        Some((m, _)) => out.push((name, m.to_stat())),
+                        // Miss: the DFS load warms the cache for
+                        // subsequent readers.
+                        None => match self.load_from_dfs(child, cred) {
+                            Ok(m) => out.push((name, m.to_stat())),
+                            Err(FsError::NotFound) => {}
+                            Err(e) => return Err(e),
+                        },
+                    }
+                }
+                Ok(out)
+            }
+            Route::Merged(i) => {
+                let m = &merged[i];
+                if !m.handle.perms.check(path, cred, ACCESS_R) {
+                    return Err(FsError::PermissionDenied);
+                }
+                let names = self.dfs.readdir(path, cred)?;
+                let children: Vec<String> =
+                    names.iter().map(|n| fspath::join(path, n.as_str())).collect();
+                let keys: Vec<&str> = children.iter().map(|p| p.as_str()).collect();
+                let metas = self.batched_get_on(&m.cache, &keys);
+                let mut out = Vec::with_capacity(names.len());
+                for ((name, child), meta) in names.into_iter().zip(&children).zip(metas) {
+                    match meta {
+                        Some((mm, _)) if mm.removed => {}
+                        Some((mm, _)) => out.push((name, mm.to_stat())),
+                        // Read-only: DFS fallback without populating the
+                        // foreign cache.
+                        None => match self.dfs.stat(child, cred) {
+                            Ok(st) => out.push((name, st)),
+                            Err(FsError::NotFound) => {}
+                            Err(e) => return Err(e),
+                        },
+                    }
+                }
+                Ok(out)
+            }
+            Route::Redirect => self.dfs.readdir_plus(path, cred),
         }
     }
 

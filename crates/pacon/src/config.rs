@@ -47,6 +47,12 @@ pub struct PaconConfig {
     /// Give up retrying one op's commit after this many attempts (guards
     /// against workloads that violate the namespace conventions).
     pub max_commit_retries: u32,
+    /// Batched reads: serve multi-path lookups (`stat_many`,
+    /// `readdir_plus`, batch-permission loads, merge warm-up) with one
+    /// cache round trip per shard node instead of one per path — the
+    /// read-side analogue of group commit. Disabled only for the
+    /// unbatched baseline in experiments.
+    pub read_batching: bool,
     /// Ablation switch: check permissions the traditional way — one
     /// distributed-cache lookup per path component — instead of the batch
     /// table match. Quantifies what Section III.C saves; never enabled in
@@ -79,6 +85,7 @@ impl PaconConfig {
             commit_batch_size: 1,
             commit_batch_coalescing: true,
             max_commit_retries: 10_000,
+            read_batching: true,
             hierarchical_permission_check: false,
             synchronous_commit: false,
             station_base: 0,
@@ -137,6 +144,13 @@ impl PaconConfig {
     /// Builder-style: disable pre-queue coalescing (keep batching).
     pub fn without_commit_coalescing(mut self) -> Self {
         self.commit_batch_coalescing = false;
+        self
+    }
+
+    /// Builder-style: disable batched reads (one cache round trip per
+    /// path — the unbatched baseline).
+    pub fn without_read_batching(mut self) -> Self {
+        self.read_batching = false;
         self
     }
 }

@@ -21,9 +21,14 @@ use syncguard::{level, RwLock};
 use crate::region::{PaconRegion, RegionHandle};
 
 /// Shared registry of running consistent regions.
+///
+/// Reads work on an [`Arc`] snapshot of the map: lookups drop the lock
+/// before touching entries and never copy the registry, so registration
+/// (rare) pays the clone-on-write and resolution (hot) stays allocation-
+/// free.
 #[derive(Clone)]
 pub struct RegionDirectory {
-    inner: Arc<RwLock<BTreeMap<String, RegionHandle>>>,
+    inner: Arc<RwLock<Arc<BTreeMap<String, RegionHandle>>>>,
 }
 
 impl Default for RegionDirectory {
@@ -38,9 +43,14 @@ impl RegionDirectory {
             inner: Arc::new(RwLock::new(
                 level::CLIENT_VIEW,
                 "pacon.region_directory",
-                BTreeMap::new(),
+                Arc::new(BTreeMap::new()),
             )),
         }
+    }
+
+    /// Current registry contents as a shared immutable snapshot.
+    pub fn snapshot(&self) -> Arc<BTreeMap<String, RegionHandle>> {
+        Arc::clone(&self.inner.read())
     }
 
     /// Register a running region under its workspace root. Fails if a
@@ -51,26 +61,32 @@ impl RegionDirectory {
         if map.contains_key(&handle.root) {
             return Err(FsError::AlreadyExists);
         }
-        map.insert(handle.root.clone(), handle);
+        let mut next = BTreeMap::clone(&map);
+        next.insert(handle.root.clone(), handle);
+        *map = Arc::new(next);
         Ok(())
     }
 
     /// Remove the registration for `root` (application shutdown).
     pub fn unregister(&self, root: &str) -> FsResult<()> {
-        match self.inner.write().remove(root) {
-            Some(_) => Ok(()),
-            None => Err(FsError::NotFound),
+        let mut map = self.inner.write();
+        if !map.contains_key(root) {
+            return Err(FsError::NotFound);
         }
+        let mut next = BTreeMap::clone(&map);
+        next.remove(root);
+        *map = Arc::new(next);
+        Ok(())
     }
 
     /// Handle of the region rooted exactly at `root`.
     pub fn lookup(&self, root: &str) -> Option<RegionHandle> {
-        self.inner.read().get(root).cloned()
+        self.snapshot().get(root).cloned()
     }
 
     /// Handle of the innermost region whose workspace contains `path`.
     pub fn find_region_for(&self, path: &str) -> Option<RegionHandle> {
-        let map = self.inner.read();
+        let map = self.snapshot();
         let mut best: Option<&RegionHandle> = None;
         for (root, handle) in map.iter() {
             if fspath::is_same_or_ancestor(root, path) {
@@ -87,7 +103,7 @@ impl RegionDirectory {
 
     /// Workspace roots currently registered, sorted.
     pub fn roots(&self) -> Vec<String> {
-        self.inner.read().keys().cloned().collect()
+        self.snapshot().keys().cloned().collect()
     }
 
     pub fn len(&self) -> usize {
@@ -151,6 +167,21 @@ mod tests {
         let (_d, r) = region("/shared");
         dir.register(&r).unwrap();
         assert!(dir2.lookup("/shared").is_some());
+    }
+
+    #[test]
+    fn snapshot_is_stable_across_later_registrations() {
+        let dir = RegionDirectory::new();
+        let (_d1, a) = region("/appA");
+        dir.register(&a).unwrap();
+        let snap = dir.snapshot();
+        let (_d2, b) = region("/appB");
+        dir.register(&b).unwrap();
+        // The old snapshot is immutable; a fresh one sees the update.
+        assert_eq!(snap.len(), 1);
+        assert_eq!(dir.snapshot().len(), 2);
+        // Snapshots share the registry storage, not a copy.
+        assert!(Arc::ptr_eq(&dir.snapshot(), &dir.snapshot()));
     }
 
     #[test]

@@ -35,17 +35,18 @@ pub fn evict_one_entry(core: &RegionCore, cache: &MetaCache) -> usize {
     }
     let idx = core.evict_cursor.fetch_add(1, Ordering::Relaxed) % tops.len();
     let victim = &tops[idx];
+    let keys = core.cache_cluster.keys_with_prefix(victim.as_bytes());
+    let paths: Vec<&str> = keys
+        .iter()
+        .filter_map(|k| std::str::from_utf8(k).ok())
+        .filter(|p| fspath::is_same_or_ancestor(victim, p))
+        .collect();
+    // One batched lookup for the whole subtree instead of a round trip
+    // per key; only the backup-copy-backed, not-pending entries may go.
+    let metas = cache.multi_get(&paths);
     let mut evicted = 0;
-    for key in core.cache_cluster.keys_with_prefix(victim.as_bytes()) {
-        let Ok(path) = std::str::from_utf8(&key) else { continue };
-        if !fspath::is_same_or_ancestor(victim, path) {
-            continue;
-        }
-        // Only the backup-copy-backed, not-pending entries may go.
-        let evictable = cache
-            .get(path)
-            .map(|(m, _)| m.committed && !m.removed)
-            .unwrap_or(false);
+    for (path, meta) in paths.iter().zip(metas) {
+        let evictable = meta.map(|(m, _)| m.committed && !m.removed).unwrap_or(false);
         if evictable && cache.delete(path) {
             evicted += 1;
         }

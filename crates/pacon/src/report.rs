@@ -44,6 +44,16 @@ pub struct RegionReport {
     /// Replayed creations recognized as already applied after a lost
     /// reply (idempotent success instead of a burned retry).
     pub idempotent_replays: u64,
+    /// Batched reads: client-side multi-get calls issued.
+    pub batched_reads: u64,
+    /// Keys fetched across those batched reads.
+    pub batched_read_keys: u64,
+    /// Network round trips avoided by grouping keys per shard node
+    /// (keys minus shard-node groups, summed over all batches).
+    pub read_rtts_saved: u64,
+    /// Value bytes served by reference from the shards (refcount bump on
+    /// a shared buffer) instead of being copied per hit.
+    pub read_bytes_not_copied: u64,
     /// Completed barrier epochs.
     pub barrier_epoch: u64,
     /// Files staged durably while awaiting their create's commit.
@@ -65,6 +75,15 @@ impl RegionReport {
     /// Commit backlog: operations accepted but not yet applied.
     pub fn backlog(&self) -> u64 {
         self.ops_enqueued.saturating_sub(self.ops_completed)
+    }
+
+    /// Mean keys per batched read (0 when none happened).
+    pub fn keys_per_batch(&self) -> f64 {
+        if self.batched_reads == 0 {
+            0.0
+        } else {
+            self.batched_read_keys as f64 / self.batched_reads as f64
+        }
     }
 }
 
@@ -101,6 +120,15 @@ impl fmt::Display for RegionReport {
             self.coalesced_collapse,
             self.idempotent_replays
         )?;
+        writeln!(
+            f,
+            "  reads:  {} batches / {} keys ({:.1}/batch), {} RTTs saved, {} bytes not copied",
+            self.batched_reads,
+            self.batched_read_keys,
+            self.keys_per_batch(),
+            self.read_rtts_saved,
+            self.read_bytes_not_copied
+        )?;
         write!(
             f,
             "  state:  barrier epoch {}, {} staged file(s), {} evicted record(s)",
@@ -134,6 +162,10 @@ impl PaconRegion {
             coalesced_cancel: core.counters.get("coalesced_cancel"),
             coalesced_collapse: core.counters.get("coalesced_collapse"),
             idempotent_replays: core.counters.get("idempotent_replays"),
+            batched_reads: core.counters.get("batched_reads"),
+            batched_read_keys: core.counters.get("batched_read_keys"),
+            read_rtts_saved: core.counters.get("read_rtts_saved"),
+            read_bytes_not_copied: kv.bytes_referenced,
             barrier_epoch: core.board.current_epoch(),
             staged_files: core.staging.lock().len(),
             evicted: core.counters.get("evicted"),
@@ -217,6 +249,37 @@ mod tests {
         // Backup copy is complete.
         use fsapi::FileSystem as _;
         assert_eq!(dfs.client().readdir("/app", &cred).unwrap().len(), 40);
+    }
+
+    #[test]
+    fn report_tracks_batched_reads() {
+        let dfs = dfs::DfsCluster::with_default_config(Arc::new(LatencyProfile::zero()));
+        let cred = Credentials::new(1, 1);
+        let region = PaconRegion::launch(
+            PaconConfig::new("/app", Topology::new(2, 1), cred),
+            &dfs,
+        )
+        .unwrap();
+        let c = region.client(ClientId(0));
+        for i in 0..12 {
+            c.create(&format!("/app/f{i}"), &cred, 0o644).unwrap();
+        }
+        let paths: Vec<String> = (0..12).map(|i| format!("/app/f{i}")).collect();
+        let stats = c.stat_many(&paths, &cred);
+        assert!(stats.iter().all(|r| r.is_ok()));
+        let entries = c.readdir_plus("/app", &cred).unwrap();
+        assert_eq!(entries.len(), 12);
+
+        let r = region.report();
+        assert_eq!(r.batched_reads, 2, "one stat_many + one readdir_plus batch");
+        assert_eq!(r.batched_read_keys, 24);
+        // 24 keys over at most 2 shard nodes per batch.
+        assert!(r.read_rtts_saved >= 24 - 4);
+        assert!(r.keys_per_batch() > 11.9);
+        assert!(r.read_bytes_not_copied > 0, "hits must be served by reference");
+        let text = r.to_string();
+        assert!(text.contains("reads:"), "display must surface batched reads: {text}");
+        region.shutdown().unwrap();
     }
 
     #[test]

@@ -215,6 +215,10 @@ fn run_grouped(steps: &[BStep], batch: usize, coalesce: bool) -> DfsState {
         };
     }
     region.shutdown().unwrap();
+    // Disarm injected faults the pipeline did not consume: whether any
+    // are left over depends on commit/retry interleaving, and the state
+    // reads below must observe the namespace, not eat a stale fault.
+    dfs.inject_mds_failures(0, 0);
     let snap = dfs.snapshot();
     let fs = dfs.client();
     let mut contents = Vec::new();

@@ -74,6 +74,11 @@ pub struct LatencyProfile {
     // ---- memcached-like distributed cache ----
     /// Shard service time per KV operation (get/set/cas/delete).
     pub kv_op: u64,
+    /// Marginal shard service time per *additional* key in a batched
+    /// multi-get. One request decode and one dispatch are paid via
+    /// `kv_op`; each extra key is a hash-table probe, so this sits well
+    /// below the standalone per-op demand.
+    pub kv_multi_per_key: u64,
     /// Extra shard service time per KiB of payload (inline small files).
     pub kv_payload_per_kib: u64,
 
@@ -118,6 +123,7 @@ impl Default for LatencyProfile {
             idx_bulk_per_record: 8_000,
 
             kv_op: 10_000,
+            kv_multi_per_key: 1_500,
             kv_payload_per_kib: 1_000,
 
             pacon_client_overhead: 5_000,
@@ -154,6 +160,7 @@ impl LatencyProfile {
             idx_readdir_per_entry: 0,
             idx_bulk_per_record: 0,
             kv_op: 0,
+            kv_multi_per_key: 0,
             kv_payload_per_kib: 0,
             pacon_client_overhead: 0,
             queue_push: 0,
@@ -189,6 +196,7 @@ impl LatencyProfile {
             idx_readdir_per_entry: s(self.idx_readdir_per_entry),
             idx_bulk_per_record: s(self.idx_bulk_per_record),
             kv_op: s(self.kv_op),
+            kv_multi_per_key: s(self.kv_multi_per_key),
             kv_payload_per_kib: s(self.kv_payload_per_kib),
             pacon_client_overhead: s(self.pacon_client_overhead),
             queue_push: s(self.queue_push),
@@ -222,6 +230,11 @@ mod tests {
         assert!(p.mds_batch_per_op < p.mds_unlink);
         assert!(p.mds_batch_per_op < p.mds_create);
         assert!(p.mds_batch_base + 32 * p.mds_batch_per_op < 32 * p.mds_unlink);
+        // Batched multi-get amortizes below per-key gets: the marginal
+        // key undercuts the standalone op, and a batch of 32 beats 32
+        // singles even before saved network hops are counted.
+        assert!(p.kv_multi_per_key < p.kv_op);
+        assert!(p.kv_op + 31 * p.kv_multi_per_key < 32 * p.kv_op);
     }
 
     #[test]

@@ -38,7 +38,9 @@ impl Process for FsOpClient {
                 if res.is_err() {
                     self.errors += 1;
                 }
-                Step::Work { trace, ops: 1 }
+                // Batched ops count every logical operation they carry so
+                // batched and unbatched runs report comparable totals.
+                Step::Work { trace, ops: op.weight() }
             }
             None => Step::Done,
         }

@@ -68,6 +68,25 @@ pub fn readdir_phase(parent: &str, count: u32) -> Vec<FsOp> {
     (0..count).map(|_| FsOp::Readdir(parent.to_string())).collect()
 }
 
+/// Ops for one client's "random stat" phase expressed as batched
+/// multi-stats: the same `count` logical stats as
+/// [`random_stat_phase`], grouped into [`FsOp::StatMany`] chunks of up
+/// to `chunk` paths.
+pub fn batched_stat_phase(universe: &[String], count: u32, chunk: usize, seed: u64) -> Vec<FsOp> {
+    assert!(!universe.is_empty(), "stat universe must not be empty");
+    assert!(chunk >= 1, "chunk must be at least 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let paths: Vec<String> =
+        (0..count).map(|_| universe[rng.gen_range(0..universe.len())].clone()).collect();
+    paths.chunks(chunk).map(|c| FsOp::StatMany(c.to_vec())).collect()
+}
+
+/// Ops for a readdirplus phase: each op lists `parent` and stats every
+/// entry (mdtest's `-T` stat pass over a fresh listing).
+pub fn readdir_plus_phase(parent: &str, count: u32) -> Vec<FsOp> {
+    (0..count).map(|_| FsOp::ReaddirPlus(parent.to_string())).collect()
+}
+
 /// A fanout tree under `base`: directories of every level in creation
 /// order (parents before children).
 #[derive(Debug, Clone)]
@@ -166,6 +185,28 @@ mod tests {
         let c = random_stat_phase(&uni, 50, 8);
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn batched_stat_phase_carries_the_same_logical_stats() {
+        let uni: Vec<String> = (0..20).map(|i| format!("/u/{i}")).collect();
+        let singles = random_stat_phase(&uni, 50, 7);
+        let batched = batched_stat_phase(&uni, 50, 8, 7);
+        // Same seed, same draw sequence: flattening the batches yields the
+        // single-stat path sequence.
+        let flat: Vec<&String> = batched
+            .iter()
+            .flat_map(|op| match op {
+                FsOp::StatMany(paths) => paths.iter(),
+                other => panic!("unexpected op {other:?}"),
+            })
+            .collect();
+        assert_eq!(flat.len(), 50);
+        for (s, b) in singles.iter().zip(&flat) {
+            assert!(matches!(s, FsOp::Stat(p) if &p == b));
+        }
+        assert_eq!(batched.len(), 50usize.div_ceil(8));
+        assert_eq!(batched.iter().map(FsOp::weight).sum::<u64>(), 50);
     }
 
     #[test]

@@ -14,6 +14,11 @@ pub enum FsOp {
     Write { path: String, offset: u64, data: Vec<u8> },
     Read { path: String, offset: u64, len: usize },
     Fsync(String),
+    /// Batched stat of many paths (one logical stat per path; backends
+    /// with a batched read path serve them in one round trip per shard).
+    StatMany(Vec<String>),
+    /// `readdirplus`: list a directory and stat every entry.
+    ReaddirPlus(String),
 }
 
 impl FsOp {
@@ -32,6 +37,18 @@ impl FsOp {
             }
             FsOp::Read { path, offset, len } => fs.read(path, cred, *offset, *len).map(|_| ()),
             FsOp::Fsync(p) => fs.fsync(p, cred),
+            FsOp::StatMany(paths) => {
+                // Errors on individual paths (e.g. NotFound) are part of
+                // normal stat-phase behaviour; the batch as a whole only
+                // fails if every path failed.
+                let res = fs.stat_many(paths, cred);
+                if !res.is_empty() && res.iter().all(|r| r.is_err()) {
+                    res.into_iter().next().map(|r| r.map(|_| ())).unwrap_or(Ok(()))
+                } else {
+                    Ok(())
+                }
+            }
+            FsOp::ReaddirPlus(p) => fs.readdir_plus(p, cred).map(|_| ()),
         }
     }
 
@@ -47,6 +64,18 @@ impl FsOp {
             FsOp::Write { .. } => "write",
             FsOp::Read { .. } => "read",
             FsOp::Fsync(..) => "fsync",
+            FsOp::StatMany(..) => "stat_many",
+            FsOp::ReaddirPlus(..) => "readdir_plus",
+        }
+    }
+
+    /// Number of logical file-system operations this op represents: a
+    /// batched stat counts one per path so that batched and unbatched
+    /// runs of the same workload report comparable op totals.
+    pub fn weight(&self) -> u64 {
+        match self {
+            FsOp::StatMany(paths) => paths.len() as u64,
+            _ => 1,
         }
     }
 }
@@ -91,6 +120,27 @@ mod tests {
         assert_eq!(ok, 9);
         assert_eq!(err, 0);
         assert_eq!(FsOp::Stat("/x".into()).kind(), "stat");
+    }
+
+    #[test]
+    fn batched_read_ops_execute_and_weigh_correctly() {
+        let dfs = DfsCluster::with_default_config(Arc::new(LatencyProfile::zero()));
+        let fs = dfs.client();
+        let cred = Credentials::new(1, 1);
+        fs.mkdir("/d", &cred, 0o755).unwrap();
+        fs.create("/d/a", &cred, 0o644).unwrap();
+        fs.create("/d/b", &cred, 0o644).unwrap();
+        let many = FsOp::StatMany(vec!["/d/a".into(), "/missing".into(), "/d/b".into()]);
+        assert_eq!(many.exec(&fs, &cred), Ok(()));
+        assert_eq!(many.weight(), 3);
+        assert_eq!(many.kind(), "stat_many");
+        // All-miss batches surface the error.
+        let all_miss = FsOp::StatMany(vec!["/nope".into(), "/nope2".into()]);
+        assert!(all_miss.exec(&fs, &cred).is_err());
+        let plus = FsOp::ReaddirPlus("/d".into());
+        assert_eq!(plus.exec(&fs, &cred), Ok(()));
+        assert_eq!(plus.weight(), 1);
+        assert_eq!(FsOp::Stat("/d/a".into()).weight(), 1);
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //!   budgets in `unwrap_allowlist.txt`. The allowlist may shrink, never
 //!   grow: a file exceeding its budget fails, and a budget larger than
 //!   the actual count also fails (tighten it).
+//! - **R5** — no per-key `kv.get(` / `cache.get(` calls inside loop
+//!   bodies in `crates/pacon` library code: a loop over keys should use
+//!   the batched `multi_get` path (one round trip per shard node).
+//!   Deliberate exceptions carry a `lint:allow-per-key-get` marker on
+//!   the line.
 //!
 //! Test code — `#[cfg(test)]` blocks, and anything under `tests/`,
 //! `benches/` or `examples/` — is exempt from every rule.
@@ -43,6 +48,8 @@ pub enum Rule {
     R3WallClock,
     /// `.unwrap()` in core-crate library code beyond the allowlist.
     R4Unwrap,
+    /// Per-key cache/kv `get` calls inside a loop in pacon library code.
+    R5PerKeyGetLoop,
 }
 
 impl fmt::Display for Rule {
@@ -52,6 +59,7 @@ impl fmt::Display for Rule {
             Rule::R2LockUnwrap => "R2 lock-unwrap",
             Rule::R3WallClock => "R3 wall-clock",
             Rule::R4Unwrap => "R4 unwrap",
+            Rule::R5PerKeyGetLoop => "R5 per-key-get-loop",
         };
         f.write_str(s)
     }
@@ -120,6 +128,71 @@ pub fn test_mask(source: &str) -> Vec<bool> {
         }
     }
     mask
+}
+
+/// Per-line mask: `true` where the line is inside a `for`/`while`/`loop`
+/// body (the header line itself counts once its brace opens). Same
+/// brace-depth approach — and the same rustfmt-shaped-source caveats —
+/// as [`test_mask`].
+pub fn loop_mask(source: &str) -> Vec<bool> {
+    let lines: Vec<&str> = source.lines().collect();
+    let mut mask = vec![false; lines.len()];
+    let mut depth: i32 = 0;
+    // Depth at which each enclosing loop body closes.
+    let mut loop_until: Vec<i32> = Vec::new();
+    let mut armed = false;
+    for (i, raw) in lines.iter().enumerate() {
+        let code = strip_noncode(raw);
+        if is_loop_header(&code) {
+            armed = true;
+        }
+        if !loop_until.is_empty() {
+            mask[i] = true;
+        }
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    if armed {
+                        loop_until.push(depth);
+                        armed = false;
+                        mask[i] = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if loop_until.last() == Some(&depth) {
+                        loop_until.pop();
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    mask
+}
+
+/// Does this (comment-stripped) line open a loop? Keywords must sit at
+/// a token boundary so `.for_each(` and identifiers like `wait_for ` do
+/// not arm the mask, and `for ` additionally needs a following ` in `
+/// so `impl Trait for Type` does not read as a loop header.
+fn is_loop_header(code: &str) -> bool {
+    for kw in ["for ", "while ", "loop {", "loop{"] {
+        let mut start = 0;
+        while let Some(pos) = code[start..].find(kw) {
+            let abs = start + pos;
+            let boundary = code[..abs]
+                .chars()
+                .next_back()
+                .map(|p| !p.is_alphanumeric() && p != '_' && p != '.')
+                .unwrap_or(true);
+            if boundary && (kw != "for " || code[abs..].contains(" in ")) {
+                return true;
+            }
+            start = abs + kw.len();
+        }
+    }
+    false
 }
 
 /// Drop `//` comments and the contents of ordinary string literals so
@@ -196,7 +269,9 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
     let in_syncguard = krate == Some("syncguard");
     let r3_applies = krate.is_some_and(|c| DETERMINISTIC_CRATES.contains(&c));
     let r4_applies = krate.is_some_and(|c| CORE_CRATES.contains(&c));
+    let r5_applies = krate == Some("pacon");
     let mask = test_mask(source);
+    let loops = if r5_applies { loop_mask(source) } else { Vec::new() };
 
     for (i, raw) in source.lines().enumerate() {
         if mask.get(i).copied().unwrap_or(false) {
@@ -267,6 +342,26 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
                         line: lineno,
                         message: format!(
                             "`{pat}` in deterministic simulator code — use virtual time"
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+
+        if r5_applies
+            && loops.get(i).copied().unwrap_or(false)
+            && !raw.contains("lint:allow-per-key-get")
+        {
+            for pat in ["cache.get(", "kv.get(", "kv().get("] {
+                if code.contains(pat) {
+                    findings.push(Finding {
+                        rule: Rule::R5PerKeyGetLoop,
+                        file: rel_path.to_string(),
+                        line: lineno,
+                        message: format!(
+                            "per-key `{pat}` inside a loop — batch the keys with \
+                             multi_get, or mark the line `lint:allow-per-key-get`"
                         ),
                     });
                     break;
@@ -368,6 +463,67 @@ mod tests {
         assert!(f.iter().all(|f| f.rule == Rule::R4Unwrap));
         // Non-core crates are not under R4.
         assert!(lint_source("crates/qsim/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r5_fires_on_per_key_get_loops_in_pacon() {
+        let src = "\
+fn warm(cache: &MetaCache, keys: &[&str]) {
+    for key in keys {
+        let _ = cache.get(key);
+    }
+}
+";
+        let f = lint_source("crates/pacon/src/bad.rs", src);
+        assert_eq!(rules(&f), vec![Rule::R5PerKeyGetLoop], "{f:?}");
+        assert_eq!(f[0].line, 3);
+        // Other crates may loop over their own stores freely.
+        assert!(lint_source("crates/memkv/src/cluster.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r5_spares_non_loop_gets_and_marked_lines() {
+        let straight = "fn one(cache: &MetaCache) { let _ = cache.get(\"/p\"); }\n";
+        assert!(lint_source("crates/pacon/src/ok.rs", straight).is_empty());
+        let marked = "\
+fn baseline(kv: &KvClient, keys: &[&[u8]]) {
+    for key in keys {
+        let _ = kv.get(key); // lint:allow-per-key-get — ablation baseline
+    }
+}
+";
+        assert!(lint_source("crates/pacon/src/ok.rs", marked).is_empty());
+        // `.for_each`, identifiers containing `for`, and `impl Trait
+        // for Type` blocks are not loop headers.
+        let not_a_loop = "fn f(c: &C) { let x = wait_for (c); c.cache.get(\"/p\"); }\n";
+        assert!(lint_source("crates/pacon/src/ok.rs", not_a_loop).is_empty());
+        let impl_block = "\
+impl FileSystem for PaconClient {
+    fn stat(&self, path: &str) -> FsResult<FileStat> {
+        match self.cache.get(path) {
+            Some((m, _)) => Ok(m.to_stat()),
+            None => self.load(path),
+        }
+    }
+}
+";
+        assert!(lint_source("crates/pacon/src/ok.rs", impl_block).is_empty());
+    }
+
+    #[test]
+    fn r5_sees_single_line_and_while_loops() {
+        let one_liner = "fn f(c: &C, ks: &[K]) { for k in ks { c.kv.get(k); } }\n";
+        let f = lint_source("crates/pacon/src/bad.rs", one_liner);
+        assert_eq!(rules(&f), vec![Rule::R5PerKeyGetLoop], "{f:?}");
+        let wloop = "\
+fn f(c: &C) {
+    while busy() {
+        c.kv().get(b\"k\");
+    }
+}
+";
+        let f = lint_source("crates/pacon/src/bad.rs", wloop);
+        assert_eq!(rules(&f), vec![Rule::R5PerKeyGetLoop], "{f:?}");
     }
 
     #[test]
