@@ -22,6 +22,7 @@ use crate::cluster::DfsCluster;
 use crate::datasrv::CHUNK_SIZE;
 use crate::mds::BatchOp;
 use crate::namespace::Ino;
+use crate::replay::OpId;
 
 /// One cached dentry: inode, permission bits and entry kind (the kind
 /// gates descent — traversing through a file is ENOTDIR before any
@@ -199,12 +200,36 @@ impl DfsClient {
     /// maintained for each op that succeeded. Batches route to one MDS
     /// (root-sharded), matching the single-MDS testbed the paper runs.
     pub fn apply_batch(&self, ops: &[BatchOp], cred: &Credentials) -> Vec<FsResult<()>> {
+        self.apply_batch_inner(ops, None, cred)
+    }
+
+    /// [`DfsClient::apply_batch`] carrying per-op replay identities, for
+    /// durable commit pipelines: already-applied ops no-op server-side.
+    pub fn apply_batch_idempotent(
+        &self,
+        ops: &[BatchOp],
+        ids: &[OpId],
+        cred: &Credentials,
+    ) -> Vec<FsResult<()>> {
+        self.apply_batch_inner(ops, Some(ids), cred)
+    }
+
+    fn apply_batch_inner(
+        &self,
+        ops: &[BatchOp],
+        ids: Option<&[OpId]>,
+        cred: &Credentials,
+    ) -> Vec<FsResult<()>> {
         if ops.is_empty() {
             return Vec::new();
         }
         self.counters.incr("batch_rpcs");
         self.charge_rtt();
-        let results = self.cluster.mds_for(Ino::ROOT).apply_batch(ops, cred);
+        let mds = self.cluster.mds_for(Ino::ROOT);
+        let results = match ids {
+            Some(ids) => mds.apply_batch_idempotent(ops, ids, cred),
+            None => mds.apply_batch(ops, cred),
+        };
         let mut dentries = self.dentries.lock();
         ops.iter()
             .zip(results)
@@ -228,6 +253,29 @@ impl DfsClient {
                 Ok(())
             })
             .collect()
+    }
+
+    /// An identified full-content writeback (durable commit replay): the
+    /// write is skipped if it already applied or if the file has moved to
+    /// a newer namespace generation since (re-created after this write
+    /// was logged), and is recorded so a second replay of the same log
+    /// no-ops. Data is written at offset 0 — the replay source is a
+    /// snapshot of the file's full inline content.
+    pub fn write_idempotent(
+        &self,
+        path: &str,
+        cred: &Credentials,
+        data: &[u8],
+        id: OpId,
+    ) -> FsResult<usize> {
+        if self.cluster.data_replay_is_stale(path, &id) {
+            self.counters.incr("replay_skipped_write");
+            return Ok(data.len());
+        }
+        let ino = self.resolve(path, cred)?;
+        let n = if data.is_empty() { 0 } else { self.write(path, cred, 0, data)? };
+        self.cluster.record_data_replay(path, &id, ino);
+        Ok(n)
     }
 
     /// Number of dentries currently cached (diagnostics).

@@ -4,12 +4,13 @@ use std::sync::Arc;
 
 use fsapi::{FsResult, Perm};
 use simnet::LatencyProfile;
-use syncguard::{level, RwLock};
+use syncguard::{level, Mutex, RwLock};
 
 use crate::client::DfsClient;
 use crate::datasrv::DataServer;
 use crate::mds::Mds;
 use crate::namespace::{Ino, Namespace};
+use crate::replay::{OpId, SeenCache};
 
 /// Cluster shape. The paper's testbed: 1 MDS (NVMe-backed) + 3 data
 /// servers.
@@ -34,6 +35,9 @@ pub struct DfsCluster {
     ns: Arc<RwLock<Namespace>>,
     mds: Vec<Arc<Mds>>,
     data: Vec<Arc<DataServer>>,
+    /// Idempotent-replay identities; shared by every MDS so it survives
+    /// the restart of any region committing into this cluster.
+    seen: Arc<Mutex<SeenCache>>,
     profile: Arc<LatencyProfile>,
     config: DfsConfig,
 }
@@ -42,12 +46,13 @@ impl DfsCluster {
     pub fn new(config: DfsConfig, profile: Arc<LatencyProfile>) -> Arc<Self> {
         assert!(config.n_mds > 0 && config.n_data > 0, "cluster needs servers");
         let ns = Arc::new(RwLock::new(level::BACKEND, "dfs.namespace", Namespace::new(config.root_mode)));
+        let seen = SeenCache::shared();
         let mds = (0..config.n_mds)
-            .map(|i| Mds::new(i, Arc::clone(&ns), Arc::clone(&profile)))
+            .map(|i| Mds::with_seen(i, Arc::clone(&ns), Arc::clone(&seen), Arc::clone(&profile)))
             .collect();
         let data =
             (0..config.n_data).map(|i| DataServer::new(i, Arc::clone(&profile))).collect();
-        Arc::new(Self { ns, mds, data, profile, config })
+        Arc::new(Self { ns, mds, data, seen, profile, config })
     }
 
     /// Default-config cluster (1 MDS + 3 data servers), the paper's shape.
@@ -75,6 +80,25 @@ impl DfsCluster {
     /// Data server holding a given chunk of a file.
     pub fn data_server_for(&self, ino: Ino, chunk_idx: u64) -> &Arc<DataServer> {
         &self.data[((ino.0 + chunk_idx) % self.data.len() as u64) as usize]
+    }
+
+    /// Whether an identified data writeback replay would be stale (the
+    /// exact write already applied, or the path was re-created since).
+    pub fn data_replay_is_stale(&self, path: &str, id: &OpId) -> bool {
+        !id.is_none() && self.seen.lock().data_replay_is_stale(path, id)
+    }
+
+    /// Record an applied identified data writeback so a second replay of
+    /// the same log (crash during recovery) no-ops.
+    pub fn record_data_replay(&self, path: &str, id: &OpId, ino: Ino) {
+        if !id.is_none() {
+            self.seen.lock().record(path, *id, ino);
+        }
+    }
+
+    /// Number of replay identities remembered (diagnostics).
+    pub fn seen_len(&self) -> usize {
+        self.seen.lock().len()
     }
 
     /// Drop a deleted file's chunks on every data server (server-side

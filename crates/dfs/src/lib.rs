@@ -25,8 +25,10 @@ pub mod cluster;
 pub mod datasrv;
 pub mod mds;
 pub mod namespace;
+pub mod replay;
 
 pub use client::DfsClient;
 pub use cluster::{DfsCluster, DfsConfig};
 pub use mds::BatchOp;
 pub use namespace::Ino;
+pub use replay::{OpId, SeenCache};

@@ -12,9 +12,10 @@ use std::sync::Arc;
 
 use fsapi::{path as fspath, Credentials, FileKind, FileStat, FsError, FsResult};
 use simnet::{charge, Counters, LatencyProfile, Station};
-use syncguard::RwLock;
+use syncguard::{Mutex, RwLock};
 
 use crate::namespace::{Ino, Namespace};
+use crate::replay::{OpId, SeenCache};
 
 /// One namespace operation inside a batched update request (group
 /// commit). Paths are full normalized paths; the server resolves them
@@ -41,6 +42,10 @@ impl BatchOp {
 pub struct Mds {
     id: u32,
     ns: Arc<RwLock<Namespace>>,
+    /// Idempotent-replay identities, shared across the cluster's MDS
+    /// instances (it memoizes applied mutations the way the namespace
+    /// stores them).
+    seen: Arc<Mutex<SeenCache>>,
     profile: Arc<LatencyProfile>,
     pub counters: Counters,
     /// Fault injection: the next N requests fail with a backend error
@@ -58,9 +63,21 @@ impl Mds {
         ns: Arc<RwLock<Namespace>>,
         profile: Arc<LatencyProfile>,
     ) -> Arc<Self> {
+        Self::with_seen(id, ns, SeenCache::shared(), profile)
+    }
+
+    /// Construct with an externally shared seen-cache (cluster assembly:
+    /// all MDS instances of one cluster share it, like the namespace).
+    pub fn with_seen(
+        id: u32,
+        ns: Arc<RwLock<Namespace>>,
+        seen: Arc<Mutex<SeenCache>>,
+        profile: Arc<LatencyProfile>,
+    ) -> Arc<Self> {
         Arc::new(Self {
             id,
             ns,
+            seen,
             profile,
             counters: Counters::new(),
             inject_failures: AtomicU64::new(0),
@@ -210,6 +227,29 @@ impl Mds {
     /// op in the same batch applies, the partial-failure shape the
     /// commit process must disaggregate.
     pub fn apply_batch(&self, ops: &[BatchOp], cred: &Credentials) -> Vec<FsResult<Ino>> {
+        self.apply_batch_inner(ops, None, cred)
+    }
+
+    /// [`Mds::apply_batch`] with per-op replay identities: an op whose
+    /// identity is already in the seen-cache is a no-op returning the
+    /// original inode ("replay_noop"), and every applied op is recorded
+    /// *before* its reply can be lost — so a durable commit log can be
+    /// replayed any number of times without duplicating effects.
+    pub fn apply_batch_idempotent(
+        &self,
+        ops: &[BatchOp],
+        ids: &[OpId],
+        cred: &Credentials,
+    ) -> Vec<FsResult<Ino>> {
+        self.apply_batch_inner(ops, Some(ids), cred)
+    }
+
+    fn apply_batch_inner(
+        &self,
+        ops: &[BatchOp],
+        ids: Option<&[OpId]>,
+        cred: &Credentials,
+    ) -> Vec<FsResult<Ino>> {
         charge(
             self.station(),
             self.profile.mds_batch_base + ops.len() as u64 * self.profile.mds_batch_per_op,
@@ -218,8 +258,16 @@ impl Mds {
         self.counters.add("batch_ops", ops.len() as u64);
         let mut ns = self.ns.write();
         ops.iter()
-            .map(|op| {
+            .enumerate()
+            .map(|(i, op)| {
+                let id = ids.and_then(|ids| ids.get(i)).copied().unwrap_or(OpId::NONE);
                 self.check_fault()?;
+                if !id.is_none() {
+                    if let Some(ino) = self.seen.lock().hit(op.path(), id.write_id) {
+                        self.counters.incr("replay_noop");
+                        return Ok(ino);
+                    }
+                }
                 let (parent, name) = Self::resolve_parent_locked(&ns, op.path(), cred)?;
                 let ino = match op {
                     BatchOp::Mkdir { mode, .. } => {
@@ -230,6 +278,11 @@ impl Mds {
                     }
                     BatchOp::Unlink { .. } => ns.unlink_child(parent, &name, cred)?,
                 };
+                // Record before the reply can be lost: a replay after a
+                // lost reply must see the identity and no-op.
+                if !id.is_none() {
+                    self.seen.lock().record(op.path(), id, ino);
+                }
                 self.check_reply_loss()?;
                 Ok(ino)
             })

@@ -1,0 +1,126 @@
+//! Idempotent-replay identities for durable commit logs.
+//!
+//! A crashed Pacon node replays its write-ahead log against the DFS, and
+//! a crash *during* recovery replays it again — so every logged mutation
+//! carries a `(path, write_id, generation)` identity and the DFS keeps a
+//! **seen-cache** of identities it already applied:
+//!
+//! * `write_id` names the mutation itself (unique per region lifetime:
+//!   the node's incarnation number concatenated with a sequence number);
+//! * `generation` names the namespace generation of the path the
+//!   mutation targets — for creations/unlinks it is their own
+//!   `write_id`, for data writebacks it is the `write_id` of the create
+//!   that produced the file.
+//!
+//! Replaying an identified namespace op that is already in the cache is
+//! a no-op returning the original inode; replaying a data writeback
+//! whose path has moved to a newer generation (the file was re-created
+//! since) is skipped rather than applied to the wrong file.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use syncguard::{level, Mutex};
+
+use crate::namespace::Ino;
+
+/// Identity of one durable mutation. `OpId::NONE` (all zeros) marks an
+/// unidentified op, which always applies verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct OpId {
+    pub write_id: u64,
+    pub generation: u64,
+}
+
+impl OpId {
+    pub const NONE: OpId = OpId { write_id: 0, generation: 0 };
+
+    pub fn is_none(&self) -> bool {
+        self.write_id == 0
+    }
+}
+
+/// Server-side memory of applied identified mutations. Shared by every
+/// MDS of a cluster (like the namespace itself), so it survives region
+/// restarts — which is exactly when it matters.
+#[derive(Debug, Default)]
+pub struct SeenCache {
+    /// `(path, write_id)` → inode the mutation produced/removed.
+    seen: HashMap<(String, u64), Ino>,
+    /// Latest namespace generation applied per path.
+    latest_gen: HashMap<String, u64>,
+}
+
+impl SeenCache {
+    /// A fresh cache behind its syncguard lock (tier `BACKEND_META`: the
+    /// cache is consulted per op while the namespace lock is held).
+    pub fn shared() -> Arc<Mutex<SeenCache>> {
+        Arc::new(Mutex::new(level::BACKEND_META, "dfs.seen_cache", SeenCache::default()))
+    }
+
+    /// The inode recorded for an already-applied mutation, if any.
+    pub fn hit(&self, path: &str, write_id: u64) -> Option<Ino> {
+        self.seen.get(&(path.to_string(), write_id)).copied()
+    }
+
+    /// Record an applied identified mutation. For namespace ops the
+    /// identity's `generation` is its own `write_id`, which becomes the
+    /// path's latest generation.
+    pub fn record(&mut self, path: &str, id: OpId, ino: Ino) {
+        self.seen.insert((path.to_string(), id.write_id), ino);
+        let g = self.latest_gen.entry(path.to_string()).or_insert(0);
+        if id.generation > *g {
+            *g = id.generation;
+        }
+    }
+
+    /// Whether replaying an identified data writeback would be stale:
+    /// either this exact write already applied, or the path has moved on
+    /// to a newer namespace generation (the file was re-created since).
+    pub fn data_replay_is_stale(&self, path: &str, id: &OpId) -> bool {
+        if self.seen.contains_key(&(path.to_string(), id.write_id)) {
+            return true;
+        }
+        self.latest_gen.get(path).is_some_and(|g| *g > id.generation)
+    }
+
+    /// Number of remembered identities (diagnostics).
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_hits_after_record() {
+        let mut c = SeenCache::default();
+        let id = OpId { write_id: 7, generation: 7 };
+        assert!(c.hit("/a", 7).is_none());
+        c.record("/a", id, Ino(42));
+        assert_eq!(c.hit("/a", 7), Some(Ino(42)));
+        assert!(c.hit("/a", 8).is_none(), "identity is per write_id");
+        assert!(c.hit("/b", 7).is_none(), "identity is per path");
+    }
+
+    #[test]
+    fn stale_data_replay_detection() {
+        let mut c = SeenCache::default();
+        // File created at generation 10, then re-created at 20.
+        c.record("/f", OpId { write_id: 10, generation: 10 }, Ino(1));
+        c.record("/f", OpId { write_id: 20, generation: 20 }, Ino(2));
+        // A write against the old generation is stale.
+        assert!(c.data_replay_is_stale("/f", &OpId { write_id: 15, generation: 10 }));
+        // A write against the current generation is not.
+        assert!(!c.data_replay_is_stale("/f", &OpId { write_id: 25, generation: 20 }));
+        // The same write replayed twice is stale the second time.
+        c.record("/f", OpId { write_id: 25, generation: 20 }, Ino(2));
+        assert!(c.data_replay_is_stale("/f", &OpId { write_id: 25, generation: 20 }));
+    }
+}

@@ -134,13 +134,14 @@ impl Db {
         l1.sort_by_key(|(no, _)| *no);
 
         let wal_path = dir.join("wal.log");
-        let records = Wal::replay(&wal_path)?;
+        // Recovery-aware open: truncates any torn/corrupt tail before
+        // appending, so post-recovery writes stay replayable.
+        let (wal, records) = Wal::open_recovered(&wal_path, opts.sync_wal)?;
         let mut mem = Memtable::new();
         for rec in records {
             max_seq = max_seq.max(rec.seq);
             mem.insert(&rec.key, rec.seq, rec.value.as_deref());
         }
-        let wal = Wal::open(&wal_path, opts.sync_wal)?;
 
         let stats = Stats {
             sstables_l0: l0.len(),
@@ -410,6 +411,41 @@ mod tests {
         assert_eq!(db.get(b"k").unwrap().as_deref(), Some(&b"v2"[..]));
         db.delete(b"k").unwrap();
         assert_eq!(db.get(b"k").unwrap(), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression: a database reopened over a torn WAL tail must not lose
+    /// writes made *after* the reopen. Before the recovery-aware open, the
+    /// torn bytes stayed in the file and post-recovery appends hid behind
+    /// them, vanishing on the next replay.
+    #[test]
+    fn writes_after_torn_tail_recovery_survive_reopen() {
+        let dir = tmpdir("torn-reopen");
+        {
+            let db = Db::open(&dir, Options::default()).unwrap();
+            db.put(b"before", b"1").unwrap();
+        }
+        // Crash mid-append: garbage frame at the WAL tail.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(dir.join("wal.log"))
+                .unwrap();
+            f.write_all(&[250, 0, 0, 0, 1, 2, 3, 4, 5]).unwrap();
+        }
+        {
+            let db = Db::open(&dir, Options::default()).unwrap();
+            assert_eq!(db.get(b"before").unwrap().as_deref(), Some(&b"1"[..]));
+            db.put(b"after", b"2").unwrap();
+        }
+        let db = Db::open(&dir, Options::default()).unwrap();
+        assert_eq!(db.get(b"before").unwrap().as_deref(), Some(&b"1"[..]));
+        assert_eq!(
+            db.get(b"after").unwrap().as_deref(),
+            Some(&b"2"[..]),
+            "post-recovery write lost: append resumed after the torn tail"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -84,6 +84,15 @@ impl Wal {
         Ok(())
     }
 
+    /// Flush and fsync: everything appended so far survives a crash.
+    /// Callers batching durability (group fsync) use this instead of
+    /// opening the log in `sync` mode.
+    pub fn sync(&mut self) -> LsmResult<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()?;
+        Ok(())
+    }
+
     /// Truncate the log (after its contents were flushed into an SSTable).
     pub fn reset(&mut self) -> LsmResult<()> {
         self.writer.flush()?;
@@ -96,12 +105,20 @@ impl Wal {
     /// A torn/corrupt tail ends replay silently; corruption *before* valid
     /// data is reported.
     pub fn replay(path: &Path) -> LsmResult<Vec<WalRecord>> {
+        Ok(Self::replay_prefix(path)?.0)
+    }
+
+    /// Replay all intact records and also return the byte length of the
+    /// valid prefix — the offset at which the torn/corrupt tail (if any)
+    /// begins. Appending may only resume at that offset: records written
+    /// after a surviving tail would be unreachable on the next replay.
+    pub fn replay_prefix(path: &Path) -> LsmResult<(Vec<WalRecord>, u64)> {
         let mut data = Vec::new();
         match File::open(path) {
             Ok(mut f) => {
                 f.read_to_end(&mut data)?;
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
             Err(e) => return Err(e.into()),
         }
         let mut records = Vec::new();
@@ -127,7 +144,30 @@ impl Wal {
             }
             pos = start + len;
         }
-        Ok(records)
+        Ok((records, pos as u64))
+    }
+
+    /// Crash-safe open: replay the valid prefix, truncate away any torn or
+    /// corrupt tail, and return an append handle positioned right after
+    /// the last intact record together with the replayed records.
+    ///
+    /// This is the only correct way to reopen a log that may have a
+    /// crashed tail — `replay` followed by `open` leaves the tail in
+    /// place, so subsequent appends land after it and are silently lost
+    /// on the next replay.
+    pub fn open_recovered(path: &Path, sync: bool) -> LsmResult<(Self, Vec<WalRecord>)> {
+        let (records, valid_len) = Self::replay_prefix(path)?;
+        match OpenOptions::new().write(true).open(path) {
+            Ok(f) => {
+                if f.metadata()?.len() > valid_len {
+                    f.set_len(valid_len)?;
+                    f.sync_data()?;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        Ok((Self::open(path, sync)?, records))
     }
 }
 
@@ -240,6 +280,103 @@ mod tests {
         std::fs::write(&path, &data).unwrap();
         let recs = Wal::replay(&path).unwrap();
         assert_eq!(recs.len(), 1, "replay must stop at the corrupt record");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn partial_header_tail_is_ignored() {
+        let dir = tmpdir("partial-header");
+        let path = dir.join("wal.log");
+        {
+            let mut w = Wal::open(&path, false).unwrap();
+            w.append(1, b"a", Some(b"va")).unwrap();
+            w.sync().unwrap();
+        }
+        // A crash mid-header: fewer than 8 bytes of frame remain.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[7, 0, 0]).unwrap();
+        }
+        let (recs, valid) = Wal::replay_prefix(&path).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(valid, std::fs::metadata(&path).unwrap().len() - 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn garbage_only_file_replays_empty() {
+        let dir = tmpdir("garbage");
+        let path = dir.join("wal.log");
+        std::fs::write(&path, [0xAB; 37]).unwrap();
+        let (recs, valid) = Wal::replay_prefix(&path).unwrap();
+        assert!(recs.is_empty());
+        assert_eq!(valid, 0);
+        // Recovery truncates the garbage entirely.
+        let (mut w, recs) = Wal::open_recovered(&path, false).unwrap();
+        assert!(recs.is_empty());
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        w.append(1, b"a", Some(b"va")).unwrap();
+        w.sync().unwrap();
+        assert_eq!(Wal::replay(&path).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression: records appended after recovering from a torn tail must
+    /// be replayable. Plain `replay` + `open` leaves the torn bytes in the
+    /// file, so the appended records hide behind them and vanish on the
+    /// next replay.
+    #[test]
+    fn append_after_torn_tail_recovery_is_replayable() {
+        let dir = tmpdir("torn-append");
+        let path = dir.join("wal.log");
+        {
+            let mut w = Wal::open(&path, false).unwrap();
+            w.append(1, b"a", Some(b"va")).unwrap();
+            w.sync().unwrap();
+        }
+        // Torn tail: a frame header promising more bytes than exist.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[200, 0, 0, 0, 1, 2, 3, 4, 9, 9]).unwrap();
+        }
+        let (mut w, recs) = Wal::open_recovered(&path, false).unwrap();
+        assert_eq!(recs.len(), 1, "valid prefix survives recovery");
+        w.append(2, b"b", Some(b"vb")).unwrap();
+        w.sync().unwrap();
+        let recs = Wal::replay(&path).unwrap();
+        assert_eq!(
+            recs.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![1, 2],
+            "post-recovery appends must not hide behind the torn tail"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Same regression for a CRC-corrupt (rather than short) tail.
+    #[test]
+    fn append_after_corrupt_tail_recovery_is_replayable() {
+        let dir = tmpdir("crc-append");
+        let path = dir.join("wal.log");
+        {
+            let mut w = Wal::open(&path, false).unwrap();
+            w.append(1, b"a", Some(b"va")).unwrap();
+            w.append(2, b"b", Some(b"vb")).unwrap();
+            w.sync().unwrap();
+        }
+        // Corrupt the second record's payload; its framing stays intact.
+        let mut data = std::fs::read(&path).unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+
+        let (mut w, recs) = Wal::open_recovered(&path, false).unwrap();
+        assert_eq!(recs.len(), 1, "replay stops cleanly before the corrupt record");
+        w.append(3, b"c", Some(b"vc")).unwrap();
+        w.sync().unwrap();
+        let recs = Wal::replay(&path).unwrap();
+        assert_eq!(recs.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![1, 3]);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -163,6 +163,21 @@ impl PaconRegion {
         self.core().cache_cluster.clear();
         self.core().staging.lock().clear();
         self.core().removed_dirs.write().clear();
+        self.core().pending_writebacks.lock().clear();
+        // Buffered-but-unpublished ops predate the rollback and must not
+        // survive it — drop them and, in durable mode, reset the commit
+        // logs so the next launch cannot resurrect rolled-back mutations.
+        let mut dropped = 0u64;
+        for buf in &self.core().publish_bufs {
+            let stale = buf.lock().take_all();
+            dropped += stale.len() as u64;
+            for _ in &stale {
+                self.core().note_completed();
+            }
+        }
+        self.core().counters.add("rollback_dropped_ops", dropped);
+        self.core().reset_wals()?;
+        self.core().generations.lock().clear();
         self.core().counters.incr("rollbacks");
         Ok(stats)
     }

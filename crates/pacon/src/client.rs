@@ -113,24 +113,47 @@ impl PaconClient {
     }
 
     fn publish(&self, op: CommitOp) -> FsResult<()> {
+        self.publish_with_snapshot(op, None)
+    }
+
+    /// Publish an op, optionally journaling a data `snapshot` alongside it
+    /// (inline writebacks: the WAL must carry the bytes because replay
+    /// rebuilds file content from the log, not from the cache).
+    fn publish_with_snapshot(&self, op: CommitOp, snapshot: Option<&[u8]>) -> FsResult<()> {
         if self.core.config.synchronous_commit {
             return self.commit_synchronously(op);
         }
         if self.core.config.commit_batch_size > 1 {
-            return self.publish_buffered(op);
+            return self.publish_buffered(op, snapshot);
         }
         charge(Station::ClientCpu, self.profile().queue_push);
         let msg = QueueMsg {
+            id: self.core.op_identity(&op),
             op,
             client: self.id.0,
             epoch: self.core.board.current_epoch(),
             timestamp: self.core.now(),
         };
-        self.publishers[self.node.index()]
-            .send(msg)
-            .map_err(|_| FsError::Backend("commit queue closed".into()))?;
+        // Durable order: count the op in flight, journal it, then send.
+        // Enqueued-before-append is what makes truncation safe: `drained()`
+        // under the WAL lock proves the log holds no unconfirmed op.
         self.core.note_enqueued();
-        Ok(())
+        if let Err(e) = self.core.wal_append(self.node.index(), &msg, snapshot) {
+            self.core.note_completed();
+            return Err(e);
+        }
+        match self.publishers[self.node.index()].send(msg) {
+            Ok(()) => Ok(()),
+            Err(_) => {
+                // Shutdown race. In durable mode the op is already
+                // journaled — keep it counted in flight so no truncation
+                // can drop it; the next launch replays it.
+                if !self.core.durable() {
+                    self.core.note_completed();
+                }
+                Err(FsError::Backend("commit queue closed".into()))
+            }
+        }
     }
 
     /// Group commit: buffer the op in the node's publish buffer instead
@@ -138,13 +161,14 @@ impl PaconClient {
     /// when the buffer reaches the configured size. Coalescing may settle
     /// the op entirely client-side (create×unlink annihilation, writeback
     /// collapse) — those ops complete without ever touching the queue.
-    fn publish_buffered(&self, op: CommitOp) -> FsResult<()> {
+    fn publish_buffered(&self, op: CommitOp, snapshot: Option<&[u8]>) -> FsResult<()> {
         use crate::commit::publish::Buffered;
         let unlink_path = match &op {
             CommitOp::Unlink { path } => Some(path.clone()),
             _ => None,
         };
         let msg = QueueMsg {
+            id: self.core.op_identity(&op),
             op,
             client: self.id.0,
             epoch: self.core.board.current_epoch(),
@@ -152,6 +176,13 @@ impl PaconClient {
         };
         self.core.note_enqueued();
         let node = self.node.index();
+        // Journal before the buffer sees the op: coalescing may settle it
+        // client-side, but the log keeps the full history (a cancelled
+        // create×unlink pair replays in order and nets to nothing).
+        if let Err(e) = self.core.wal_append(node, &msg, snapshot) {
+            self.core.note_completed();
+            return Err(e);
+        }
         let mut buf = self.core.publish_bufs[node].lock();
         let outcome = buf.push(msg, self.core.config.commit_batch_coalescing);
         let flush = buf.len() >= self.core.config.commit_batch_size;
@@ -182,12 +213,14 @@ impl PaconClient {
                     }
                 }
                 self.core.staging.lock().remove(path.as_str());
+                self.core.maybe_truncate_wals();
             }
             Buffered::Collapsed => {
                 // Duplicate writeback absorbed by the buffered one, which
                 // reads the current primary copy at commit time anyway.
                 self.core.note_completed();
                 self.core.counters.incr("coalesced_collapse");
+                self.core.maybe_truncate_wals();
             }
         }
         Ok(())
@@ -420,6 +453,7 @@ impl PaconClient {
             // drain the queue, so a full queue always resolves.
             syncguard::permit_blocking(|| {
                 tx.send(QueueMsg {
+                    id: dfs::OpId::NONE,
                     op: CommitOp::Barrier { epoch },
                     client: self.id.0,
                     epoch,
@@ -845,9 +879,33 @@ impl FileSystem for PaconClient {
                         let fresh =
                             self.core.pending_writebacks.lock().insert(path.to_string());
                         if fresh {
-                            self.publish(CommitOp::WriteInline { path: path.to_string() })?;
+                            self.publish_with_snapshot(
+                                CommitOp::WriteInline { path: path.to_string() },
+                                Some(&meta.inline),
+                            )?;
                         } else {
                             self.core.counters.incr("writeback_coalesced");
+                            if self.core.durable() && !self.core.config.synchronous_commit {
+                                // The queued writeback absorbs this write
+                                // at commit time, but the log still needs
+                                // the bytes: replay rebuilds content from
+                                // snapshots, and truncation is blocked
+                                // while the absorbing writeback is in
+                                // flight, so no extra enqueue accounting.
+                                let op = CommitOp::WriteInline { path: path.to_string() };
+                                let msg = QueueMsg {
+                                    id: self.core.op_identity(&op),
+                                    op,
+                                    client: self.id.0,
+                                    epoch: self.core.board.current_epoch(),
+                                    timestamp: self.core.now(),
+                                };
+                                self.core.wal_append(
+                                    self.node.index(),
+                                    &msg,
+                                    Some(&meta.inline),
+                                )?;
+                            }
                         }
                     }
                     Outcome::WentLarge(full) => {

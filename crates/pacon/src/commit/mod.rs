@@ -17,9 +17,11 @@
 pub mod barrier;
 pub mod op;
 pub mod publish;
+pub mod wal;
 pub mod worker;
 
 pub use barrier::BarrierBoard;
 pub use op::{CommitOp, QueueMsg};
 pub use publish::{Buffered, PublishBuffer};
+pub use wal::{CommitWal, CrashPoint, CrashSwitch, WalEntry};
 pub use worker::{CommitWorker, WorkerStep};

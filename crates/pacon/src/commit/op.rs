@@ -52,6 +52,10 @@ pub struct QueueMsg {
     pub epoch: u64,
     /// Logical timestamp at publish time.
     pub timestamp: u64,
+    /// Replay identity for the durable commit log. `OpId::NONE` in
+    /// volatile mode and on envelopes that are never replayed (barrier
+    /// markers, batch wrappers).
+    pub id: dfs::OpId,
 }
 
 #[cfg(test)]

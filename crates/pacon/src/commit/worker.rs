@@ -34,6 +34,7 @@ use simnet::{charge, NodeId, Station};
 
 use crate::cache::MetaCache;
 use crate::commit::op::{CommitOp, QueueMsg};
+use crate::commit::wal::CrashPoint;
 use crate::region::RegionCore;
 
 /// Outcome of one `step()` call.
@@ -59,6 +60,9 @@ pub enum WorkerStep {
     Idle,
     /// Queue closed and backlog empty: the worker is done.
     Disconnected,
+    /// The crash switch tripped: the node is dead. Unsettled work stays
+    /// in the WAL for the next launch's recovery replay.
+    Crashed,
 }
 
 /// One op awaiting resubmission.
@@ -129,6 +133,12 @@ impl CommitWorker {
 
     /// Handle one unit of work. Never blocks.
     pub fn step(&mut self) -> WorkerStep {
+        // A tripped crash switch means this node is dead: no further
+        // progress, no settling — recovery owns whatever is in the log.
+        if self.core.crash.tripped() {
+            return WorkerStep::Crashed;
+        }
+
         // Stalled at a barrier: resume only when released.
         if let Some(epoch) = self.waiting {
             if self.core.board.is_released(epoch) {
@@ -277,30 +287,59 @@ impl CommitWorker {
                     _ => unreachable!("partitioned above"),
                 })
                 .collect();
-            let results = self.dfs.apply_batch(&ops, &cred);
+            let results = if self.core.durable() {
+                let ids: Vec<dfs::OpId> = ns_msgs.iter().map(|m| m.id).collect();
+                self.dfs.apply_batch_idempotent(&ops, &ids, &cred)
+            } else {
+                self.dfs.apply_batch(&ops, &cred)
+            };
+            // Crash window: the DFS applied the batch but nothing has
+            // settled. Recovery must re-drive these ops idempotently.
+            if self.core.crash.hit(CrashPoint::MidBatch) {
+                return WorkerStep::Crashed;
+            }
             for (msg, res) in ns_msgs.into_iter().zip(results) {
                 tally(self.settle(msg, 0, false, res));
             }
         }
         for msg in wb_msgs {
             let res = self.execute(&msg);
+            if self.core.crash.hit(CrashPoint::MidBatch) {
+                return WorkerStep::Crashed;
+            }
             tally(self.settle(msg, 0, false, res));
         }
+        self.core.maybe_truncate_wals();
         WorkerStep::Batch { committed, retried, discarded }
     }
 
     fn apply(&mut self, msg: QueueMsg, attempts: u32, backend_faulted: bool) -> WorkerStep {
         let result = self.execute(&msg);
-        self.settle(msg, attempts, backend_faulted, result)
+        // Same window as the batched path: applied on the DFS, unsettled.
+        if self.core.crash.hit(CrashPoint::MidBatch) {
+            return WorkerStep::Crashed;
+        }
+        let step = self.settle(msg, attempts, backend_faulted, result);
+        self.core.maybe_truncate_wals();
+        step
     }
 
-    /// Run one single operation against the DFS.
+    /// Run one single operation against the DFS. Ops carrying a replay
+    /// identity (durable mode) go through the idempotent MDS entry point
+    /// so a post-crash replay of an already-applied op is a no-op.
     fn execute(&mut self, msg: &QueueMsg) -> FsResult<()> {
         let cred = self.core.config.cred;
+        let id = msg.id;
         match &msg.op {
-            CommitOp::Mkdir { path, mode } => self.dfs.mkdir(path, &cred, *mode),
-            CommitOp::Create { path, mode } => self.dfs.create(path, &cred, *mode),
-            CommitOp::Unlink { path } => self.dfs.unlink(path, &cred),
+            CommitOp::Mkdir { path, mode } => {
+                self.apply_ns(BatchOp::Mkdir { path: path.clone(), mode: *mode }, id)
+            }
+            CommitOp::Create { path, mode } => {
+                self.apply_ns(BatchOp::Create { path: path.clone(), mode: *mode }, id)
+            }
+            CommitOp::Unlink { path } => {
+                self.apply_ns(BatchOp::Unlink { path: path.clone() }, id)
+            }
             CommitOp::WriteInline { path } => {
                 // Release the coalescing slot *before* reading the primary
                 // copy: a write racing in after our read re-queues a fresh
@@ -311,7 +350,13 @@ impl CommitWorker {
                     // was marked removed, or went large needs no inline
                     // writeback.
                     Some((meta, _)) if !meta.removed && !meta.large => {
-                        self.dfs.write(path, &cred, 0, &meta.inline).map(|_| ())
+                        if id.is_none() {
+                            self.dfs.write(path, &cred, 0, &meta.inline).map(|_| ())
+                        } else {
+                            self.dfs
+                                .write_idempotent(path, &cred, &meta.inline, id)
+                                .map(|_| ())
+                        }
                     }
                     _ => {
                         self.core.counters.incr("writeback_skipped");
@@ -323,6 +368,22 @@ impl CommitWorker {
                 unreachable!("barriers and batches handled in step()")
             }
         }
+    }
+
+    /// One namespace op on the DFS, identified when durable.
+    fn apply_ns(&self, op: BatchOp, id: dfs::OpId) -> FsResult<()> {
+        let cred = self.core.config.cred;
+        if id.is_none() {
+            return match op {
+                BatchOp::Mkdir { path, mode } => self.dfs.mkdir(&path, &cred, mode),
+                BatchOp::Create { path, mode } => self.dfs.create(&path, &cred, mode),
+                BatchOp::Unlink { path } => self.dfs.unlink(&path, &cred),
+            };
+        }
+        self.dfs
+            .apply_batch_idempotent(&[op], &[id], &cred)
+            .pop()
+            .unwrap_or(Err(FsError::Backend("empty batch reply".into())))
     }
 
     /// Book the outcome of one single operation's commit attempt.

@@ -68,6 +68,23 @@ pub struct PaconConfig {
     /// region a disjoint base so the simulated regions do not share
     /// service stations — they are on different physical nodes.
     pub station_base: u32,
+    /// Durable commit queue: journal every commit op into a per-node
+    /// write-ahead log before the mutation is acknowledged locally, and
+    /// replay the log (idempotently) on the next launch. Requires
+    /// `wal_dir`. Off by default — the paper's prototype is volatile.
+    pub commit_durability: bool,
+    /// Directory holding the per-node commit logs and the region's
+    /// incarnation counter. Must outlive the process for recovery to
+    /// mean anything.
+    pub wal_dir: Option<std::path::PathBuf>,
+    /// Group fsync: sync the log to disk every `n` appends instead of on
+    /// every append. `1` = fsync per op (strict durability); larger
+    /// values trade the tail of the crash window for throughput.
+    pub wal_fsync_batch: usize,
+    /// Test knob: fail the launch-time WAL replay after this many
+    /// recovered ops have applied, *before* the logs are truncated — the
+    /// crash-during-recovery (double-replay) scenario.
+    pub recovery_crash_after: Option<u64>,
 }
 
 impl PaconConfig {
@@ -89,7 +106,26 @@ impl PaconConfig {
             hierarchical_permission_check: false,
             synchronous_commit: false,
             station_base: 0,
+            commit_durability: false,
+            wal_dir: None,
+            wal_fsync_batch: 1,
+            recovery_crash_after: None,
         }
+    }
+
+    /// Builder-style: enable the durable commit queue, journaling into
+    /// per-node write-ahead logs under `wal_dir`.
+    pub fn with_durability(mut self, wal_dir: impl Into<std::path::PathBuf>) -> Self {
+        self.commit_durability = true;
+        self.wal_dir = Some(wal_dir.into());
+        self
+    }
+
+    /// Builder-style: fsync the commit log every `n` appends.
+    pub fn with_wal_fsync_batch(mut self, n: usize) -> Self {
+        assert!(n >= 1, "fsync batch must be at least 1");
+        self.wal_fsync_batch = n;
+        self
     }
 
     /// Builder-style: predefine batch permissions.

@@ -22,6 +22,7 @@ use crate::client::PaconClient;
 use crate::commit::barrier::BarrierBoard;
 use crate::commit::op::{CommitOp, QueueMsg};
 use crate::commit::publish::PublishBuffer;
+use crate::commit::wal::{CommitWal, CrashPoint, CrashSwitch, WalEntry};
 use crate::commit::worker::{CommitWorker, WorkerStep};
 use crate::config::PaconConfig;
 use crate::permission::RegionPermissions;
@@ -61,6 +62,21 @@ pub struct RegionCore {
     clock: AtomicU64,
     /// Round-robin pointer of the eviction policy (Section III.F).
     pub evict_cursor: AtomicUsize,
+    /// Durable commit logs, one per node. Empty in volatile mode — the
+    /// cheap `wals.is_empty()` check is the durability switch on every
+    /// hot path.
+    pub wals: Vec<CommitWal>,
+    /// Deterministic kill trigger for the crash-recovery harness. Never
+    /// armed in production; two relaxed atomic loads when idle.
+    pub crash: CrashSwitch,
+    /// This launch's incarnation (from the WAL directory's counter file;
+    /// 0 in volatile mode). High bits of every `write_id`.
+    pub incarnation: u64,
+    /// Region-wide mutation sequence (low bits of `write_id`).
+    write_seq: AtomicU64,
+    /// Durable mode: latest namespace generation per path, so writeback
+    /// identities can be ordered against re-creations during replay.
+    pub(crate) generations: Mutex<HashMap<String, u64>>,
 }
 
 impl RegionCore {
@@ -85,6 +101,92 @@ impl RegionCore {
     /// True when every published operation has been handled.
     pub fn drained(&self) -> bool {
         self.enqueued.load(Ordering::Acquire) == self.completed.load(Ordering::Acquire)
+    }
+
+    /// Whether this region journals its commit queue.
+    pub fn durable(&self) -> bool {
+        !self.wals.is_empty()
+    }
+
+    /// Allocate the replay identity for an op about to be published.
+    /// Creations/unlinks start a new namespace generation for their path;
+    /// writebacks inherit the current one. `OpId::NONE` in volatile mode.
+    pub(crate) fn op_identity(&self, op: &CommitOp) -> dfs::OpId {
+        if self.wals.is_empty() {
+            return dfs::OpId::NONE;
+        }
+        let seq = self.write_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let write_id = (self.incarnation << 40) | seq;
+        let generation = match op {
+            CommitOp::Mkdir { path, .. }
+            | CommitOp::Create { path, .. }
+            | CommitOp::Unlink { path } => {
+                self.generations.lock().insert(path.clone(), write_id);
+                write_id
+            }
+            CommitOp::WriteInline { path } => {
+                self.generations.lock().get(path).copied().unwrap_or(0)
+            }
+            CommitOp::Barrier { .. } | CommitOp::Batch(_) => 0,
+        };
+        dfs::OpId { write_id, generation }
+    }
+
+    /// Append an identified op to its node's commit log (durable mode;
+    /// no-op otherwise). Hosts the harness's two client-side crash
+    /// points. Callers must `note_enqueued` *before* appending: that
+    /// ordering is what makes `drained()` under the WAL lock prove the
+    /// log holds no unconfirmed op (see [`CommitWal::truncate_if`]).
+    pub(crate) fn wal_append(
+        &self,
+        node: usize,
+        msg: &QueueMsg,
+        snapshot: Option<&[u8]>,
+    ) -> FsResult<()> {
+        let Some(wal) = self.wals.get(node) else {
+            return Ok(());
+        };
+        if self.crash.hit(CrashPoint::PreAppend) {
+            return Err(CrashSwitch::error(CrashPoint::PreAppend));
+        }
+        let synced = wal.append(msg, snapshot)?;
+        self.counters.incr("wal_appended");
+        if synced {
+            self.counters.incr("wal_fsyncs");
+        }
+        if self.crash.hit(CrashPoint::PostAppend) {
+            return Err(CrashSwitch::error(CrashPoint::PostAppend));
+        }
+        Ok(())
+    }
+
+    /// Truncate every node's commit log if the region is fully drained —
+    /// called after completions; two atomic loads when there is still
+    /// work in flight. Hosts the post-apply/pre-truncate crash point.
+    pub fn maybe_truncate_wals(&self) {
+        if self.wals.is_empty() || !self.drained() {
+            return;
+        }
+        if self.crash.hit(CrashPoint::PreTruncate) {
+            return;
+        }
+        for wal in &self.wals {
+            match wal.truncate_if(|| self.drained()) {
+                Ok(true) => self.counters.incr("wal_truncations"),
+                Ok(false) => {}
+                Err(_) => self.counters.incr("wal_errors"),
+            }
+        }
+    }
+
+    /// Unconditionally truncate every commit log (end of a successful
+    /// recovery; checkpoint rollback).
+    pub(crate) fn reset_wals(&self) -> FsResult<()> {
+        for wal in &self.wals {
+            wal.reset()?;
+            self.counters.incr("wal_truncations");
+        }
+        Ok(())
     }
 
     /// Flush node `node`'s publish buffer into its commit queue as one
@@ -113,6 +215,7 @@ impl RegionCore {
                 client: u32::MAX,
                 epoch: self.board.current_epoch(),
                 timestamp: self.now(),
+                id: dfs::OpId::NONE,
             }
         };
         // permit_blocking: the send blocks while the buffer lock is held by
@@ -194,6 +297,28 @@ impl PaconRegion {
         );
         let nodes = config.topology.nodes as usize;
 
+        // Durable mode: bump the incarnation, open every node's commit
+        // log crash-safely, and collect surviving entries for replay.
+        let mut wals = Vec::new();
+        let mut recovered: Vec<Vec<WalEntry>> = Vec::new();
+        let mut incarnation = 0u64;
+        if config.commit_durability {
+            let wal_dir = config.wal_dir.clone().ok_or_else(|| {
+                FsError::InvalidPath("commit_durability requires wal_dir".into())
+            })?;
+            std::fs::create_dir_all(&wal_dir)
+                .map_err(|e| FsError::Backend(format!("wal dir {}: {e}", wal_dir.display())))?;
+            incarnation = bump_incarnation(&wal_dir)?;
+            for n in 0..nodes {
+                let (wal, entries) = CommitWal::open(
+                    &wal_dir.join(format!("node{n}.wal")),
+                    config.wal_fsync_batch,
+                )?;
+                wals.push(wal);
+                recovered.push(entries);
+            }
+        }
+
         let core = Arc::new(RegionCore {
             root,
             perms,
@@ -214,8 +339,26 @@ impl PaconRegion {
             completed: AtomicU64::new(0),
             clock: AtomicU64::new(0),
             evict_cursor: AtomicUsize::new(0),
+            wals,
+            crash: CrashSwitch::new(),
+            incarnation,
+            write_seq: AtomicU64::new(0),
+            generations: Mutex::new(
+                level::REGION_STATE,
+                "pacon.region.generations",
+                HashMap::new(),
+            ),
             config,
         });
+
+        // Replay surviving commit-log entries from the previous
+        // incarnation before any new work is accepted, then truncate.
+        let total_recovered: usize = recovered.iter().map(|v| v.len()).sum();
+        if total_recovered > 0 {
+            core.counters.add("wal_replayed", total_recovered as u64);
+            replay_wal_entries(&core, &setup, recovered)?;
+            core.reset_wals()?;
+        }
 
         let mut publishers = Vec::with_capacity(nodes);
         let mut workers = Vec::with_capacity(nodes);
@@ -270,7 +413,7 @@ impl PaconRegion {
                             }
                             std::thread::sleep(std::time::Duration::from_micros(100));
                         }
-                        WorkerStep::Disconnected => break,
+                        WorkerStep::Disconnected | WorkerStep::Crashed => break,
                     }
                 }));
             }
@@ -372,12 +515,144 @@ impl PaconRegion {
                     client: u32::MAX,
                     epoch,
                     timestamp: self.core.now(),
+                    id: dfs::OpId::NONE,
                 })
             })
             .expect("commit queue closed during sync barrier");
         }
         guard.wait_workers();
         guard.complete();
+        // Everything published before the barrier is now confirmed; a
+        // drained durable region can shed its logs.
+        self.core.maybe_truncate_wals();
+    }
+}
+
+/// Read-increment-write the WAL directory's incarnation counter. The
+/// incarnation forms the high bits of every `write_id`, so identities
+/// never collide across restarts of the same region.
+fn bump_incarnation(wal_dir: &std::path::Path) -> FsResult<u64> {
+    let path = wal_dir.join("incarnation");
+    let current = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .unwrap_or(0);
+    let next = current + 1;
+    std::fs::write(&path, next.to_string())
+        .map_err(|e| FsError::Backend(format!("incarnation file: {e}")))?;
+    Ok(next)
+}
+
+/// Replay recovered commit-log entries against the DFS, preserving
+/// per-node order and interleaving nodes round-robin. An entry whose
+/// parent is not yet present waits for the other queues; when no queue
+/// can make progress the stuck heads are dropped (their prerequisite was
+/// lost before it became durable). All applies are idempotent — a crash
+/// *during* this replay (see `recovery_crash_after`) just means the next
+/// launch replays the same log again, and the seen-cache no-ops the
+/// prefix that already landed.
+fn replay_wal_entries(
+    core: &RegionCore,
+    fs: &dfs::DfsClient,
+    per_node: Vec<Vec<WalEntry>>,
+) -> FsResult<()> {
+    let cred = core.config.cred;
+    let mut queues: Vec<std::collections::VecDeque<WalEntry>> =
+        per_node.into_iter().map(Into::into).collect();
+    let crash_after = core.config.recovery_crash_after;
+    let mut applied = 0u64;
+    loop {
+        let mut progress = false;
+        let mut remaining = false;
+        for q in queues.iter_mut() {
+            while let Some(entry) = q.front() {
+                if !replay_one(core, fs, entry, &cred)? {
+                    remaining = true;
+                    break;
+                }
+                q.pop_front();
+                progress = true;
+                applied += 1;
+                core.counters.incr("recovery_applied");
+                if crash_after == Some(applied) {
+                    return Err(FsError::Backend("crash-kill: recovery interrupted".into()));
+                }
+            }
+        }
+        if !remaining {
+            return Ok(());
+        }
+        if !progress {
+            for q in queues.iter_mut() {
+                if q.pop_front().is_some() {
+                    core.counters.incr("recovery_skipped");
+                }
+            }
+        }
+    }
+}
+
+/// Apply one recovered entry. `Ok(true)` = handled (applied, no-oped or
+/// harmlessly moot), `Ok(false)` = blocked on an entry from another
+/// node's queue.
+fn replay_one(
+    core: &RegionCore,
+    fs: &dfs::DfsClient,
+    entry: &WalEntry,
+    cred: &fsapi::Credentials,
+) -> FsResult<bool> {
+    let msg = &entry.msg;
+    let apply_ns = |op: dfs::BatchOp| -> FsResult<()> {
+        fs.apply_batch_idempotent(&[op], &[msg.id], cred)
+            .pop()
+            .unwrap_or(Err(FsError::Backend("empty batch result".into())))
+    };
+    match &msg.op {
+        CommitOp::Mkdir { path, mode } => {
+            match apply_ns(dfs::BatchOp::Mkdir { path: path.clone(), mode: *mode }) {
+                Ok(()) => Ok(true),
+                // The directory exists (created outside the log's view):
+                // the intent is satisfied.
+                Err(FsError::AlreadyExists) => {
+                    core.counters.incr("recovery_exists");
+                    Ok(true)
+                }
+                Err(FsError::NotFound) => Ok(false),
+                Err(e) => Err(e),
+            }
+        }
+        CommitOp::Create { path, mode } => {
+            match apply_ns(dfs::BatchOp::Create { path: path.clone(), mode: *mode }) {
+                Ok(()) => Ok(true),
+                Err(FsError::AlreadyExists) => {
+                    core.counters.incr("recovery_exists");
+                    Ok(true)
+                }
+                Err(FsError::NotFound) => Ok(false),
+                Err(e) => Err(e),
+            }
+        }
+        CommitOp::Unlink { path } => {
+            match apply_ns(dfs::BatchOp::Unlink { path: path.clone() }) {
+                Ok(()) => Ok(true),
+                // Already gone — removal is satisfied.
+                Err(FsError::NotFound) => {
+                    core.counters.incr("recovery_gone");
+                    Ok(true)
+                }
+                Err(e) => Err(e),
+            }
+        }
+        CommitOp::WriteInline { path } => {
+            let data = entry.snapshot.as_deref().unwrap_or(&[]);
+            match fs.write_idempotent(path, cred, data, msg.id) {
+                Ok(_) => Ok(true),
+                Err(FsError::NotFound) => Ok(false),
+                Err(e) => Err(e),
+            }
+        }
+        // Barriers and batch wrappers are never logged.
+        CommitOp::Barrier { .. } | CommitOp::Batch(_) => Ok(true),
     }
 }
 

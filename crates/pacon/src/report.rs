@@ -60,6 +60,20 @@ pub struct RegionReport {
     pub staged_files: usize,
     /// Records evicted by the space-management policy.
     pub evicted: u64,
+    /// Durable commit queue: ops journaled into the per-node WALs.
+    pub wal_appended: u64,
+    /// fsync calls the logs actually issued (≤ appends under group fsync).
+    pub wal_fsyncs: u64,
+    /// Log truncations after the in-flight window drained.
+    pub wal_truncations: u64,
+    /// Ops read back from the WALs at launch (this incarnation).
+    pub wal_replayed: u64,
+    /// Recovered ops applied (including already-applied no-ops).
+    pub recovery_applied: u64,
+    /// Recovered ops dropped as unsatisfiable (prerequisite never logged).
+    pub recovery_skipped: u64,
+    /// Buffered-but-unpublished ops discarded by checkpoint rollback.
+    pub rollback_dropped_ops: u64,
 }
 
 impl RegionReport {
@@ -129,10 +143,22 @@ impl fmt::Display for RegionReport {
             self.read_rtts_saved,
             self.read_bytes_not_copied
         )?;
-        write!(
+        writeln!(
             f,
             "  state:  barrier epoch {}, {} staged file(s), {} evicted record(s)",
             self.barrier_epoch, self.staged_files, self.evicted
+        )?;
+        write!(
+            f,
+            "  wal:    {} appended / {} fsyncs / {} truncations, \
+             {} replayed ({} applied, {} skipped), {} rollback-dropped",
+            self.wal_appended,
+            self.wal_fsyncs,
+            self.wal_truncations,
+            self.wal_replayed,
+            self.recovery_applied,
+            self.recovery_skipped,
+            self.rollback_dropped_ops
         )
     }
 }
@@ -169,6 +195,13 @@ impl PaconRegion {
             barrier_epoch: core.board.current_epoch(),
             staged_files: core.staging.lock().len(),
             evicted: core.counters.get("evicted"),
+            wal_appended: core.counters.get("wal_appended"),
+            wal_fsyncs: core.counters.get("wal_fsyncs"),
+            wal_truncations: core.counters.get("wal_truncations"),
+            wal_replayed: core.counters.get("wal_replayed"),
+            recovery_applied: core.counters.get("recovery_applied"),
+            recovery_skipped: core.counters.get("recovery_skipped"),
+            rollback_dropped_ops: core.counters.get("rollback_dropped_ops"),
         }
     }
 }

@@ -14,6 +14,9 @@
 //! CLIENT_MEMO     pacon client parent-existence memo.
 //! REGION_STATE    region-core maps: removed_dirs, staging,
 //!                 pending_writebacks, worker slots, thread registry.
+//! WAL             per-node durable commit log (pacon CommitWal). Taken
+//!                 before the publish buffer so an append can be ordered
+//!                 ahead of the buffered send it covers.
 //! PUBLISH         per-node publish (group-commit) buffers. Held across
 //!                 the queue send and the barrier-epoch read, so it
 //!                 orders before BARRIER and QUEUE.
@@ -25,6 +28,8 @@
 //!                 buffer.
 //! FS_CLIENT_LEASE indexfs lease cache (locked under the bulk buffer).
 //! BACKEND         dfs namespace, data-server chunks, lsmkv database.
+//! BACKEND_META    dfs seen-cache (idempotent-replay identities); taken
+//!                 per-op while the namespace lock is held.
 //! STATS           simnet counters — innermost; safe to touch while
 //!                 holding anything.
 //! ```
@@ -38,6 +43,7 @@ pub const REGION: u16 = 10;
 pub const CLIENT_VIEW: u16 = 12;
 pub const CLIENT_MEMO: u16 = 14;
 pub const REGION_STATE: u16 = 16;
+pub const WAL: u16 = 28;
 pub const PUBLISH: u16 = 30;
 pub const BARRIER: u16 = 40;
 pub const QUEUE: u16 = 50;
@@ -46,4 +52,5 @@ pub const SHARD: u16 = 60;
 pub const FS_CLIENT: u16 = 70;
 pub const FS_CLIENT_LEASE: u16 = 72;
 pub const BACKEND: u16 = 80;
+pub const BACKEND_META: u16 = 84;
 pub const STATS: u16 = 90;

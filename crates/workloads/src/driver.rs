@@ -90,6 +90,9 @@ impl Process for PaconWorkerProc {
                 Step::Work { trace, ops: (committed + discarded) as u64 }
             }
             WorkerStep::Retried | WorkerStep::BarrierReported => Step::Work { trace, ops: 0 },
+            // A crashed node makes no further progress; park it like an
+            // idle worker so the engine can drain the rest of the run.
+            WorkerStep::Crashed => Step::Idle { ns: WORKER_IDLE_POLL_NS },
             WorkerStep::Blocked(_) | WorkerStep::Idle | WorkerStep::Disconnected => {
                 if worker.backlog_empty() {
                     Step::Idle { ns: WORKER_IDLE_POLL_NS }

@@ -8,11 +8,23 @@
 //! not make the replayed creation burn its retry budget against its own
 //! already-applied DFS entry.
 
+//! Crash-kill layer: a deterministic [`CrashSwitch`] kills the node at
+//! one of four pipeline stages — before the WAL append, after the append
+//! but before the queue send, after the DFS applied a message but before
+//! it settled, and after everything applied but before the log truncated.
+//! Property tests relaunch the region from its logs and assert the
+//! recovered DFS converges to an uncrashed oracle (the vendored proptest
+//! runner prints the failing seed and inputs on any failure or panic, so
+//! every counterexample is replayable).
+
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use fsapi::{Credentials, FileSystem, FsError};
+use pacon::commit::wal::{CrashPoint, CrashSwitch};
 use pacon::commit::worker::WorkerStep;
 use pacon::{PaconConfig, PaconRegion};
+use proptest::prelude::*;
 use simnet::{ClientId, LatencyProfile, Topology};
 
 #[test]
@@ -215,4 +227,291 @@ fn lost_reply_mid_batch_replays_idempotently() {
     let mut names = dfs.client().readdir("/job", &cred).unwrap();
     names.sort();
     assert_eq!(names, (0..4).map(|i| format!("g{i}")).collect::<Vec<_>>());
+}
+
+// ---------------------------------------------------------------------------
+// Crash-kill recovery harness (durable commit queue)
+// ---------------------------------------------------------------------------
+
+/// A unique, empty WAL directory per scenario.
+fn fresh_wal_dir(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "pacon-crashkill-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Generated workload step over the 4-dir × 3-file universe of
+/// `commit_equivalence`, plus deterministic-payload writes.
+#[derive(Debug, Clone)]
+enum KStep {
+    Mkdir(usize),
+    Create(usize),
+    Unlink(usize),
+    Write(usize, u8),
+}
+
+fn dir_path(d: usize) -> String {
+    format!("/w/d{}", d % 4)
+}
+fn file_path(i: usize) -> String {
+    format!("/w/d{}/f{}", (i / 3) % 4, i % 3)
+}
+fn payload(b: u8) -> Vec<u8> {
+    vec![b; (b as usize % 24) + 1]
+}
+
+fn kstep_strategy() -> impl Strategy<Value = KStep> {
+    prop_oneof![
+        2 => (0usize..4).prop_map(KStep::Mkdir),
+        4 => (0usize..12).prop_map(KStep::Create),
+        2 => (0usize..12).prop_map(KStep::Unlink),
+        3 => ((0usize..12), any::<u8>()).prop_map(|(i, b)| KStep::Write(i, b)),
+    ]
+}
+
+/// Issue one step through a Pacon client; `Ok(())` means the client
+/// acknowledged the mutation.
+fn issue(c: &pacon::PaconClient, cred: &Credentials, s: &KStep) -> Result<(), FsError> {
+    match s {
+        KStep::Mkdir(d) => c.mkdir(&dir_path(*d), cred, 0o755),
+        KStep::Create(i) => c.create(&file_path(*i), cred, 0o644),
+        KStep::Unlink(i) => c.unlink(&file_path(*i), cred),
+        KStep::Write(i, b) => c.write(&file_path(*i), cred, 0, &payload(*b)).map(|_| ()),
+    }
+}
+
+/// Apply one step directly to the oracle DFS, ignoring rejections (the
+/// oracle only sees steps the crashed region acknowledged, but stays
+/// defensive about ordering edge cases).
+fn oracle_apply(fs: &dfs::DfsClient, cred: &Credentials, s: &KStep) {
+    let _ = match s {
+        KStep::Mkdir(d) => fs.mkdir(&dir_path(*d), cred, 0o755),
+        KStep::Create(i) => fs.create(&file_path(*i), cred, 0o644),
+        KStep::Unlink(i) => fs.unlink(&file_path(*i), cred),
+        KStep::Write(i, b) => fs.write(&file_path(*i), cred, 0, &payload(*b)).map(|_| ()),
+    };
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    /// The tentpole property: for every workload, every kill stage, and
+    /// every arming depth, the region recovered from its WALs converges
+    /// to exactly the state an uncrashed oracle reaches by applying the
+    /// acknowledged ops in program order — including a crash *during*
+    /// recovery (the log replays twice).
+    #[test]
+    fn crash_kill_recovery_converges_to_oracle(
+        steps in proptest::collection::vec(kstep_strategy(), 4..24),
+        nth in 1u32..4,
+        use_batching in any::<bool>(),
+    ) {
+        let points = [
+            CrashPoint::PreAppend,
+            CrashPoint::PostAppend,
+            CrashPoint::MidBatch,
+            CrashPoint::PreTruncate,
+        ];
+        for point in points {
+            let profile = Arc::new(LatencyProfile::zero());
+            let cred = Credentials::new(1, 1);
+            let dfs = dfs::DfsCluster::with_default_config(Arc::clone(&profile));
+            let wal_dir = fresh_wal_dir("prop");
+            let mut config = PaconConfig::new("/w", Topology::new(1, 1), cred)
+                .with_durability(&wal_dir);
+            if use_batching {
+                config = config.with_commit_batch(4);
+            }
+
+            let region = PaconRegion::launch_paused(config.clone(), &dfs).unwrap();
+            region.core().crash.arm(point, nth);
+            let c = region.client(ClientId(0));
+
+            // Issue until the crash switch kills the publish path. An op
+            // that dies pre-append was never durable (the client saw the
+            // error); one that dies post-append is durable despite the
+            // error and the oracle must include it.
+            let mut acked: Vec<KStep> = Vec::new();
+            for s in &steps {
+                match issue(&c, &cred, s) {
+                    Ok(()) => acked.push(s.clone()),
+                    Err(e) if CrashSwitch::is_crash_error(&e) => {
+                        if point == CrashPoint::PostAppend {
+                            acked.push(s.clone());
+                        }
+                        break;
+                    }
+                    // Admission rejection (missing parent, duplicate,
+                    // …): never enqueued, never durable.
+                    Err(_) => {}
+                }
+            }
+
+            // Drive the commit worker until it drains or the node dies.
+            let mut w = region.take_worker(0);
+            let mut spins = 0;
+            while !region.core().drained() {
+                if w.step() == WorkerStep::Crashed {
+                    break;
+                }
+                spins += 1;
+                prop_assert!(spins < 50_000, "worker did not converge at {:?}", point);
+            }
+            drop(w);
+            region.abort();
+            drop(c);
+            drop(region);
+
+            // Uncrashed oracle: acknowledged ops in program order.
+            let oracle = dfs::DfsCluster::with_default_config(Arc::clone(&profile));
+            let ofs = oracle.client();
+            ofs.mkdir("/w", &cred, 0o777).unwrap();
+            for s in &acked {
+                oracle_apply(&ofs, &cred, s);
+            }
+
+            // Recovery — killed again mid-replay whenever the log is
+            // non-trivial, so the double-replay (crash during recovery)
+            // path is exercised on the same schedules.
+            let mut interrupted = config.clone();
+            interrupted.recovery_crash_after = Some(1);
+            let recovered = match PaconRegion::launch_paused(interrupted, &dfs) {
+                Ok(r) => r, // log was empty or all-stuck: nothing applied
+                Err(e) => {
+                    prop_assert!(
+                        CrashSwitch::is_crash_error(&e),
+                        "unexpected recovery error at {:?}: {}", point, e
+                    );
+                    PaconRegion::launch_paused(config.clone(), &dfs).unwrap()
+                }
+            };
+            let rep = recovered.report();
+            prop_assert_eq!(
+                rep.wal_replayed,
+                rep.recovery_applied + rep.recovery_skipped,
+                "every replayed op must be applied or accounted as skipped"
+            );
+            drop(recovered);
+
+            // Namespace equivalence: paths, kinds, and sizes.
+            let got = dfs.snapshot();
+            let want = oracle.snapshot();
+            prop_assert_eq!(&got, &want, "namespace diverged at {:?}", point);
+
+            // Content equivalence for every file slot in the universe.
+            for i in 0..12 {
+                let p = file_path(i);
+                let want = ofs.read(&p, &cred, 0, 1 << 12);
+                let got = dfs.client().read(&p, &cred, 0, 1 << 12);
+                match (want, got) {
+                    (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "content diverged at {} ({:?})", p, point),
+                    (Err(FsError::NotFound), Err(FsError::NotFound)) => {}
+                    other => prop_assert!(false, "content diverged at {} ({:?}): {:?}", p, point, other),
+                }
+            }
+            let _ = std::fs::remove_dir_all(&wal_dir);
+        }
+    }
+}
+
+/// Deterministic post-apply/pre-truncate kill: every op committed, the
+/// log never truncated, so the *whole* log replays as seen-cache no-ops —
+/// no duplicates, and the counters reconcile exactly.
+#[test]
+fn pre_truncate_crash_replays_the_full_log_as_noops() {
+    let dfs = dfs::DfsCluster::with_default_config(Arc::new(LatencyProfile::zero()));
+    let cred = Credentials::new(1, 1);
+    let wal_dir = fresh_wal_dir("pretruncate");
+    let config =
+        PaconConfig::new("/job", Topology::new(1, 1), cred).with_durability(&wal_dir);
+
+    let region = PaconRegion::launch_paused(config.clone(), &dfs).unwrap();
+    region.core().crash.arm(CrashPoint::PreTruncate, 1);
+    let c = region.client(ClientId(0));
+    for i in 0..6 {
+        c.create(&format!("/job/f{i}"), &cred, 0o644).unwrap();
+    }
+    let mut w = region.take_worker(0);
+    let mut spins = 0;
+    while !region.core().drained() {
+        assert_ne!(w.step(), WorkerStep::Crashed, "kill point is after the last settle");
+        spins += 1;
+        assert!(spins < 10_000, "commit never converged");
+    }
+    let old = region.report();
+    assert_eq!(old.committed, 6);
+    assert_eq!(old.wal_appended, 6);
+    assert_eq!(old.wal_fsyncs, 6, "fsync batch 1 syncs per append");
+    assert_eq!(old.wal_truncations, 0, "the kill point must block truncation");
+    drop(w);
+    region.abort();
+    drop(c);
+    drop(region);
+
+    let region = PaconRegion::launch_paused(config, &dfs).unwrap();
+    let rep = region.report();
+    assert_eq!(rep.wal_replayed, 6);
+    assert_eq!(rep.recovery_applied, 6);
+    assert_eq!(rep.recovery_skipped, 0);
+    assert_eq!(
+        dfs.mds_counter("replay_noop"),
+        6,
+        "every replayed op must be recognized as already applied"
+    );
+    let mut names = dfs.client().readdir("/job", &cred).unwrap();
+    names.sort();
+    assert_eq!(names, (0..6).map(|i| format!("f{i}")).collect::<Vec<_>>());
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}
+
+/// Deterministic mid-batch kill: the DFS applied a whole batched RPC but
+/// the node died before settling it. Recovery replays the full log; the
+/// applied prefix no-ops, the unapplied suffix commits, nothing is lost
+/// or duplicated.
+#[test]
+fn mid_batch_crash_keeps_every_acked_op() {
+    let dfs = dfs::DfsCluster::with_default_config(Arc::new(LatencyProfile::zero()));
+    let cred = Credentials::new(1, 1);
+    let wal_dir = fresh_wal_dir("midbatch");
+    let config = PaconConfig::new("/job", Topology::new(1, 1), cred)
+        .with_commit_batch(4)
+        .with_durability(&wal_dir);
+
+    let region = PaconRegion::launch_paused(config.clone(), &dfs).unwrap();
+    region.core().crash.arm(CrashPoint::MidBatch, 1);
+    let c = region.client(ClientId(0));
+    // Two full batches of 4; the first one's RPC lands, then the node dies.
+    for i in 0..8 {
+        c.create(&format!("/job/f{i}"), &cred, 0o644).unwrap();
+    }
+    let mut w = region.take_worker(0);
+    assert_eq!(w.step(), WorkerStep::Crashed, "kill before the first settle");
+    assert_eq!(w.step(), WorkerStep::Crashed, "a dead node stays dead");
+    assert_eq!(
+        dfs.client().readdir("/job", &cred).unwrap().len(),
+        4,
+        "the first batch applied server-side"
+    );
+    let old = region.report();
+    assert_eq!(old.committed, 0, "nothing settled");
+    assert_eq!(old.wal_appended, 8);
+    drop(w);
+    region.abort();
+    drop(c);
+    drop(region);
+
+    let region = PaconRegion::launch_paused(config, &dfs).unwrap();
+    let rep = region.report();
+    assert_eq!(rep.wal_replayed, 8);
+    assert_eq!(rep.recovery_applied, 8);
+    assert_eq!(rep.recovery_skipped, 0);
+    assert_eq!(dfs.mds_counter("replay_noop"), 4, "the applied batch must no-op");
+    let mut names = dfs.client().readdir("/job", &cred).unwrap();
+    names.sort();
+    assert_eq!(names, (0..8).map(|i| format!("f{i}")).collect::<Vec<_>>());
+    let _ = std::fs::remove_dir_all(&wal_dir);
 }

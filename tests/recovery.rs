@@ -1,15 +1,34 @@
 //! Failure-recovery integration (Section III.G): checkpoints are subtree
 //! copies on the DFS; rollback restores them and rebuilds the cache;
 //! region isolation keeps failures from leaking across applications.
+//!
+//! Durable-mode additions: the WAL-backed commit queue must replay
+//! buffered-but-unpublished ops after a crash, survive a crash *during*
+//! recovery (double replay), and must not resurrect mutations that a
+//! checkpoint rollback discarded.
 
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use fsapi::{Credentials, FileSystem, FsError};
+use pacon::commit::CrashSwitch;
 use pacon::{PaconConfig, PaconRegion};
 use simnet::{ClientId, LatencyProfile, Topology};
 
 fn dfs() -> Arc<dfs::DfsCluster> {
     dfs::DfsCluster::with_default_config(Arc::new(LatencyProfile::zero()))
+}
+
+/// A unique, empty WAL directory per test invocation.
+fn fresh_wal_dir(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "pacon-recovery-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
 }
 
 #[test]
@@ -100,6 +119,147 @@ fn crash_loses_only_uncommitted_work() {
         Err(e) => panic!("unexpected error: {e}"),
     }
     region.shutdown().unwrap();
+}
+
+/// Durable mode closes the window `crash_loses_only_uncommitted_work`
+/// documents: ops acknowledged locally but still sitting in the publish
+/// buffer when the node dies are journaled, and the next launch replays
+/// them into the DFS before serving clients.
+#[test]
+fn durable_region_recovers_buffered_ops_after_crash() {
+    let dfs = dfs();
+    let cred = Credentials::new(1, 1);
+    let wal_dir = fresh_wal_dir("buffered");
+    let config = PaconConfig::new("/job", Topology::new(1, 1), cred)
+        .with_commit_batch(16)
+        .with_durability(&wal_dir);
+
+    let region = PaconRegion::launch_paused(config.clone(), &dfs).unwrap();
+    let c = region.client(ClientId(0));
+    for i in 0..5 {
+        let p = format!("/job/f{i}");
+        c.create(&p, &cred, 0o644).unwrap();
+        c.write(&p, &cred, 0, format!("payload-{i}").as_bytes()).unwrap();
+    }
+    // Everything is below the flush threshold: nothing reached the DFS.
+    assert!(dfs.client().readdir("/job", &cred).unwrap().is_empty());
+    region.abort();
+    drop(c);
+    drop(region);
+
+    // Relaunch against the same log directory: recovery replays the five
+    // creates and their inline snapshots before the region opens.
+    let region = PaconRegion::launch_paused(config.clone(), &dfs).unwrap();
+    assert_eq!(region.core().incarnation, 2);
+    let r = region.report();
+    assert_eq!(r.wal_replayed, 10, "5 creates + 5 writeback snapshots");
+    assert_eq!(r.recovery_applied, 10);
+    assert_eq!(r.recovery_skipped, 0);
+    for i in 0..5 {
+        let p = format!("/job/f{i}");
+        assert_eq!(
+            dfs.client().read(&p, &cred, 0, 64).unwrap(),
+            format!("payload-{i}").as_bytes(),
+            "recovered content must match the last acknowledged write"
+        );
+    }
+    drop(region);
+
+    // Recovery truncated the logs: a third launch has nothing to replay.
+    let region = PaconRegion::launch_paused(config, &dfs).unwrap();
+    assert_eq!(region.report().wal_replayed, 0);
+}
+
+/// Crash *during* recovery: the half-replayed log replays again on the
+/// next launch, and the seen-cache turns the already-applied prefix into
+/// no-ops instead of double-applying it.
+#[test]
+fn crash_during_recovery_replays_idempotently() {
+    let dfs = dfs();
+    let cred = Credentials::new(1, 1);
+    let wal_dir = fresh_wal_dir("double-replay");
+    let config = PaconConfig::new("/job", Topology::new(1, 1), cred)
+        .with_commit_batch(16)
+        .with_durability(&wal_dir);
+
+    let region = PaconRegion::launch_paused(config.clone(), &dfs).unwrap();
+    let c = region.client(ClientId(0));
+    for i in 0..6 {
+        c.create(&format!("/job/f{i}"), &cred, 0o644).unwrap();
+    }
+    region.abort();
+    drop(c);
+    drop(region);
+
+    // First recovery attempt dies after three replayed ops, before any
+    // truncation.
+    let mut interrupted = config.clone();
+    interrupted.recovery_crash_after = Some(3);
+    let err = match PaconRegion::launch_paused(interrupted, &dfs) {
+        Ok(_) => panic!("interrupted recovery must fail the launch"),
+        Err(e) => e,
+    };
+    assert!(CrashSwitch::is_crash_error(&err), "unexpected launch error: {err}");
+    assert_eq!(dfs.client().readdir("/job", &cred).unwrap().len(), 3);
+
+    // Second attempt replays the whole log; the first three ops no-op.
+    let region = PaconRegion::launch_paused(config, &dfs).unwrap();
+    let r = region.report();
+    assert_eq!(r.wal_replayed, 6);
+    assert_eq!(r.recovery_applied, 6);
+    assert_eq!(r.recovery_skipped, 0);
+    assert!(
+        dfs.mds_counter("replay_noop") >= 3,
+        "the replayed prefix must be recognized, not re-applied"
+    );
+    let mut names = dfs.client().readdir("/job", &cred).unwrap();
+    names.sort();
+    assert_eq!(names, (0..6).map(|i| format!("f{i}")).collect::<Vec<_>>());
+}
+
+/// Checkpoint rollback with ops buffered but never published: the
+/// rollback drops them from the publish buffers *and* resets the WALs, so
+/// the next launch cannot resurrect rolled-back mutations from the log.
+#[test]
+fn rollback_does_not_resurrect_walled_ops() {
+    let dfs = dfs();
+    let cred = Credentials::new(1, 1);
+    let wal_dir = fresh_wal_dir("rollback");
+    let config = PaconConfig::new("/job", Topology::new(1, 1), cred)
+        .with_commit_batch(16)
+        .with_durability(&wal_dir);
+
+    let region = PaconRegion::launch(config.clone(), &dfs).unwrap();
+    let c = region.client(ClientId(0));
+    c.create("/job/keep", &cred, 0o644).unwrap();
+    c.write("/job/keep", &cred, 0, b"keep-data").unwrap();
+    region.quiesce();
+    region.checkpoint("v1").unwrap();
+
+    // The node's worker dies; the app buffers three more creates that
+    // never publish — but they are journaled.
+    region.abort();
+    for i in 0..3 {
+        c.create(&format!("/job/ghost{i}"), &cred, 0o644).unwrap();
+    }
+
+    region.rollback("v1").unwrap();
+    assert_eq!(region.report().rollback_dropped_ops, 3);
+    drop(c);
+    drop(region);
+
+    // Relaunch on the same log directory: nothing replays, the ghosts
+    // stay dead, the checkpointed file survives with its content.
+    let region = PaconRegion::launch_paused(config, &dfs).unwrap();
+    assert_eq!(region.report().wal_replayed, 0);
+    for i in 0..3 {
+        assert_eq!(
+            dfs.client().stat(&format!("/job/ghost{i}"), &cred),
+            Err(FsError::NotFound),
+            "rolled-back mutation resurrected from the WAL"
+        );
+    }
+    assert_eq!(dfs.client().read("/job/keep", &cred, 0, 64).unwrap(), b"keep-data");
 }
 
 #[test]
