@@ -231,9 +231,12 @@ impl PaconClient {
     fn commit_synchronously(&self, op: CommitOp) -> FsResult<()> {
         let cred = self.core.config.cred;
         let res = match &op {
+            // lint: allow(commit-path, sync-consistency ablation: applying directly IS this mode)
             CommitOp::Mkdir { path, mode } => self.dfs.mkdir(path, &cred, *mode),
+            // lint: allow(commit-path, sync-consistency ablation: applying directly IS this mode)
             CommitOp::Create { path, mode } => self.dfs.create(path, &cred, *mode),
             CommitOp::Unlink { path } => {
+                // lint: allow(commit-path, sync-consistency ablation: applying directly IS this mode)
                 let r = self.dfs.unlink(path, &cred);
                 if r.is_ok() {
                     self.cache.delete(path);
@@ -246,6 +249,7 @@ impl PaconClient {
                 self.core.pending_writebacks.lock().remove(path.as_str());
                 match self.cache.get(path) {
                     Some((meta, _)) if !meta.removed && !meta.large => {
+                        // lint: allow(commit-path, sync-consistency ablation: applying directly IS this mode)
                         self.dfs.write(path, &cred, 0, &meta.inline).map(|_| ())
                     }
                     _ => Ok(()),
@@ -475,11 +479,13 @@ impl PaconClient {
             Err(e) => return Err(e),
         };
         if stat.kind == FileKind::File {
+            // lint: allow(commit-path, runs inside a barrier: subtree fully committed, direct backup-copy cleanup)
             return self.dfs.unlink(path, cred);
         }
         for name in self.dfs.readdir(path, cred)? {
             self.remove_subtree_on_dfs(&fspath::join(path, name.as_str()), cred)?;
         }
+        // lint: allow(commit-path, runs inside a barrier: subtree fully committed, direct backup-copy cleanup)
         self.dfs.rmdir(path, cred)
     }
 
@@ -514,6 +520,7 @@ impl FileSystem for PaconClient {
                 self.create_kind(path, cred, mode, FileKind::Dir)
             }
             Route::Merged(_) => Err(FsError::PermissionDenied), // read-only
+            // lint: allow(commit-path, Route::Redirect: paths outside the workspace bypass partial consistency entirely)
             Route::Redirect => self.dfs.mkdir(path, cred, mode),
         }
     }
@@ -526,6 +533,7 @@ impl FileSystem for PaconClient {
                 self.create_kind(path, cred, mode, FileKind::File)
             }
             Route::Merged(_) => Err(FsError::PermissionDenied),
+            // lint: allow(commit-path, Route::Redirect: paths outside the workspace bypass partial consistency entirely)
             Route::Redirect => self.dfs.create(path, cred, mode),
         }
     }
@@ -654,6 +662,7 @@ impl FileSystem for PaconClient {
                 Ok(())
             }
             Route::Merged(_) => Err(FsError::PermissionDenied),
+            // lint: allow(commit-path, Route::Redirect: paths outside the workspace bypass partial consistency entirely)
             Route::Redirect => self.dfs.unlink(path, cred),
         }
     }
@@ -717,6 +726,7 @@ impl FileSystem for PaconClient {
                 res
             }
             Route::Merged(_) => Err(FsError::PermissionDenied),
+            // lint: allow(commit-path, Route::Redirect: paths outside the workspace bypass partial consistency entirely)
             Route::Redirect => self.dfs.rmdir(path, cred),
         }
     }
@@ -910,6 +920,7 @@ impl FileSystem for PaconClient {
                     }
                     Outcome::WentLarge(full) => {
                         if meta.committed {
+                            // lint: allow(commit-path, data plane: committed file contents write back directly, only metadata is queued)
                             self.dfs.write(path, cred, 0, &full)?;
                         } else {
                             let n = full.len();
@@ -918,6 +929,7 @@ impl FileSystem for PaconClient {
                     }
                     Outcome::AlreadyLarge { committed } => {
                         if committed {
+                            // lint: allow(commit-path, data plane: committed file contents write back directly, only metadata is queued)
                             self.dfs.write(path, cred, offset, data)?;
                             self.cache.update::<()>(path, |m| {
                                 m.size = m.size.max(end as u64);
@@ -946,6 +958,7 @@ impl FileSystem for PaconClient {
                 Ok(data.len())
             }
             Route::Merged(_) => Err(FsError::PermissionDenied),
+            // lint: allow(commit-path, data plane: committed file contents write back directly, only metadata is queued)
             Route::Redirect => self.dfs.write(path, cred, offset, data),
         }
     }
@@ -1014,6 +1027,7 @@ impl FileSystem for PaconClient {
                     // Small file already on the DFS: write back inline
                     // data synchronously.
                     (false, true) => {
+                        // lint: allow(commit-path, fsync writes back committed inline data directly; metadata already queued)
                         self.dfs.write(path, cred, 0, &meta.inline)?;
                         self.dfs.fsync(path, cred)
                     }

@@ -157,9 +157,11 @@ impl CommitWal {
         let value = encode_value(msg, snapshot)?;
         let path = msg.op.path().ok_or_else(|| FsError::Backend("commit wal: pathless op".into()))?;
         let mut g = self.inner.lock();
+        // lint: allow(hold-across-blocking, durability ordering: the op must hit the log before publish; WAL mutex is terminal)
         g.wal.append(msg.id.write_id, path.as_bytes(), Some(&value)).map_err(lsm_err)?;
         g.unsynced += 1;
         if g.unsynced >= g.fsync_batch {
+            // lint: allow(hold-across-blocking, batched fsync under the WAL mutex; no lock is taken past it)
             g.wal.sync().map_err(lsm_err)?;
             g.unsynced = 0;
             return Ok(true);
@@ -177,6 +179,7 @@ impl CommitWal {
         if !drained() {
             return Ok(false);
         }
+        // lint: allow(hold-across-blocking, truncate reopens and syncs the log under the same terminal WAL mutex)
         g.wal.reset().map_err(lsm_err)?;
         g.unsynced = 0;
         Ok(true)
@@ -185,6 +188,7 @@ impl CommitWal {
     /// Unconditional truncate (recovery finished; checkpoint rollback).
     pub fn reset(&self) -> FsResult<()> {
         let mut g = self.inner.lock();
+        // lint: allow(hold-across-blocking, reset reopens and syncs the log under the same terminal WAL mutex)
         g.wal.reset().map_err(lsm_err)?;
         g.unsynced = 0;
         Ok(())

@@ -280,6 +280,7 @@ impl PaconRegion {
         for comp in fspath::components(&root) {
             prefix.push('/');
             prefix.push_str(comp);
+            // lint: allow(commit-path, one-time workspace setup at region launch, before any client or worker runs)
             match setup.mkdir(&prefix, &config.cred, 0o777) {
                 Ok(()) | Err(FsError::AlreadyExists) => {}
                 Err(e) => return Err(e),
@@ -478,6 +479,7 @@ impl PaconRegion {
         self.hard_stop.store(true, Ordering::Release);
         let mut threads = self.threads.lock();
         for t in threads.drain(..) {
+            // lint: allow(hold-across-blocking, abort joins commit threads under `threads`; joined threads never take it)
             let _ = t.join();
         }
     }
@@ -488,6 +490,7 @@ impl PaconRegion {
         self.stop.store(true, Ordering::Release);
         let mut threads = self.threads.lock();
         for t in threads.drain(..) {
+            // lint: allow(hold-across-blocking, shutdown joins commit threads under `threads`; joined threads never take it)
             t.join().map_err(|_| FsError::Backend("commit thread panicked".into()))?;
         }
         Ok(())
@@ -524,6 +527,7 @@ impl PaconRegion {
         guard.complete();
         // Everything published before the barrier is now confirmed; a
         // drained durable region can shed its logs.
+        // lint: allow(hold-across-blocking, WAL truncation must run inside the barrier: the held slot fences new ops)
         self.core.maybe_truncate_wals();
     }
 }
@@ -661,6 +665,7 @@ impl Drop for PaconRegion {
         self.stop.store(true, Ordering::Release);
         let mut threads = self.threads.lock();
         for t in threads.drain(..) {
+            // lint: allow(hold-across-blocking, shutdown joins commit threads under `threads`; joined threads never take it)
             let _ = t.join();
         }
     }

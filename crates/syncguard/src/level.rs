@@ -54,3 +54,49 @@ pub const FS_CLIENT_LEASE: u16 = 72;
 pub const BACKEND: u16 = 80;
 pub const BACKEND_META: u16 = 84;
 pub const STATS: u16 = 90;
+
+/// Machine-readable level table, outermost first. This is the metadata
+/// export the static analyzer (`tools/lint`) resolves `level::NAME`
+/// tokens against, so the declared hierarchy has exactly one source of
+/// truth. Keep in sync with the constants above (checked by test).
+pub const ALL: &[(&str, u16)] = &[
+    ("SIM_DRIVER", SIM_DRIVER),
+    ("REGION", REGION),
+    ("CLIENT_VIEW", CLIENT_VIEW),
+    ("CLIENT_MEMO", CLIENT_MEMO),
+    ("REGION_STATE", REGION_STATE),
+    ("WAL", WAL),
+    ("PUBLISH", PUBLISH),
+    ("BARRIER", BARRIER),
+    ("QUEUE", QUEUE),
+    ("QUEUE_SUB", QUEUE_SUB),
+    ("SHARD", SHARD),
+    ("FS_CLIENT", FS_CLIENT),
+    ("FS_CLIENT_LEASE", FS_CLIENT_LEASE),
+    ("BACKEND", BACKEND),
+    ("BACKEND_META", BACKEND_META),
+    ("STATS", STATS),
+];
+
+/// Level value for a constant name (`"WAL"` → `28`).
+pub fn value_of(name: &str) -> Option<u16> {
+    ALL.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
+}
+
+/// Constant name for a level value (`28` → `"WAL"`).
+pub fn name_of(value: u16) -> Option<&'static str> {
+    ALL.iter().find(|(_, v)| *v == value).map(|&(n, _)| n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_strictly_ascending_and_total() {
+        assert!(ALL.windows(2).all(|w| w[0].1 < w[1].1), "levels must ascend");
+        assert_eq!(value_of("WAL"), Some(WAL));
+        assert_eq!(name_of(STATS), Some("STATS"));
+        assert_eq!(value_of("NOPE"), None);
+    }
+}

@@ -76,6 +76,7 @@ impl PaconWorkerProc {
 impl Process for PaconWorkerProc {
     fn next(&mut self, _now: u64) -> Step {
         let mut worker = self.worker.lock();
+        // lint: allow(hold-across-blocking, per-worker mutex, uncontended during a step; fsync depth is simulated work)
         let (step, mut trace) = with_recording(|| worker.step());
         // Guarantee virtual-time progress even under a zero-cost profile;
         // otherwise a retry loop could spin at one instant forever.

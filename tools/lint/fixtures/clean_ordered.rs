@@ -1,0 +1,24 @@
+// Clean fixture: two locks nested in ascending level order — the
+// analyzer must record the edge and raise nothing. Analyzed as
+// `crates/pacon/src/fix_clean.rs`.
+use syncguard::{level, Mutex};
+
+pub struct Ordered {
+    fine: Mutex<u64>,
+    coarse: Mutex<u64>,
+}
+
+impl Ordered {
+    pub fn new() -> Ordered {
+        Ordered {
+            fine: Mutex::new(level::REGION, "fix.fine", 0),
+            coarse: Mutex::new(level::SHARD, "fix.coarse", 0),
+        }
+    }
+
+    pub fn aligned(&self) -> u64 {
+        let lo = self.fine.lock();
+        let hi = self.coarse.lock();
+        *lo + *hi
+    }
+}

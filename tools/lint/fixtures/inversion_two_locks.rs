@@ -1,0 +1,25 @@
+// Seeded lock-order inversion: SHARD (level 60) is taken first, then
+// REGION (level 10) — levels must not decrease, so the analyzer must
+// flag the second acquisition and point back at the first. Analyzed as
+// `crates/pacon/src/fix_inversion.rs`.
+use syncguard::{level, Mutex};
+
+pub struct Tangle {
+    coarse: Mutex<u64>,
+    fine: Mutex<u64>,
+}
+
+impl Tangle {
+    pub fn new() -> Tangle {
+        Tangle {
+            coarse: Mutex::new(level::SHARD, "fix.coarse", 0),
+            fine: Mutex::new(level::REGION, "fix.fine", 0),
+        }
+    }
+
+    pub fn crossed(&self) -> u64 {
+        let hi = self.coarse.lock();
+        let lo = self.fine.lock();
+        *hi + *lo
+    }
+}

@@ -1,0 +1,12 @@
+// Seeded violation for R1: direct lock construction outside syncguard.
+// Analyzed as `crates/pacon/src/fix_r1.rs`.
+use std::sync::Mutex;
+use parking_lot::RwLock;
+
+pub fn build() -> Mutex<u64> {
+    Mutex::new(0)
+}
+
+pub fn build_rw() -> RwLock<u64> {
+    RwLock::new(0)
+}

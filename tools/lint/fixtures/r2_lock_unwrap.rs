@@ -1,0 +1,6 @@
+// Seeded violation for R2: `.lock().unwrap()` in library code.
+// Analyzed as `crates/qsim/src/fix_r2.rs` (non-core crate so the
+// unwrap does not also feed the R4 budget).
+pub fn peek(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap()
+}

@@ -1,0 +1,6 @@
+// Seeded violation for R3: wall-clock time in deterministic simulator
+// code. Analyzed as `crates/qsim/src/fix_r3.rs`.
+pub fn stamp() -> u128 {
+    let t = Instant::now();
+    t.elapsed().as_nanos()
+}

@@ -1,0 +1,10 @@
+// Seeded violation for R4: `.unwrap()` in core-crate library code.
+// Analyzed as `crates/memkv/src/fix_r4.rs`; the engine reports these
+// as a per-file count for the driver's budget check.
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().unwrap()
+}

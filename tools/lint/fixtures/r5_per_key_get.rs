@@ -1,0 +1,7 @@
+// Seeded violation for R5: per-key cache get inside a loop in pacon
+// library code. Analyzed as `crates/pacon/src/fix_r5.rs`.
+pub fn warm(cache: &MetaCache, keys: &[&str]) {
+    for key in keys {
+        let _ = cache.get(key);
+    }
+}

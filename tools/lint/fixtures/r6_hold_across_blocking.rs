@@ -1,0 +1,19 @@
+// Seeded violation for R6: a blocking channel send while a syncguard
+// guard is live. Analyzed as `crates/pacon/src/fix_r6.rs`.
+use syncguard::{level, Mutex};
+
+pub struct Outbox {
+    inner: Mutex<u64>,
+    tx: Sender<u64>,
+}
+
+impl Outbox {
+    pub fn new(tx: Sender<u64>) -> Outbox {
+        Outbox { inner: Mutex::new(level::WAL, "fix.outbox", 0), tx }
+    }
+
+    pub fn push(&self) {
+        let held = self.inner.lock();
+        self.tx.send(*held).ok();
+    }
+}

@@ -1,0 +1,12 @@
+// Seeded violation for R7: a pacon function mutating the dfs namespace
+// outside the commit path. Analyzed as `crates/pacon/src/fix_r7.rs`,
+// resolved against `r7_dfs_client.rs`.
+pub struct Mounter {
+    dfs: DfsClient,
+}
+
+impl Mounter {
+    pub fn ensure_root(&self) {
+        self.dfs.mkdir("/pacon");
+    }
+}

@@ -1,0 +1,90 @@
+//! Hand-rolled JSON serialization for the analysis artifact (no serde
+//! in the dependency budget). Output ordering is fully deterministic:
+//! findings sorted by (file, line, rule, message), map keys from
+//! BTreeMaps, graph nodes/edges pre-sorted by the graph pass.
+
+use crate::model::{Analysis, Site};
+
+pub fn to_json(a: &Analysis) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n  \"findings\": [");
+    for (i, f) in a.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"related\": [{}]}}",
+            str_lit(f.rule.slug()),
+            str_lit(&f.file),
+            f.line,
+            str_lit(&f.message),
+            f.related.iter().map(site_json).collect::<Vec<_>>().join(", ")
+        ));
+    }
+    if !a.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"unwrap_counts\": {");
+    for (i, (file, n)) in a.unwrap_counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    {}: {}", str_lit(file), n));
+    }
+    if !a.unwrap_counts.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n  \"graph\": {\n    \"nodes\": [");
+    for (i, (class, level, site)) in a.graph.nodes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n      {{\"class\": {}, \"level\": {}, \"decl\": {}}}",
+            str_lit(class),
+            level,
+            site_json(site)
+        ));
+    }
+    out.push_str("\n    ],\n    \"edges\": [");
+    for (i, e) in a.graph.edges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n      {{\"from\": {}, \"to\": {}, \"holder_site\": {}, \"acquire_site\": {}, \"via\": [{}]}}",
+            str_lit(&e.from),
+            str_lit(&e.to),
+            site_json(&e.from_site),
+            site_json(&e.to_site),
+            e.via.iter().map(|v| str_lit(v)).collect::<Vec<_>>().join(", ")
+        ));
+    }
+    out.push_str(&format!(
+        "\n    ]\n  }},\n  \"stats\": {{\"files\": {}, \"fns\": {}, \"lock_decls\": {}, \
+         \"acq_sites\": {}, \"unresolved_acqs\": {}}}\n}}\n",
+        a.stats.files, a.stats.fns, a.stats.lock_decls, a.stats.acq_sites, a.stats.unresolved_acqs
+    ));
+    out
+}
+
+fn site_json(s: &Site) -> String {
+    format!("{{\"file\": {}, \"line\": {}}}", str_lit(&s.file), s.line)
+}
+
+fn str_lit(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,54 +1,51 @@
 #![forbid(unsafe_code)]
-//! Repo lint driver: `cargo run -p tools-lint` from anywhere in the
-//! workspace. Exits non-zero on any finding. `--write-allowlist`
-//! regenerates `tools/lint/unwrap_allowlist.txt` from the current tree
-//! (use only when deleting unwraps, never to admit new ones).
+//! Analyzer driver: `cargo run -p tools-lint` from anywhere in the
+//! workspace. Exits non-zero on any finding.
+//!
+//! Flags:
+//! - `--json PATH` — write the full analysis (findings, unwrap counts,
+//!   lock graph, stats) as JSON.
+//! - `--dot PATH` — write the static lock graph in Graphviz DOT form
+//!   (CI diffs this against the checked-in `docs/lock_graph.dot`).
+//! - `--write-allowlist` — regenerate `tools/lint/unwrap_allowlist.txt`
+//!   from the current tree (use only when deleting unwraps, never to
+//!   admit new ones).
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
-use tools_lint::{lint_source, parse_allowlist, Finding, Rule};
-
-/// Directories scanned for `.rs` files, relative to the repo root.
-/// `vendor/` (third-party stand-ins) and `tools/` (this lint — its rule
-/// patterns appear literally in its own source) are deliberately absent.
-const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "benches", "examples"];
+use tools_lint::{analyze, collect_workspace, dot, parse_allowlist, to_json};
 
 fn main() -> ExitCode {
-    let write_allowlist = std::env::args().any(|a| a == "--write-allowlist");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let write_allowlist = args.iter().any(|a| a == "--write-allowlist");
+    let flag_path = |name: &str| -> Option<PathBuf> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(PathBuf::from)
+    };
+    let json_path = flag_path("--json");
+    let dot_path = flag_path("--dot");
+
     let root = repo_root();
     let allowlist_path = root.join("tools/lint/unwrap_allowlist.txt");
+    let started = Instant::now();
 
-    let mut files = Vec::new();
-    for dir in SCAN_ROOTS {
-        collect_rs_files(&root.join(dir), &mut files);
-    }
-    files.sort();
-
-    let mut findings: Vec<Finding> = Vec::new();
-    let mut unwrap_counts: BTreeMap<String, usize> = BTreeMap::new();
-    for path in &files {
-        let rel = path
-            .strip_prefix(&root)
-            .expect("scanned file under root")
-            .to_string_lossy()
-            .replace('\\', "/");
-        let source = match std::fs::read_to_string(path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("lint: cannot read {rel}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        for f in lint_source(&rel, &source) {
-            if f.rule == Rule::R4Unwrap {
-                *unwrap_counts.entry(rel.clone()).or_insert(0) += 1;
-            } else {
-                findings.push(f);
-            }
+    let files = match collect_workspace(&root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::FAILURE;
         }
-    }
+    };
+
+    let analysis = match analyze(&files) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("lint: parse failure: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     if write_allowlist {
         let mut out = String::from(
@@ -58,18 +55,36 @@ fn main() -> ExitCode {
              # `cargo run -p tools-lint -- --write-allowlist` ONLY after deleting\n\
              # unwraps, never to admit new ones.\n",
         );
-        for (file, count) in &unwrap_counts {
+        for (file, count) in &analysis.unwrap_counts {
             out.push_str(&format!("{count} {file}\n"));
         }
         if let Err(e) = std::fs::write(&allowlist_path, out) {
             eprintln!("lint: cannot write allowlist: {e}");
             return ExitCode::FAILURE;
         }
-        println!("lint: wrote {} entries to {}", unwrap_counts.len(), allowlist_path.display());
+        println!(
+            "lint: wrote {} entries to {}",
+            analysis.unwrap_counts.len(),
+            allowlist_path.display()
+        );
         return ExitCode::SUCCESS;
     }
 
-    // R4: compare counts against the allowlist.
+    if let Some(p) = &json_path {
+        if let Err(e) = std::fs::write(p, to_json(&analysis)) {
+            eprintln!("lint: cannot write {}: {e}", p.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(p) = &dot_path {
+        if let Err(e) = std::fs::write(p, dot(&analysis.graph)) {
+            eprintln!("lint: cannot write {}: {e}", p.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // R4: compare counts against the allowlist (over, under, and stale
+    // entries all fail — the budget must match the tree exactly).
     let allow_text = std::fs::read_to_string(&allowlist_path).unwrap_or_default();
     let allow: BTreeMap<String, usize> = match parse_allowlist(&allow_text) {
         Ok(entries) => entries.into_iter().collect(),
@@ -79,7 +94,7 @@ fn main() -> ExitCode {
         }
     };
     let mut r4_errors = Vec::new();
-    for (file, &count) in &unwrap_counts {
+    for (file, &count) in &analysis.unwrap_counts {
         let budget = allow.get(file).copied().unwrap_or(0);
         if count > budget {
             r4_errors.push(format!(
@@ -94,25 +109,44 @@ fn main() -> ExitCode {
         }
     }
     for (file, &budget) in &allow {
-        if !unwrap_counts.contains_key(file) && budget > 0 {
+        if !analysis.unwrap_counts.contains_key(file) && budget > 0 {
             r4_errors.push(format!(
                 "{file}: allowlisted ({budget}) but has no unwraps — remove the entry"
             ));
         }
     }
 
-    for f in &findings {
+    for f in &analysis.findings {
         eprintln!("lint: {f}");
     }
     for e in &r4_errors {
         eprintln!("lint: [R4 unwrap] {e}");
     }
-    let total = findings.len() + r4_errors.len();
+    let elapsed = started.elapsed();
+    let s = &analysis.stats;
+    let total = analysis.findings.len() + r4_errors.len();
     if total > 0 {
-        eprintln!("lint: {total} finding(s) across {} files", files.len());
+        eprintln!(
+            "lint: {total} finding(s) — {} files, {} fns, {} lock classes, {} edges ({:.2?})",
+            s.files,
+            s.fns,
+            analysis.graph.nodes.len(),
+            analysis.graph.edges.len(),
+            elapsed
+        );
         ExitCode::FAILURE
     } else {
-        println!("lint: clean ({} files)", files.len());
+        println!(
+            "lint: clean — {} files, {} fns, {} lock classes, {} edges, {} acq sites \
+             ({} unresolved) in {:.2?}",
+            s.files,
+            s.fns,
+            analysis.graph.nodes.len(),
+            analysis.graph.edges.len(),
+            s.acq_sites,
+            s.unresolved_acqs,
+            elapsed
+        );
         ExitCode::SUCCESS
     }
 }
@@ -125,20 +159,4 @@ fn repo_root() -> PathBuf {
         .and_then(Path::parent)
         .expect("tools/lint lives two levels below the repo root")
         .to_path_buf()
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            if entry.file_name() != "target" {
-                collect_rs_files(&path, out);
-            }
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
 }

@@ -1,0 +1,64 @@
+//! Golden-file tests: the JSON and DOT artifacts for a fixed fixture
+//! corpus are byte-compared against checked-in goldens, pinning the
+//! serialization format CI consumes. Regenerate after an intentional
+//! format change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p tools-lint --test golden
+//! ```
+
+use tools_lint::{analyze, dot, to_json};
+
+/// A corpus exercising every artifact section: findings with related
+/// sites (inversion, R6), unwrap counts (R4), graph nodes and edges
+/// (clean + inversion), and the via-chain-free same-function edges.
+const CORPUS: &[(&str, &str)] = &[
+    ("crates/memkv/src/fix_r4.rs", "r4_unwrap.rs"),
+    ("crates/pacon/src/fix_clean.rs", "clean_ordered.rs"),
+    ("crates/pacon/src/fix_inversion.rs", "inversion_two_locks.rs"),
+    ("crates/pacon/src/fix_r6.rs", "r6_hold_across_blocking.rs"),
+];
+
+fn manifest(path: &str) -> String {
+    format!("{}/{path}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn artifacts() -> (String, String) {
+    let files: Vec<(String, String)> = CORPUS
+        .iter()
+        .map(|(rel, name)| {
+            let src = std::fs::read_to_string(manifest(&format!("fixtures/{name}")))
+                .expect("fixture readable");
+            (rel.to_string(), src)
+        })
+        .collect();
+    let a = analyze(&files).expect("corpus parses");
+    (to_json(&a), dot(&a.graph))
+}
+
+fn check(golden_rel: &str, actual: &str) {
+    let path = manifest(golden_rel);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {golden_rel} ({e}) — run with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        actual, expected,
+        "{golden_rel} drifted — if the change is intentional, regenerate with \
+         UPDATE_GOLDEN=1 cargo test -p tools-lint --test golden"
+    );
+}
+
+#[test]
+fn json_artifact_matches_golden() {
+    let (json, _) = artifacts();
+    check("tests/golden/analysis.json", &json);
+}
+
+#[test]
+fn dot_artifact_matches_golden() {
+    let (_, dot_out) = artifacts();
+    check("tests/golden/lock_graph.dot", &dot_out);
+}

@@ -1,0 +1,783 @@
+#![forbid(unsafe_code)]
+//! Offline stand-in for `proc-macro2`: a Rust lexer that turns source
+//! text into a tree of spanned tokens (idents, puncts, literals, and
+//! delimited groups), the substrate `syn` parses items out of.
+//!
+//! Scope: everything the repo's static analyzer needs to read *stable,
+//! hand-written* Rust — nested block comments, all string literal forms
+//! (plain/byte/raw with any number of `#`s), char literals vs lifetimes,
+//! numeric literals with suffixes, raw identifiers, and joint-punct
+//! spacing. Unlike the real crate it also reports the comments it
+//! skipped (with line numbers), because the analyzer reads
+//! `// lint: allow(...)` markers out of them.
+
+use std::fmt;
+
+/// Source position: 1-based line and column of a token's first byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub line: usize,
+    pub column: usize,
+}
+
+impl Span {
+    pub const fn call_site() -> Self {
+        Span { line: 0, column: 0 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delimiter {
+    Parenthesis,
+    Brace,
+    Bracket,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Spacing {
+    /// Followed by whitespace or a non-punct token.
+    Alone,
+    /// Immediately followed by another punct (`::`, `->`, `..`).
+    Joint,
+}
+
+#[derive(Debug, Clone)]
+pub struct Ident {
+    text: String,
+    span: Span,
+}
+
+impl Ident {
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+    pub fn span(&self) -> Span {
+        self.span
+    }
+    /// Is this a lifetime token (`'a`)? The lexer folds lifetimes into
+    /// idents with the leading quote preserved.
+    pub fn is_lifetime(&self) -> bool {
+        self.text.starts_with('\'')
+    }
+}
+
+impl PartialEq<&str> for Ident {
+    fn eq(&self, other: &&str) -> bool {
+        self.text == *other
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Punct {
+    ch: char,
+    spacing: Spacing,
+    span: Span,
+}
+
+impl Punct {
+    pub fn as_char(&self) -> char {
+        self.ch
+    }
+    pub fn spacing(&self) -> Spacing {
+        self.spacing
+    }
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+/// A literal token, kept as raw source text plus a coarse kind.
+#[derive(Debug, Clone)]
+pub struct Literal {
+    text: String,
+    kind: LitKind,
+    span: Span,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LitKind {
+    Str,
+    ByteStr,
+    Char,
+    Number,
+}
+
+impl Literal {
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+    pub fn kind(&self) -> LitKind {
+        self.kind
+    }
+    pub fn span(&self) -> Span {
+        self.span
+    }
+    /// Cooked value of a string literal (`Str` only): raw strings return
+    /// their body verbatim, plain strings have simple escapes resolved.
+    pub fn str_value(&self) -> Option<String> {
+        if self.kind != LitKind::Str {
+            return None;
+        }
+        let t = &self.text;
+        if let Some(rest) = t.strip_prefix('r') {
+            let hashes = rest.chars().take_while(|&c| c == '#').count();
+            let body = &rest[hashes..];
+            let body = body.strip_prefix('"')?;
+            let body = body.strip_suffix(&format!("\"{}", "#".repeat(hashes)))?;
+            return Some(body.to_string());
+        }
+        let body = t.strip_prefix('"')?.strip_suffix('"')?;
+        let mut out = String::with_capacity(body.len());
+        let mut chars = body.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('r') => out.push('\r'),
+                Some('0') => out.push('\0'),
+                Some(other) => out.push(other), // \\ \" \' and the rest
+                None => {}
+            }
+        }
+        Some(out)
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Group {
+    delimiter: Delimiter,
+    stream: TokenStream,
+    span_open: Span,
+    span_close: Span,
+}
+
+impl Group {
+    pub fn delimiter(&self) -> Delimiter {
+        self.delimiter
+    }
+    pub fn stream(&self) -> &TokenStream {
+        &self.stream
+    }
+    pub fn span_open(&self) -> Span {
+        self.span_open
+    }
+    pub fn span_close(&self) -> Span {
+        self.span_close
+    }
+}
+
+#[derive(Debug, Clone)]
+pub enum TokenTree {
+    Group(Group),
+    Ident(Ident),
+    Punct(Punct),
+    Literal(Literal),
+}
+
+impl TokenTree {
+    pub fn span(&self) -> Span {
+        match self {
+            TokenTree::Group(g) => g.span_open,
+            TokenTree::Ident(i) => i.span,
+            TokenTree::Punct(p) => p.span,
+            TokenTree::Literal(l) => l.span,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct TokenStream {
+    pub trees: Vec<TokenTree>,
+}
+
+/// A comment the lexer skipped: line of its first byte and its text
+/// (without the `//` / `/*` markers, trimmed).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: usize,
+    pub text: String,
+}
+
+#[derive(Debug, Clone)]
+pub struct LexError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Lex `source` into a token stream, discarding comments.
+pub fn lex(source: &str) -> Result<TokenStream, LexError> {
+    lex_with_comments(source).map(|(ts, _)| ts)
+}
+
+/// Lex `source` into a token stream plus the comments encountered.
+pub fn lex_with_comments(source: &str) -> Result<(TokenStream, Vec<Comment>), LexError> {
+    let mut lexer = Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        comments: Vec::new(),
+    };
+    let mut flat = Vec::new();
+    while let Some(tok) = lexer.next_token()? {
+        flat.push(tok);
+    }
+    let comments = std::mem::take(&mut lexer.comments);
+    let mut iter = flat.into_iter().peekable();
+    let (stream, _) = build_stream(&mut iter, None)?;
+    Ok((stream, comments))
+}
+
+/// Flat token out of the scanner, before group nesting.
+enum Flat {
+    Open(Delimiter, Span),
+    Close(Delimiter, Span),
+    Tree(TokenTree),
+}
+
+fn delim_char(d: Delimiter, open: bool) -> char {
+    match (d, open) {
+        (Delimiter::Parenthesis, true) => '(',
+        (Delimiter::Parenthesis, false) => ')',
+        (Delimiter::Brace, true) => '{',
+        (Delimiter::Brace, false) => '}',
+        (Delimiter::Bracket, true) => '[',
+        (Delimiter::Bracket, false) => ']',
+    }
+}
+
+/// Build a nested stream out of flat tokens; returns the stream plus the
+/// span of the close delimiter that ended it (zero span at top level).
+fn build_stream(
+    iter: &mut std::iter::Peekable<std::vec::IntoIter<Flat>>,
+    expect_close: Option<(Delimiter, Span)>,
+) -> Result<(TokenStream, Span), LexError> {
+    let mut trees = Vec::new();
+    loop {
+        match iter.next() {
+            None => {
+                if let Some((d, open_span)) = expect_close {
+                    return Err(LexError {
+                        line: open_span.line,
+                        message: format!("unclosed `{}`", delim_char(d, true)),
+                    });
+                }
+                return Ok((TokenStream { trees }, Span::call_site()));
+            }
+            Some(Flat::Open(d, span_open)) => {
+                let (stream, span_close) = build_stream(iter, Some((d, span_open)))?;
+                trees.push(TokenTree::Group(Group {
+                    delimiter: d,
+                    stream,
+                    span_open,
+                    span_close,
+                }));
+            }
+            Some(Flat::Close(d, span)) => match expect_close {
+                Some((want, _)) if want == d => return Ok((TokenStream { trees }, span)),
+                _ => {
+                    return Err(LexError {
+                        line: span.line,
+                        message: format!("unexpected `{}`", delim_char(d, false)),
+                    })
+                }
+            },
+            Some(Flat::Tree(t)) => trees.push(t),
+        }
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+    comments: Vec<Comment>,
+}
+
+const PUNCT_CHARS: &str = "~!@#$%^&*-=+|;:,<.>/?'";
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+    fn span(&self) -> Span {
+        Span { line: self.line, column: self.col }
+    }
+    fn err(&self, message: impl Into<String>) -> LexError {
+        LexError { line: self.line, message: message.into() }
+    }
+
+    fn next_token(&mut self) -> Result<Option<Flat>, LexError> {
+        loop {
+            match self.peek() {
+                None => return Ok(None),
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'/') => self.line_comment(),
+                Some(b'/') if self.peek_at(1) == Some(b'*') => self.block_comment()?,
+                _ => break,
+            }
+        }
+        let span = self.span();
+        let b = self.peek().expect("peeked above");
+        let tok = match b {
+            b'(' => {
+                self.bump();
+                Flat::Open(Delimiter::Parenthesis, span)
+            }
+            b')' => {
+                self.bump();
+                Flat::Close(Delimiter::Parenthesis, span)
+            }
+            b'{' => {
+                self.bump();
+                Flat::Open(Delimiter::Brace, span)
+            }
+            b'}' => {
+                self.bump();
+                Flat::Close(Delimiter::Brace, span)
+            }
+            b'[' => {
+                self.bump();
+                Flat::Open(Delimiter::Bracket, span)
+            }
+            b']' => {
+                self.bump();
+                Flat::Close(Delimiter::Bracket, span)
+            }
+            b'"' => Flat::Tree(self.string_literal(span, LitKind::Str, String::new())?),
+            b'\'' => self.quote_token(span)?,
+            b'0'..=b'9' => Flat::Tree(self.number_literal(span)),
+            b'r' | b'b' if self.is_literal_prefix() => self.prefixed_literal(span)?,
+            b if b.is_ascii_alphabetic() || b == b'_' || b >= 0x80 => {
+                Flat::Tree(self.ident(span, String::new()))
+            }
+            _ => {
+                self.bump();
+                let ch = b as char;
+                if !PUNCT_CHARS.contains(ch) {
+                    return Err(self.err(format!("unexpected character `{ch}`")));
+                }
+                let joint = self
+                    .peek()
+                    .is_some_and(|n| PUNCT_CHARS.contains(n as char) && !self.at_comment_start());
+                Flat::Tree(TokenTree::Punct(Punct {
+                    ch,
+                    spacing: if joint { Spacing::Joint } else { Spacing::Alone },
+                    span,
+                }))
+            }
+        };
+        Ok(Some(tok))
+    }
+
+    fn at_comment_start(&self) -> bool {
+        self.peek() == Some(b'/') && matches!(self.peek_at(1), Some(b'/') | Some(b'*'))
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b != b'\n') {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos])
+            .trim_start_matches('/')
+            .trim_start_matches('!')
+            .trim()
+            .to_string();
+        self.comments.push(Comment { line, text });
+    }
+
+    fn block_comment(&mut self) -> Result<(), LexError> {
+        let line = self.line;
+        let start = self.pos;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => return Err(self.err("unterminated block comment")),
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos])
+            .trim_start_matches("/*")
+            .trim_end_matches("*/")
+            .trim()
+            .to_string();
+        self.comments.push(Comment { line, text });
+        Ok(())
+    }
+
+    /// Is the `r`/`b` at the cursor a literal prefix (`r"`, `r#"`,
+    /// `b"`, `b'`, `br"`, `rb` is not a thing) or a raw ident (`r#foo`)?
+    fn is_literal_prefix(&self) -> bool {
+        match self.peek() {
+            Some(b'b') => matches!(
+                (self.peek_at(1), self.peek_at(2)),
+                (Some(b'"'), _) | (Some(b'\''), _) | (Some(b'r'), Some(b'"')) | (Some(b'r'), Some(b'#'))
+            ),
+            Some(b'r') => match self.peek_at(1) {
+                Some(b'"') => true,
+                Some(b'#') => {
+                    // r#"..." is a raw string; r#ident is a raw ident.
+                    let mut off = 1;
+                    while self.peek_at(off) == Some(b'#') {
+                        off += 1;
+                    }
+                    self.peek_at(off) == Some(b'"')
+                }
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    fn prefixed_literal(&mut self, span: Span) -> Result<Flat, LexError> {
+        let mut prefix = String::new();
+        let kind;
+        match self.peek() {
+            Some(b'b') => {
+                prefix.push('b');
+                self.bump();
+                match self.peek() {
+                    Some(b'\'') => {
+                        // Byte literal b'x'.
+                        self.bump();
+                        let mut text = String::from("b'");
+                        self.char_body(&mut text)?;
+                        return Ok(Flat::Tree(TokenTree::Literal(Literal {
+                            text,
+                            kind: LitKind::Char,
+                            span,
+                        })));
+                    }
+                    Some(b'r') => {
+                        prefix.push('r');
+                        self.bump();
+                        kind = LitKind::ByteStr;
+                    }
+                    _ => kind = LitKind::ByteStr,
+                }
+            }
+            Some(b'r') => {
+                prefix.push('r');
+                self.bump();
+                kind = LitKind::Str;
+            }
+            _ => return Err(self.err("not a literal prefix")),
+        }
+        if prefix.ends_with('r') {
+            self.raw_string(span, kind, prefix)
+        } else {
+            self.string_literal(span, kind, prefix).map(Flat::Tree)
+        }
+    }
+
+    fn string_literal(
+        &mut self,
+        span: Span,
+        kind: LitKind,
+        mut text: String,
+    ) -> Result<TokenTree, LexError> {
+        self.bump(); // opening quote
+        text.push('"');
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string literal")),
+                Some(b'\\') => {
+                    text.push('\\');
+                    if let Some(e) = self.bump() {
+                        text.push(e as char);
+                    }
+                }
+                Some(b'"') => {
+                    text.push('"');
+                    break;
+                }
+                Some(c) => text.push(c as char),
+            }
+        }
+        Ok(TokenTree::Literal(Literal { text, kind, span }))
+    }
+
+    fn raw_string(&mut self, span: Span, kind: LitKind, mut text: String) -> Result<Flat, LexError> {
+        let mut hashes = 0usize;
+        while self.peek() == Some(b'#') {
+            hashes += 1;
+            text.push('#');
+            self.bump();
+        }
+        if self.peek() != Some(b'"') {
+            return Err(self.err("malformed raw string"));
+        }
+        self.bump();
+        text.push('"');
+        let closer: Vec<u8> = std::iter::once(b'"').chain(std::iter::repeat_n(b'#', hashes)).collect();
+        loop {
+            if self.peek().is_none() {
+                return Err(self.err("unterminated raw string"));
+            }
+            if self.peek() == Some(b'"') && (0..hashes).all(|i| self.peek_at(1 + i) == Some(b'#')) {
+                for _ in 0..closer.len() {
+                    self.bump();
+                }
+                text.push('"');
+                for _ in 0..hashes {
+                    text.push('#');
+                }
+                return Ok(Flat::Tree(TokenTree::Literal(Literal { text, kind, span })));
+            }
+            let c = self.bump().expect("peeked above");
+            text.push(c as char);
+        }
+    }
+
+    /// `'` starts either a char literal or a lifetime.
+    fn quote_token(&mut self, span: Span) -> Result<Flat, LexError> {
+        self.bump(); // the quote
+        match self.peek() {
+            Some(b'\\') => {
+                let mut text = String::from("'");
+                self.char_body(&mut text)?;
+                Ok(Flat::Tree(TokenTree::Literal(Literal { text, kind: LitKind::Char, span })))
+            }
+            Some(c) if (c.is_ascii_alphanumeric() || c == b'_') && self.peek_at(1) != Some(b'\'') => {
+                // Lifetime: fold into an ident with the quote kept.
+                let mut text = String::from("'");
+                while self
+                    .peek()
+                    .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+                {
+                    text.push(self.bump().expect("peeked") as char);
+                }
+                Ok(Flat::Tree(TokenTree::Ident(Ident { text, span })))
+            }
+            Some(_) => {
+                let mut text = String::from("'");
+                self.char_body(&mut text)?;
+                Ok(Flat::Tree(TokenTree::Literal(Literal { text, kind: LitKind::Char, span })))
+            }
+            None => Err(self.err("dangling quote")),
+        }
+    }
+
+    /// Consume the rest of a char/byte literal after the opening quote.
+    fn char_body(&mut self, text: &mut String) -> Result<(), LexError> {
+        match self.bump() {
+            None => return Err(self.err("unterminated char literal")),
+            Some(b'\\') => {
+                text.push('\\');
+                match self.bump() {
+                    None => return Err(self.err("unterminated char literal")),
+                    Some(b'u') => {
+                        text.push('u');
+                        // \u{...}
+                        while let Some(c) = self.bump() {
+                            text.push(c as char);
+                            if c == b'}' {
+                                break;
+                            }
+                        }
+                    }
+                    Some(e) => text.push(e as char),
+                }
+            }
+            Some(c) => text.push(c as char),
+        }
+        match self.bump() {
+            Some(b'\'') => {
+                text.push('\'');
+                Ok(())
+            }
+            _ => Err(self.err("unterminated char literal")),
+        }
+    }
+
+    fn number_literal(&mut self, span: Span) -> TokenTree {
+        let mut text = String::new();
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            text.push(self.bump().expect("peeked") as char);
+        }
+        // Fractional part / float exponent: `.` followed by a digit
+        // (so `0..10` and `1.max(2)` stay separate tokens).
+        if self.peek() == Some(b'.') && self.peek_at(1).is_some_and(|b| b.is_ascii_digit()) {
+            text.push(self.bump().expect("peeked") as char);
+            while self
+                .peek()
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                text.push(self.bump().expect("peeked") as char);
+            }
+        }
+        // Exponent sign: 1e-3 / 2.5E+7.
+        if (text.ends_with('e') || text.ends_with('E'))
+            && matches!(self.peek(), Some(b'+') | Some(b'-'))
+            && self.peek_at(1).is_some_and(|b| b.is_ascii_digit())
+        {
+            text.push(self.bump().expect("peeked") as char);
+            while self.peek().is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_') {
+                text.push(self.bump().expect("peeked") as char);
+            }
+        }
+        TokenTree::Literal(Literal { text, kind: LitKind::Number, span })
+    }
+
+    fn ident(&mut self, span: Span, mut text: String) -> TokenTree {
+        // Raw identifier prefix r# (only reached when not a raw string).
+        if self.peek() == Some(b'r') && self.peek_at(1) == Some(b'#') {
+            self.bump();
+            self.bump();
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80)
+        {
+            text.push(self.bump().expect("peeked") as char);
+        }
+        TokenTree::Ident(Ident { text, span })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(ts: &TokenStream) -> Vec<String> {
+        let mut out = Vec::new();
+        fn walk(trees: &[TokenTree], out: &mut Vec<String>) {
+            for t in trees {
+                match t {
+                    TokenTree::Ident(i) => out.push(i.as_str().to_string()),
+                    TokenTree::Group(g) => walk(&g.stream().trees, out),
+                    _ => {}
+                }
+            }
+        }
+        walk(&ts.trees, &mut out);
+        out
+    }
+
+    #[test]
+    fn basic_tokens_and_groups() {
+        let ts = lex("fn f(x: u32) -> u32 { x + 1 }").unwrap();
+        assert_eq!(ts.trees.len(), 7); // fn f (..) - > u32 {..}
+        assert_eq!(idents(&ts), vec!["fn", "f", "x", "u32", "u32", "x"]);
+    }
+
+    #[test]
+    fn raw_strings_do_not_leak_braces() {
+        let src = r####"fn f() { let s = r#"{ not a "brace" }"#; g(s) }"####;
+        let ts = lex(src).unwrap();
+        // One top-level brace group, properly closed.
+        let TokenTree::Group(g) = ts.trees.last().unwrap() else {
+            panic!("expected body group")
+        };
+        assert_eq!(g.delimiter(), Delimiter::Brace);
+        let lits: Vec<_> = g
+            .stream()
+            .trees
+            .iter()
+            .filter_map(|t| match t {
+                TokenTree::Literal(l) if l.kind() == LitKind::Str => Some(l.str_value().unwrap()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lits, vec![r#"{ not a "brace" }"#]);
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let src = "a();\n// lint: allow(unwrap) reason\nb(); /* block\ncomment */ c();";
+        let (_, comments) = lex_with_comments(src).unwrap();
+        assert_eq!(comments.len(), 2);
+        assert_eq!(comments[0].line, 2);
+        assert!(comments[0].text.contains("lint: allow(unwrap)"));
+        assert_eq!(comments[1].line, 3);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let ts = lex("fn f<'a>(c: char) { if c == '{' || c == '\\'' { x::<'a>() } }").unwrap();
+        // The '{' char literal must not open a group: the stream still
+        // balances, with exactly one top-level brace group.
+        let braces = ts
+            .trees
+            .iter()
+            .filter(|t| matches!(t, TokenTree::Group(g) if g.delimiter() == Delimiter::Brace))
+            .count();
+        assert_eq!(braces, 1);
+        assert!(idents(&ts).contains(&"'a".to_string()));
+    }
+
+    #[test]
+    fn numbers_ranges_and_tuple_fields() {
+        let ts = lex("for i in 0..10 { let x = p.0.abs() + 1.5e-3; }").unwrap();
+        assert!(idents(&ts).contains(&"abs".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments_and_spans() {
+        let ts = lex("/* outer /* inner */ still */ fn g() {}").unwrap();
+        assert_eq!(idents(&ts), vec!["fn", "g"]);
+        let TokenTree::Ident(i) = &ts.trees[0] else { panic!() };
+        assert_eq!(i.span().line, 1);
+    }
+
+    #[test]
+    fn unbalanced_input_errors() {
+        assert!(lex("fn f() {").is_err());
+        assert!(lex("fn f() }").is_err());
+        assert!(lex("let s = \"unterminated").is_err());
+    }
+}

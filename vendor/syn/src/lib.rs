@@ -1,0 +1,890 @@
+#![forbid(unsafe_code)]
+//! Offline stand-in for `syn`: parses a `proc_macro2` token stream into
+//! an item-level AST — functions (with signatures and body token trees),
+//! impl blocks, inline modules, structs (field name/type pairs), traits
+//! (default-bodied methods), and `use` declarations. Expression-level
+//! structure stays as raw token trees; the consumer (the repo's static
+//! analyzer) walks those itself.
+//!
+//! The parser is deliberately permissive: anything it does not
+//! understand becomes `Item::Verbatim` and is skipped, never an error.
+//! Errors only arise from lexing (unbalanced delimiters, unterminated
+//! literals).
+
+use std::fmt;
+
+pub use proc_macro2::{
+    lex, lex_with_comments, Comment, Delimiter, Group, Ident, LexError, LitKind, Literal, Punct,
+    Spacing, Span, TokenStream, TokenTree,
+};
+
+#[derive(Debug, Clone)]
+pub struct Error {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<LexError> for Error {
+    fn from(e: LexError) -> Self {
+        Error { line: e.line, message: e.message }
+    }
+}
+
+/// Attributes collected ahead of an item, pre-digested for the analyzer.
+#[derive(Debug, Clone, Default)]
+pub struct Attrs {
+    /// `#[cfg(test)]` — or any `cfg(...)` mentioning `test`, which the
+    /// analyzer treats as test code too (the conservative direction).
+    pub cfg_test: bool,
+    /// `#[test]` (including `#[tokio::test]`-shaped paths).
+    pub test_fn: bool,
+}
+
+/// Simplified type name: the last path segment, with reference/pointer
+/// sigils and transparent wrappers (`Arc`, `Rc`, `Box`, `Option`,
+/// `RefCell`, `Mutex`-free) peeled. `Arc<Mds>` → `Mds`, `&str` → `str`.
+pub type TypeName = String;
+
+#[derive(Debug, Clone)]
+pub struct Signature {
+    pub name: String,
+    pub span: Span,
+    /// Declared parameters, excluding any `self` receiver:
+    /// (binding name if a simple ident pattern, simplified type).
+    pub params: Vec<(Option<String>, TypeName)>,
+    /// Whether the function takes a `self` receiver.
+    pub has_self: bool,
+    /// Simplified return type, if any.
+    pub ret: Option<TypeName>,
+}
+
+#[derive(Debug, Clone)]
+pub struct ItemFn {
+    pub attrs: Attrs,
+    pub sig: Signature,
+    /// Brace-delimited body; `None` for bodyless trait methods.
+    pub body: Option<Group>,
+}
+
+#[derive(Debug, Clone)]
+pub struct ItemImpl {
+    pub attrs: Attrs,
+    /// Simplified self type (`impl Foo for Bar` → `Bar`).
+    pub self_ty: TypeName,
+    /// Simplified trait name for trait impls.
+    pub trait_name: Option<TypeName>,
+    pub fns: Vec<ItemFn>,
+}
+
+#[derive(Debug, Clone)]
+pub struct ItemMod {
+    pub attrs: Attrs,
+    pub name: String,
+    /// `Some` for inline `mod name { ... }`, `None` for `mod name;`.
+    pub items: Option<Vec<ItemRec>>,
+}
+
+#[derive(Debug, Clone)]
+pub struct ItemStruct {
+    pub attrs: Attrs,
+    pub name: String,
+    /// Named fields: (name, simplified type).
+    pub fields: Vec<(String, TypeName)>,
+}
+
+#[derive(Debug, Clone)]
+pub struct ItemTrait {
+    pub attrs: Attrs,
+    pub name: String,
+    /// Trait methods (default-bodied ones carry a body).
+    pub fns: Vec<ItemFn>,
+}
+
+#[derive(Debug, Clone)]
+pub struct ItemUse {
+    pub attrs: Attrs,
+    /// The tokens between `use` and `;`.
+    pub tree: Vec<TokenTree>,
+    pub span: Span,
+}
+
+#[derive(Debug, Clone)]
+pub enum Item {
+    Fn(ItemFn),
+    Impl(ItemImpl),
+    Mod(ItemMod),
+    Struct(ItemStruct),
+    Trait(ItemTrait),
+    Use(ItemUse),
+    /// Anything else (enums, consts, statics, type aliases, macros…):
+    /// raw tokens, preserved so pattern passes can still scan them.
+    Verbatim(Vec<TokenTree>),
+}
+
+/// A parsed item plus the raw tokens it was parsed from (attributes
+/// included), so token-pattern passes can scan exactly what the item
+/// covers.
+#[derive(Debug, Clone)]
+pub struct ItemRec {
+    pub item: Item,
+    pub tokens: Vec<TokenTree>,
+}
+
+#[derive(Debug, Clone)]
+pub struct File {
+    pub items: Vec<ItemRec>,
+}
+
+/// Parse a source file into items plus the comments the lexer skipped.
+pub fn parse_file(source: &str) -> Result<(File, Vec<Comment>), Error> {
+    let (stream, comments) = lex_with_comments(source)?;
+    let items = parse_items(&stream.trees);
+    Ok((File { items }, comments))
+}
+
+/// Parse the items of an already-lexed stream (used for impl/mod/trait
+/// bodies).
+pub fn parse_items(trees: &[TokenTree]) -> Vec<ItemRec> {
+    let mut items = Vec::new();
+    let mut cur = Cursor { trees, pos: 0 };
+    while !cur.done() {
+        let start = cur.pos;
+        let item = parse_item(&mut cur);
+        if cur.pos == start {
+            // Defensive: never loop without progress.
+            cur.bump();
+        }
+        items.push(ItemRec { item, tokens: cur.trees[start..cur.pos].to_vec() });
+    }
+    items
+}
+
+struct Cursor<'a> {
+    trees: &'a [TokenTree],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn done(&self) -> bool {
+        self.pos >= self.trees.len()
+    }
+    fn peek(&self) -> Option<&'a TokenTree> {
+        self.trees.get(self.pos)
+    }
+    fn peek_at(&self, off: usize) -> Option<&'a TokenTree> {
+        self.trees.get(self.pos + off)
+    }
+    fn bump(&mut self) -> Option<&'a TokenTree> {
+        let t = self.trees.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+    fn at_ident(&self, text: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.as_str() == text)
+    }
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+    /// Advance past a balanced `< ... >` generics region (the cursor is
+    /// on the `<`). `->` arrows inside (fn-pointer bounds) are skipped.
+    fn skip_generics(&mut self) {
+        if !self.at_punct('<') {
+            return;
+        }
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '-' && matches!(self.peek_at(1), Some(TokenTree::Punct(q)) if q.as_char() == '>') =>
+                {
+                    self.bump();
+                    self.bump();
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    self.bump();
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    self.bump();
+                    if depth == 0 {
+                        return;
+                    }
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+}
+
+/// Collect `#[...]` attributes (and skip inner `#![...]` ones).
+fn parse_attrs(cur: &mut Cursor<'_>) -> Attrs {
+    let mut attrs = Attrs::default();
+    loop {
+        if !cur.at_punct('#') {
+            return attrs;
+        }
+        // `#!` inner attribute or `#[...]` outer.
+        let mut off = 1;
+        if matches!(cur.peek_at(1), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+            off = 2;
+        }
+        let Some(TokenTree::Group(g)) = cur.peek_at(off) else {
+            // `#` not followed by a bracket group — stray token.
+            cur.bump();
+            return attrs;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            cur.bump();
+            return attrs;
+        }
+        inspect_attr(&g.stream().trees, &mut attrs);
+        for _ in 0..=off {
+            cur.bump();
+        }
+    }
+}
+
+fn inspect_attr(trees: &[TokenTree], attrs: &mut Attrs) {
+    match trees.first() {
+        Some(TokenTree::Ident(i)) if i.as_str() == "cfg" => {
+            if let Some(TokenTree::Group(g)) = trees.get(1) {
+                if stream_mentions(g.stream(), "test") {
+                    attrs.cfg_test = true;
+                }
+            }
+        }
+        Some(TokenTree::Ident(i)) if i.as_str() == "test" => attrs.test_fn = true,
+        // Path-shaped test attrs (`tokio::test`) — last segment `test`.
+        Some(TokenTree::Ident(_)) => {
+            let idents: Vec<&str> = trees
+                .iter()
+                .filter_map(|t| match t {
+                    TokenTree::Ident(i) => Some(i.as_str()),
+                    _ => None,
+                })
+                .collect();
+            if idents.last() == Some(&"test") && trees.len() <= 5 {
+                attrs.test_fn = true;
+            }
+        }
+        _ => {}
+    }
+}
+
+fn stream_mentions(stream: &TokenStream, ident: &str) -> bool {
+    stream.trees.iter().any(|t| match t {
+        TokenTree::Ident(i) => i.as_str() == ident,
+        TokenTree::Group(g) => stream_mentions(g.stream(), ident),
+        _ => false,
+    })
+}
+
+fn parse_item(cur: &mut Cursor<'_>) -> Item {
+    let start = cur.pos;
+    let attrs = parse_attrs(cur);
+
+    // Visibility and leading modifiers.
+    loop {
+        if cur.at_ident("pub") {
+            cur.bump();
+            // pub(crate) / pub(super) / pub(in ...)
+            if matches!(cur.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                cur.bump();
+            }
+            continue;
+        }
+        if cur.at_ident("unsafe") || cur.at_ident("async") || cur.at_ident("default") {
+            cur.bump();
+            continue;
+        }
+        if cur.at_ident("const")
+            && matches!(cur.peek_at(1), Some(TokenTree::Ident(i)) if i.as_str() == "fn")
+        {
+            cur.bump(); // const fn
+            continue;
+        }
+        if cur.at_ident("extern") {
+            // `extern "C" fn` / `extern crate foo;` — consume the abi
+            // string if present; `extern crate` falls through to
+            // verbatim handling below.
+            if matches!(cur.peek_at(1), Some(TokenTree::Literal(_))) {
+                cur.bump();
+                cur.bump();
+                continue;
+            }
+            break;
+        }
+        break;
+    }
+
+    match cur.peek() {
+        Some(TokenTree::Ident(kw)) => match kw.as_str() {
+            "fn" => Item::Fn(parse_fn(cur, attrs)),
+            "impl" => parse_impl(cur, attrs),
+            "mod" => parse_mod(cur, attrs),
+            "struct" => parse_struct(cur, attrs),
+            "trait" => parse_trait(cur, attrs),
+            "use" => parse_use(cur, attrs),
+            _ => verbatim_to_boundary(cur, start),
+        },
+        _ => verbatim_to_boundary(cur, start),
+    }
+}
+
+/// Consume tokens until an item boundary: a `;` or the first top-level
+/// brace group (enum/union/macro bodies), whichever comes first.
+fn verbatim_to_boundary(cur: &mut Cursor<'_>, start: usize) -> Item {
+    loop {
+        match cur.bump() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => break,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break,
+            Some(_) => {}
+        }
+    }
+    Item::Verbatim(cur.trees[start..cur.pos].to_vec())
+}
+
+fn parse_fn(cur: &mut Cursor<'_>, attrs: Attrs) -> ItemFn {
+    cur.bump(); // `fn`
+    let (name, span) = match cur.bump() {
+        Some(TokenTree::Ident(i)) => (i.as_str().to_string(), i.span()),
+        other => (
+            String::from("<anon>"),
+            other.map(|t| t.span()).unwrap_or(Span::call_site()),
+        ),
+    };
+    cur.skip_generics();
+    let mut params = Vec::new();
+    let mut has_self = false;
+    if let Some(TokenTree::Group(g)) = cur.peek() {
+        if g.delimiter() == Delimiter::Parenthesis {
+            (params, has_self) = parse_params(&g.stream().trees);
+            cur.bump();
+        }
+    }
+    // Return type: `-> Type` up to `{`, `;`, or `where`.
+    let mut ret = None;
+    if cur.at_punct('-')
+        && matches!(cur.peek_at(1), Some(TokenTree::Punct(p)) if p.as_char() == '>')
+    {
+        cur.bump();
+        cur.bump();
+        let ty_start = cur.pos;
+        while let Some(t) = cur.peek() {
+            match t {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break,
+                TokenTree::Punct(p) if p.as_char() == ';' => break,
+                TokenTree::Ident(i) if i.as_str() == "where" => break,
+                _ => {
+                    cur.bump();
+                }
+            }
+        }
+        ret = simplify_type(&cur.trees[ty_start..cur.pos]);
+    }
+    // Where clause / remaining signature noise up to body or `;`.
+    while let Some(t) = cur.peek() {
+        match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break,
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => {
+                cur.bump();
+            }
+        }
+    }
+    let body = match cur.peek() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let g = g.clone();
+            cur.bump();
+            Some(g)
+        }
+        _ => {
+            cur.bump(); // the `;`
+            None
+        }
+    };
+    ItemFn { attrs, sig: Signature { name, span, params, has_self, ret }, body }
+}
+
+/// Split a parameter list at top-level commas; extract (name, type).
+fn parse_params(trees: &[TokenTree]) -> (Vec<(Option<String>, TypeName)>, bool) {
+    let mut params = Vec::new();
+    let mut has_self = false;
+    for part in split_top_level(trees, ',') {
+        if part.is_empty() {
+            continue;
+        }
+        if part.iter().any(
+            |t| matches!(t, TokenTree::Ident(i) if i.as_str() == "self" || i.as_str() == "Self"),
+        ) && !part
+            .iter()
+            .any(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == ':'))
+        {
+            // A receiver: self / &self / &mut self / self: Arc<Self>
+            has_self = true;
+            continue;
+        }
+        // Find the top-level `:` separating pattern from type.
+        let mut colon = None;
+        for (i, t) in part.iter().enumerate() {
+            if let TokenTree::Punct(p) = t {
+                if p.as_char() == ':'
+                    && p.spacing() == Spacing::Alone
+                    && !matches!(part.get(i + 1), Some(TokenTree::Punct(q)) if q.as_char() == ':')
+                    && !matches!(part.get(i.wrapping_sub(1)), Some(TokenTree::Punct(q)) if q.as_char() == ':')
+                {
+                    colon = Some(i);
+                    break;
+                }
+            }
+        }
+        let Some(colon) = colon else { continue };
+        if part
+            .iter()
+            .take(colon)
+            .any(|t| matches!(t, TokenTree::Ident(i) if i.as_str() == "self"))
+        {
+            has_self = true;
+            continue;
+        }
+        let name = match &part[..colon] {
+            [TokenTree::Ident(i)] => Some(i.as_str().to_string()),
+            [TokenTree::Ident(m), TokenTree::Ident(i)] if m.as_str() == "mut" => {
+                Some(i.as_str().to_string())
+            }
+            _ => None,
+        };
+        let ty = simplify_type(&part[colon + 1..]).unwrap_or_default();
+        params.push((name, ty));
+    }
+    (params, has_self)
+}
+
+fn split_top_level(trees: &[TokenTree], sep: char) -> Vec<&[TokenTree]> {
+    let mut parts = Vec::new();
+    let mut start = 0usize;
+    let mut angle = 0i32;
+    for (i, t) in trees.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle = (angle - 1).max(0),
+                c if c == sep && angle == 0 => {
+                    parts.push(&trees[start..i]);
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    parts.push(&trees[start..]);
+    parts
+}
+
+/// Reduce a type token run to a single meaningful name. Strips `&`,
+/// `mut`, `dyn`, `impl` and lifetimes, then follows transparent
+/// wrappers' first generic argument.
+pub fn simplify_type(trees: &[TokenTree]) -> Option<TypeName> {
+    const WRAPPERS: &[&str] = &[
+        "Arc",
+        "Rc",
+        "Box",
+        "Option",
+        "RefCell",
+        "Cell",
+        "Mutex",
+        "RwLock",
+        "MutexGuard",
+        "RwLockReadGuard",
+        "RwLockWriteGuard",
+    ];
+    let mut i = 0usize;
+    // Skip sigils and modifiers.
+    while i < trees.len() {
+        match &trees[i] {
+            TokenTree::Punct(p) if matches!(p.as_char(), '&' | '*') => i += 1,
+            TokenTree::Ident(id)
+                if matches!(id.as_str(), "mut" | "dyn" | "impl" | "const") || id.is_lifetime() =>
+            {
+                i += 1
+            }
+            _ => break,
+        }
+    }
+    // Walk the path: a::b::C — keep the last segment before generics.
+    let mut last: Option<&Ident> = None;
+    let mut angle_pos = None;
+    while i < trees.len() {
+        match &trees[i] {
+            TokenTree::Ident(id) => {
+                last = Some(id);
+                i += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_pos = Some(i);
+                break;
+            }
+            _ => break,
+        }
+    }
+    let last = last?;
+    if let Some(open) = angle_pos {
+        // `Result`-shaped aliases (`FsResult<T>`, `LsmResult<T>`) carry
+        // their payload in the first generic argument too.
+        if WRAPPERS.contains(&last.as_str()) || last.as_str().ends_with("Result") {
+            // Recurse into the first generic argument.
+            let inner = &trees[open + 1..];
+            // Trim the trailing `>` run.
+            let mut end = inner.len();
+            while end > 0 {
+                if matches!(&inner[end - 1], TokenTree::Punct(p) if p.as_char() == '>') {
+                    end -= 1;
+                } else {
+                    break;
+                }
+            }
+            let args = split_top_level(&inner[..end], ',');
+            if let Some(first) = args.first() {
+                if let Some(t) = simplify_type(first) {
+                    return Some(t);
+                }
+            }
+        }
+    }
+    Some(last.as_str().to_string())
+}
+
+fn parse_impl(cur: &mut Cursor<'_>, attrs: Attrs) -> Item {
+    let start = cur.pos;
+    cur.bump(); // `impl`
+    cur.skip_generics();
+    // Tokens up to `for` (trait impls) or the brace body.
+    let seg_start = cur.pos;
+    let mut for_at = None;
+    while let Some(t) = cur.peek() {
+        match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break,
+            TokenTree::Ident(i) if i.as_str() == "for" => {
+                for_at = Some(cur.pos);
+                cur.bump();
+            }
+            TokenTree::Ident(i) if i.as_str() == "where" => {
+                cur.bump();
+            }
+            _ => {
+                cur.bump();
+            }
+        }
+    }
+    let Some(TokenTree::Group(body)) = cur.peek() else {
+        return verbatim_from(cur, start);
+    };
+    let body = body.clone();
+    cur.bump();
+    let (trait_name, ty_tokens) = match for_at {
+        Some(f) => (
+            simplify_type(&cur.trees[seg_start..f]),
+            &cur.trees[f + 1..],
+        ),
+        None => (None, &cur.trees[seg_start..]),
+    };
+    // The self type runs to the brace we consumed; cut at any `where`.
+    let mut ty_end = ty_tokens.len();
+    for (i, t) in ty_tokens.iter().enumerate() {
+        match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                ty_end = i;
+                break;
+            }
+            TokenTree::Ident(id) if id.as_str() == "where" => {
+                ty_end = i;
+                break;
+            }
+            _ => {}
+        }
+    }
+    let self_ty = simplify_type(&ty_tokens[..ty_end]).unwrap_or_default();
+    let fns = parse_items(&body.stream().trees)
+        .into_iter()
+        .filter_map(|it| match it.item {
+            Item::Fn(f) => Some(f),
+            _ => None,
+        })
+        .collect();
+    Item::Impl(ItemImpl { attrs, self_ty, trait_name, fns })
+}
+
+fn parse_mod(cur: &mut Cursor<'_>, attrs: Attrs) -> Item {
+    let start = cur.pos;
+    cur.bump(); // `mod`
+    let Some(TokenTree::Ident(name)) = cur.bump() else {
+        return verbatim_from(cur, start);
+    };
+    let name = name.as_str().to_string();
+    match cur.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+            cur.bump();
+            Item::Mod(ItemMod { attrs, name, items: None })
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let items = parse_items(&g.stream().trees);
+            cur.bump();
+            Item::Mod(ItemMod { attrs, name, items: Some(items) })
+        }
+        _ => verbatim_from(cur, start),
+    }
+}
+
+fn parse_struct(cur: &mut Cursor<'_>, attrs: Attrs) -> Item {
+    let start = cur.pos;
+    cur.bump(); // `struct`
+    let Some(TokenTree::Ident(name)) = cur.bump() else {
+        return verbatim_from(cur, start);
+    };
+    let name = name.as_str().to_string();
+    cur.skip_generics();
+    // Skip a where clause.
+    while let Some(t) = cur.peek() {
+        match t {
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis =>
+            {
+                break
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => {
+                cur.bump();
+            }
+        }
+    }
+    match cur.peek() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let mut fields = Vec::new();
+            for part in split_top_level(&g.stream().trees, ',') {
+                // [attrs] [pub[(..)]] name : Type
+                let mut j = 0usize;
+                while j < part.len() {
+                    match &part[j] {
+                        TokenTree::Punct(p) if p.as_char() == '#' => {
+                            j += 1;
+                            if matches!(part.get(j), Some(TokenTree::Group(_))) {
+                                j += 1;
+                            }
+                        }
+                        TokenTree::Ident(i) if i.as_str() == "pub" => {
+                            j += 1;
+                            if matches!(part.get(j), Some(TokenTree::Group(gg)) if gg.delimiter() == Delimiter::Parenthesis)
+                            {
+                                j += 1;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                if let (Some(TokenTree::Ident(fname)), Some(TokenTree::Punct(c))) =
+                    (part.get(j), part.get(j + 1))
+                {
+                    if c.as_char() == ':' {
+                        let ty = simplify_type(&part[j + 2..]).unwrap_or_default();
+                        fields.push((fname.as_str().to_string(), ty));
+                    }
+                }
+            }
+            cur.bump();
+            Item::Struct(ItemStruct { attrs, name, fields })
+        }
+        _ => {
+            // Tuple or unit struct: consume through `;`.
+            while let Some(t) = cur.bump() {
+                if matches!(t, TokenTree::Punct(p) if p.as_char() == ';') {
+                    break;
+                }
+            }
+            Item::Struct(ItemStruct { attrs, name, fields: Vec::new() })
+        }
+    }
+}
+
+fn parse_trait(cur: &mut Cursor<'_>, attrs: Attrs) -> Item {
+    let start = cur.pos;
+    cur.bump(); // `trait`
+    let Some(TokenTree::Ident(name)) = cur.bump() else {
+        return verbatim_from(cur, start);
+    };
+    let name = name.as_str().to_string();
+    while let Some(t) = cur.peek() {
+        match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break,
+            TokenTree::Punct(p) if p.as_char() == ';' => {
+                cur.bump();
+                return Item::Trait(ItemTrait { attrs, name, fns: Vec::new() });
+            }
+            _ => {
+                cur.bump();
+            }
+        }
+    }
+    let fns = match cur.peek() {
+        Some(TokenTree::Group(g)) => {
+            let fns = parse_items(&g.stream().trees)
+                .into_iter()
+                .filter_map(|it| match it.item {
+                    Item::Fn(f) => Some(f),
+                    _ => None,
+                })
+                .collect();
+            cur.bump();
+            fns
+        }
+        _ => Vec::new(),
+    };
+    Item::Trait(ItemTrait { attrs, name, fns })
+}
+
+fn parse_use(cur: &mut Cursor<'_>, attrs: Attrs) -> Item {
+    let span = cur.peek().map(|t| t.span()).unwrap_or(Span::call_site());
+    cur.bump(); // `use`
+    let start = cur.pos;
+    while let Some(t) = cur.peek() {
+        if matches!(t, TokenTree::Punct(p) if p.as_char() == ';') {
+            break;
+        }
+        cur.bump();
+    }
+    let tree = cur.trees[start..cur.pos].to_vec();
+    cur.bump(); // `;`
+    Item::Use(ItemUse { attrs, tree, span })
+}
+
+fn verbatim_from(cur: &mut Cursor<'_>, start: usize) -> Item {
+    if cur.pos == start {
+        cur.bump();
+    }
+    Item::Verbatim(cur.trees[start..cur.pos].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> File {
+        parse_file(src).unwrap().0
+    }
+
+    #[test]
+    fn parses_fns_with_signatures() {
+        let f = parse("pub fn stat_many(&self, paths: &[String], cred: &Credentials) -> Vec<FsResult<FileStat>> { inner() }");
+        let [ItemRec { item: Item::Fn(f), .. }] = &f.items[..] else { panic!("{:?}", f.items) };
+        assert_eq!(f.sig.name, "stat_many");
+        assert!(f.sig.has_self);
+        assert_eq!(f.sig.params.len(), 2);
+        assert_eq!(f.sig.params[1], (Some("cred".into()), "Credentials".into()));
+        assert_eq!(f.sig.ret.as_deref(), Some("Vec"));
+        assert!(f.body.is_some());
+    }
+
+    #[test]
+    fn parses_impl_blocks_and_trait_impls() {
+        let f = parse(
+            "impl FileSystem for PaconClient {\n fn stat(&self) -> u32 { 1 }\n}\nimpl<'a> Shard {\n fn get(&self, k: &[u8]) -> Option<Arc<[u8]>> { None }\n}",
+        );
+        let [ItemRec { item: Item::Impl(a), .. }, ItemRec { item: Item::Impl(b), .. }] = &f.items[..] else { panic!() };
+        assert_eq!(a.trait_name.as_deref(), Some("FileSystem"));
+        assert_eq!(a.self_ty, "PaconClient");
+        assert_eq!(a.fns.len(), 1);
+        assert_eq!(b.self_ty, "Shard");
+        assert!(b.trait_name.is_none());
+    }
+
+    #[test]
+    fn cfg_test_mods_are_marked() {
+        let f = parse("#[cfg(test)]\nmod tests { fn t() {} }\nmod real { fn r() {} }");
+        let [ItemRec { item: Item::Mod(t), .. }, ItemRec { item: Item::Mod(r), .. }] = &f.items[..] else { panic!() };
+        assert!(t.attrs.cfg_test);
+        assert!(!r.attrs.cfg_test);
+        assert_eq!(r.items.as_ref().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn struct_fields_with_simplified_types() {
+        let f = parse(
+            "pub struct RegionCore { pub staging: Mutex<HashMap<String, u32>>, dfs: Arc<DfsClient>, pub counters: Counters }",
+        );
+        let [ItemRec { item: Item::Struct(s), .. }] = &f.items[..] else { panic!() };
+        assert_eq!(
+            s.fields,
+            vec![
+                ("staging".to_string(), "HashMap".to_string()),
+                ("dfs".to_string(), "DfsClient".to_string()),
+                ("counters".to_string(), "Counters".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn wrapper_types_unwrap_to_payload() {
+        let (ts, _) = lex_with_comments("&Arc<Mds>").unwrap();
+        assert_eq!(simplify_type(&ts.trees).as_deref(), Some("Mds"));
+        let (ts, _) = lex_with_comments("Option<Box<dyn FileSystem>>").unwrap();
+        assert_eq!(simplify_type(&ts.trees).as_deref(), Some("FileSystem"));
+        let (ts, _) = lex_with_comments("Vec<Foo>").unwrap();
+        assert_eq!(simplify_type(&ts.trees).as_deref(), Some("Vec"));
+    }
+
+    #[test]
+    fn traits_with_default_methods() {
+        let f = parse("pub trait FileSystem { fn stat(&self) -> u32; fn exists(&self) -> bool { self.stat() > 0 } }");
+        let [ItemRec { item: Item::Trait(t), .. }] = &f.items[..] else { panic!() };
+        assert_eq!(t.fns.len(), 2);
+        assert!(t.fns[0].body.is_none());
+        assert!(t.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn generics_with_fn_bounds_do_not_derail() {
+        let f = parse("fn apply<F: Fn(u32) -> u32>(&self, f: F) -> u32 { f(1) }");
+        let [ItemRec { item: Item::Fn(f), .. }] = &f.items[..] else { panic!() };
+        assert_eq!(f.sig.name, "apply");
+        assert_eq!(f.sig.params.len(), 1);
+    }
+
+    #[test]
+    fn verbatim_items_preserve_tokens() {
+        let f = parse("use std::sync::{Arc, Mutex};\nconst N: usize = 4;\nenum E { A, B }");
+        assert_eq!(f.items.len(), 3);
+        let Item::Use(u) = &f.items[0].item else { panic!() };
+        let names: Vec<_> = u
+            .tree
+            .iter()
+            .flat_map(|t| match t {
+                TokenTree::Ident(i) => vec![i.as_str().to_string()],
+                TokenTree::Group(g) => g
+                    .stream()
+                    .trees
+                    .iter()
+                    .filter_map(|t| match t {
+                        TokenTree::Ident(i) => Some(i.as_str().to_string()),
+                        _ => None,
+                    })
+                    .collect(),
+                _ => vec![],
+            })
+            .collect();
+        assert_eq!(names, vec!["std", "sync", "Arc", "Mutex"]);
+    }
+}
