@@ -101,6 +101,23 @@ impl DfsCluster {
         self.seen.lock().len()
     }
 
+    /// Latest recorded namespace generation of every path under `root`
+    /// (region launch: seed writeback generations for files created by
+    /// earlier incarnations).
+    pub fn replay_generations_under(&self, root: &str) -> Vec<(String, u64)> {
+        self.seen.lock().generations_under(root)
+    }
+
+    /// Evict replay identities under `root` from incarnations
+    /// `< below_incarnation` (`u64::MAX` = all of them). Only safe once
+    /// the commit logs that could replay those identities are truncated;
+    /// the owning region calls this at launch (after recovery reset its
+    /// logs) and after fully-truncating sync barriers. Returns how many
+    /// identities were evicted.
+    pub fn prune_replay_identities(&self, root: &str, below_incarnation: u64) -> usize {
+        self.seen.lock().prune_under(root, below_incarnation)
+    }
+
     /// Drop a deleted file's chunks on every data server (server-side
     /// cleanup, uncharged).
     pub fn drop_file(&self, ino: Ino) {

@@ -15,11 +15,16 @@
 //! Replaying an identified namespace op that is already in the cache is
 //! a no-op returning the original inode; replaying a data writeback
 //! whose path has moved to a newer generation (the file was re-created
-//! since) is skipped rather than applied to the wrong file.
+//! since) is skipped rather than applied to the wrong file. A writeback
+//! whose generation is **zero** carries no ordering information (the
+//! file predates its region's current launch) — it is always applied,
+//! never skipped: dropping an acknowledged write is strictly worse than
+//! re-applying one.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use fsapi::path as fspath;
 use syncguard::{level, Mutex};
 
 use crate::namespace::Ino;
@@ -34,6 +39,33 @@ pub struct OpId {
 
 impl OpId {
     pub const NONE: OpId = OpId { write_id: 0, generation: 0 };
+
+    /// Low bits of a `write_id` hold the region-launch-local sequence
+    /// number; the bits above hold the launch's incarnation.
+    pub const SEQ_BITS: u32 = 40;
+    /// Exclusive upper bound on incarnation numbers (24 bits).
+    pub const MAX_INCARNATION: u64 = 1 << (64 - Self::SEQ_BITS);
+
+    /// Pack an `(incarnation, seq)` pair into a `write_id`. Panics on
+    /// overflow of either field: a wrapped id would collide with an
+    /// identity already in the seen-cache and silently no-op a real op,
+    /// which is strictly worse than stopping.
+    pub fn pack_write_id(incarnation: u64, seq: u64) -> u64 {
+        assert!(
+            incarnation < Self::MAX_INCARNATION,
+            "incarnation {incarnation} overflows the write_id incarnation bits"
+        );
+        assert!(
+            seq < (1 << Self::SEQ_BITS),
+            "sequence {seq} overflows the write_id sequence bits"
+        );
+        (incarnation << Self::SEQ_BITS) | seq
+    }
+
+    /// The incarnation a packed `write_id` was allocated in.
+    pub fn incarnation_of(write_id: u64) -> u64 {
+        write_id >> Self::SEQ_BITS
+    }
 
     pub fn is_none(&self) -> bool {
         self.write_id == 0
@@ -77,11 +109,50 @@ impl SeenCache {
     /// Whether replaying an identified data writeback would be stale:
     /// either this exact write already applied, or the path has moved on
     /// to a newer namespace generation (the file was re-created since).
+    ///
+    /// Generation **zero** means the writer did not know its file's
+    /// creation generation (the file predates the region launch that
+    /// logged the write). That is "unknown", not "older than everything":
+    /// such a write is only stale if this exact `write_id` already
+    /// applied — skipping it on a generation comparison would silently
+    /// drop an acknowledged write during normal durable operation.
     pub fn data_replay_is_stale(&self, path: &str, id: &OpId) -> bool {
         if self.seen.contains_key(&(path.to_string(), id.write_id)) {
             return true;
         }
-        self.latest_gen.get(path).is_some_and(|g| *g > id.generation)
+        id.generation != 0
+            && self.latest_gen.get(path).is_some_and(|g| *g > id.generation)
+    }
+
+    /// Latest recorded namespace generation of every path under `root`
+    /// (a region seeds its in-memory generation map from this at launch,
+    /// so writebacks to files created by earlier incarnations carry the
+    /// correct generation instead of 0).
+    pub fn generations_under(&self, root: &str) -> Vec<(String, u64)> {
+        self.latest_gen
+            .iter()
+            .filter(|(path, _)| fspath::is_same_or_ancestor(root, path))
+            .map(|(path, gen)| (path.clone(), *gen))
+            .collect()
+    }
+
+    /// Evict identities under `root` whose write was allocated by an
+    /// incarnation `< below_incarnation`. Only call this once those
+    /// identities are provably unreplayable — i.e. after the commit logs
+    /// that could carry them have been truncated; `below_incarnation =
+    /// u64::MAX` prunes everything recorded under `root`. Returns the
+    /// number of identities removed.
+    pub fn prune_under(&mut self, root: &str, below_incarnation: u64) -> usize {
+        let before = self.seen.len();
+        self.seen.retain(|(path, write_id), _| {
+            !fspath::is_same_or_ancestor(root, path)
+                || OpId::incarnation_of(*write_id) >= below_incarnation
+        });
+        self.latest_gen.retain(|path, gen| {
+            !fspath::is_same_or_ancestor(root, path)
+                || OpId::incarnation_of(*gen) >= below_incarnation
+        });
+        before - self.seen.len()
     }
 
     /// Number of remembered identities (diagnostics).
@@ -122,5 +193,59 @@ mod tests {
         // The same write replayed twice is stale the second time.
         c.record("/f", OpId { write_id: 25, generation: 20 }, Ino(2));
         assert!(c.data_replay_is_stale("/f", &OpId { write_id: 25, generation: 20 }));
+    }
+
+    #[test]
+    fn unknown_generation_writes_are_never_skipped_by_age() {
+        let mut c = SeenCache::default();
+        // The file was created durably (generation 10), then the region
+        // restarted: a new-launch writeback that could not learn the
+        // creation generation carries 0. It must apply.
+        c.record("/f", OpId { write_id: 10, generation: 10 }, Ino(1));
+        assert!(!c.data_replay_is_stale("/f", &OpId { write_id: 77, generation: 0 }));
+        // ... but replaying that exact write a second time still no-ops.
+        c.record("/f", OpId { write_id: 77, generation: 0 }, Ino(1));
+        assert!(c.data_replay_is_stale("/f", &OpId { write_id: 77, generation: 0 }));
+    }
+
+    #[test]
+    fn generations_under_scopes_to_the_root() {
+        let mut c = SeenCache::default();
+        c.record("/a/f", OpId { write_id: 3, generation: 3 }, Ino(1));
+        c.record("/a/g", OpId { write_id: 4, generation: 4 }, Ino(2));
+        c.record("/b/h", OpId { write_id: 5, generation: 5 }, Ino(3));
+        let mut gens = c.generations_under("/a");
+        gens.sort();
+        assert_eq!(gens, vec![("/a/f".to_string(), 3), ("/a/g".to_string(), 4)]);
+    }
+
+    #[test]
+    fn prune_is_scoped_by_root_and_incarnation() {
+        let mut c = SeenCache::default();
+        let old = OpId::pack_write_id(1, 9);
+        let new = OpId::pack_write_id(2, 1);
+        c.record("/a/f", OpId { write_id: old, generation: old }, Ino(1));
+        c.record("/a/g", OpId { write_id: new, generation: new }, Ino(2));
+        c.record("/b/h", OpId { write_id: old, generation: old }, Ino(3));
+        // Prune region /a below incarnation 2: only /a's old identity goes.
+        assert_eq!(c.prune_under("/a", 2), 1);
+        assert!(c.hit("/a/f", old).is_none());
+        assert!(c.hit("/a/g", new).is_some());
+        assert!(c.hit("/b/h", old).is_some(), "other regions untouched");
+        assert!(c.generations_under("/a").iter().all(|(p, _)| p == "/a/g"));
+        // Prune everything under /a.
+        assert_eq!(c.prune_under("/a", u64::MAX), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn write_id_packing_guards_overflow() {
+        let id = OpId::pack_write_id(3, 41);
+        assert_eq!(OpId::incarnation_of(id), 3);
+        assert_eq!(id & ((1 << OpId::SEQ_BITS) - 1), 41);
+        assert!(std::panic::catch_unwind(|| OpId::pack_write_id(OpId::MAX_INCARNATION, 1))
+            .is_err());
+        assert!(std::panic::catch_unwind(|| OpId::pack_write_id(1, 1 << OpId::SEQ_BITS))
+            .is_err());
     }
 }

@@ -116,7 +116,10 @@ impl RegionCore {
             return dfs::OpId::NONE;
         }
         let seq = self.write_seq.fetch_add(1, Ordering::Relaxed) + 1;
-        let write_id = (self.incarnation << 40) | seq;
+        // Panics on a 2^40 per-launch mutation overflow rather than
+        // letting seq bleed into the incarnation bits and collide with
+        // identities already in the seen-cache.
+        let write_id = dfs::OpId::pack_write_id(self.incarnation, seq);
         let generation = match op {
             CommitOp::Mkdir { path, .. }
             | CommitOp::Create { path, .. }
@@ -163,20 +166,27 @@ impl RegionCore {
     /// Truncate every node's commit log if the region is fully drained —
     /// called after completions; two atomic loads when there is still
     /// work in flight. Hosts the post-apply/pre-truncate crash point.
-    pub fn maybe_truncate_wals(&self) {
+    /// Returns whether every log was truncated by this pass (and is thus
+    /// provably empty), which is when replay identities become prunable.
+    pub fn maybe_truncate_wals(&self) -> bool {
         if self.wals.is_empty() || !self.drained() {
-            return;
+            return false;
         }
         if self.crash.hit(CrashPoint::PreTruncate) {
-            return;
+            return false;
         }
+        let mut all_truncated = true;
         for wal in &self.wals {
             match wal.truncate_if(|| self.drained()) {
                 Ok(true) => self.counters.incr("wal_truncations"),
-                Ok(false) => {}
-                Err(_) => self.counters.incr("wal_errors"),
+                Ok(false) => all_truncated = false,
+                Err(_) => {
+                    self.counters.incr("wal_errors");
+                    all_truncated = false;
+                }
             }
         }
+        all_truncated
     }
 
     /// Unconditionally truncate every commit log (end of a successful
@@ -360,6 +370,21 @@ impl PaconRegion {
             replay_wal_entries(&core, &setup, recovered)?;
             core.reset_wals()?;
         }
+        if core.durable() {
+            // Writebacks to files created by earlier incarnations must
+            // carry those files' creation generations, not 0: seed the
+            // in-memory generation map from the cluster's records before
+            // any client publishes.
+            let seeded = dfs.replay_generations_under(&core.root);
+            if !seeded.is_empty() {
+                core.generations.lock().extend(seeded);
+            }
+            // Every earlier incarnation's log was just replayed (or found
+            // empty) and reset, so the identities those logs could replay
+            // are confirmed-and-gone: shed them from the seen-cache.
+            let pruned = dfs.prune_replay_identities(&core.root, core.incarnation);
+            core.counters.add("replay_pruned", pruned as u64);
+        }
 
         let mut publishers = Vec::with_capacity(nodes);
         let mut workers = Vec::with_capacity(nodes);
@@ -528,33 +553,69 @@ impl PaconRegion {
         // Everything published before the barrier is now confirmed; a
         // drained durable region can shed its logs.
         // lint: allow(hold-across-blocking, WAL truncation must run inside the barrier: the held slot fences new ops)
-        self.core.maybe_truncate_wals();
+        if self.core.maybe_truncate_wals() {
+            // Every log is empty and the barrier fences new publishes, so
+            // no identity recorded under this root can ever replay: shed
+            // them all (bounds seen-cache growth in long-lived regions).
+            let pruned = self.dfs.prune_replay_identities(&self.core.root, u64::MAX);
+            self.core.counters.add("replay_pruned", pruned as u64);
+        }
     }
 }
 
 /// Read-increment-write the WAL directory's incarnation counter. The
 /// incarnation forms the high bits of every `write_id`, so identities
-/// never collide across restarts of the same region.
+/// never collide across restarts of the same region — which is why the
+/// bump must be crash-safe: the new value is written to a temp file,
+/// fsynced, renamed over the counter, and the directory is fsynced, so a
+/// crash either keeps the old value (the next launch re-bumps past it)
+/// or lands the new one, never a torn or reverted counter. A counter
+/// that exists but does not parse fails the launch: silently restarting
+/// from 0 would reuse incarnations and no-op real ops against stale
+/// seen-cache identities.
 fn bump_incarnation(wal_dir: &std::path::Path) -> FsResult<u64> {
+    let io_err = |e: std::io::Error| FsError::Backend(format!("incarnation file: {e}"));
     let path = wal_dir.join("incarnation");
-    let current = std::fs::read_to_string(&path)
-        .ok()
-        .and_then(|s| s.trim().parse::<u64>().ok())
-        .unwrap_or(0);
+    let current = match std::fs::read_to_string(&path) {
+        Ok(s) => s.trim().parse::<u64>().map_err(|_| {
+            FsError::Backend(format!(
+                "incarnation file {} is corrupt; refusing to reuse write_id space",
+                path.display()
+            ))
+        })?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
+        Err(e) => return Err(io_err(e)),
+    };
     let next = current + 1;
-    std::fs::write(&path, next.to_string())
-        .map_err(|e| FsError::Backend(format!("incarnation file: {e}")))?;
+    if next >= dfs::OpId::MAX_INCARNATION {
+        return Err(FsError::Backend(
+            "incarnation counter exhausted the write_id incarnation bits".into(),
+        ));
+    }
+    let tmp = wal_dir.join("incarnation.tmp");
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::File::create(&tmp).map_err(io_err)?;
+        f.write_all(next.to_string().as_bytes()).map_err(io_err)?;
+        f.sync_all().map_err(io_err)?;
+    }
+    std::fs::rename(&tmp, &path).map_err(io_err)?;
+    // The rename itself must be durable, or a crash could resurrect the
+    // previous counter value after this launch already used `next`.
+    std::fs::File::open(wal_dir).map_err(io_err)?.sync_all().map_err(io_err)?;
     Ok(next)
 }
 
 /// Replay recovered commit-log entries against the DFS, preserving
 /// per-node order and interleaving nodes round-robin. An entry whose
 /// parent is not yet present waits for the other queues; when no queue
-/// can make progress the stuck heads are dropped (their prerequisite was
-/// lost before it became durable). All applies are idempotent — a crash
-/// *during* this replay (see `recovery_crash_after`) just means the next
-/// launch replays the same log again, and the seen-cache no-ops the
-/// prefix that already landed.
+/// can make progress **one** stuck head is dropped (preferring one whose
+/// prerequisite was lost before it became durable) and the round-robin
+/// resumes — an entry blocked only on an entry deeper in another queue
+/// survives to apply once its prerequisite surfaces. All applies are
+/// idempotent — a crash *during* this replay (see `recovery_crash_after`)
+/// just means the next launch replays the same log again, and the
+/// seen-cache no-ops the prefix that already landed.
 fn replay_wal_entries(
     core: &RegionCore,
     fs: &dfs::DfsClient,
@@ -586,13 +647,52 @@ fn replay_wal_entries(
         if !remaining {
             return Ok(());
         }
-        if !progress {
-            for q in queues.iter_mut() {
-                if q.pop_front().is_some() {
-                    core.counters.incr("recovery_skipped");
-                }
-            }
+        if !progress && drop_one_stuck_head(&mut queues) {
+            core.counters.incr("recovery_skipped");
         }
+    }
+}
+
+/// Pick one stuck queue head to abandon when replay cannot make
+/// progress. A head is only truly unrecoverable when the path it waits
+/// for (its parent for creations, the file itself for writebacks) is not
+/// created by *any* entry still queued — prefer dropping such a head.
+/// Heads whose prerequisite is merely deeper in another queue get
+/// another round once the blocker is gone. Falls back to the first
+/// non-empty queue so that (impossible-in-practice) cyclic waits still
+/// terminate.
+fn drop_one_stuck_head(queues: &mut [std::collections::VecDeque<WalEntry>]) -> bool {
+    let pending_creations: std::collections::HashSet<&str> = queues
+        .iter()
+        .flat_map(|q| q.iter())
+        .filter_map(|e| match &e.msg.op {
+            CommitOp::Mkdir { path, .. } | CommitOp::Create { path, .. } => Some(path.as_str()),
+            _ => None,
+        })
+        .collect();
+    let victim = queues
+        .iter()
+        .position(|q| {
+            q.front().is_some_and(|e| match replay_waits_for(&e.msg.op) {
+                Some(need) => !pending_creations.contains(need),
+                None => true,
+            })
+        })
+        .or_else(|| queues.iter().position(|q| !q.is_empty()));
+    match victim {
+        Some(i) => queues[i].pop_front().is_some(),
+        None => false,
+    }
+}
+
+/// The path a blocked replay entry is waiting to appear: the parent
+/// directory for namespace creations, the file itself for data
+/// writebacks. `None` for ops that never block in [`replay_one`].
+fn replay_waits_for(op: &CommitOp) -> Option<&str> {
+    match op {
+        CommitOp::Mkdir { path, .. } | CommitOp::Create { path, .. } => fspath::parent(path),
+        CommitOp::WriteInline { path } => Some(path),
+        CommitOp::Unlink { .. } | CommitOp::Barrier { .. } | CommitOp::Batch(_) => None,
     }
 }
 
@@ -798,6 +898,77 @@ mod tests {
         let a = region.core().now();
         let b = region.core().now();
         assert!(b > a);
+    }
+
+    fn plain_entry(op: CommitOp) -> WalEntry {
+        WalEntry {
+            msg: QueueMsg { op, client: 0, epoch: 0, timestamp: 0, id: dfs::OpId::NONE },
+            snapshot: None,
+        }
+    }
+
+    /// Regression (review): a stalled replay round must only abandon the
+    /// head whose prerequisite is truly lost. Here q0's `create /app/a/f`
+    /// is blocked on `mkdir /app/a` sitting *behind* the unrecoverable
+    /// `mkdir /lost/x` in q1 — the old all-heads drop lost the create.
+    #[test]
+    fn stalled_replay_drops_only_unrecoverable_heads() {
+        let (dfs, region) = launch("/app");
+        let fs = dfs.client();
+        let core = region.core();
+        let q0 = vec![plain_entry(CommitOp::Create { path: "/app/a/f".into(), mode: 0o644 })];
+        let q1 = vec![
+            plain_entry(CommitOp::Mkdir { path: "/lost/x".into(), mode: 0o755 }),
+            plain_entry(CommitOp::Mkdir { path: "/app/a".into(), mode: 0o755 }),
+        ];
+        replay_wal_entries(core, &fs, vec![q0, q1]).unwrap();
+        let cred = Credentials::new(1, 1);
+        assert!(fs.stat("/app/a/f", &cred).unwrap().is_file(), "recoverable op was dropped");
+        assert_eq!(core.counters.get("recovery_skipped"), 1, "only /lost/x is unrecoverable");
+        assert_eq!(core.counters.get("recovery_applied"), 2);
+    }
+
+    #[test]
+    fn stalled_replay_with_cyclic_waits_still_terminates() {
+        let (dfs, region) = launch("/app");
+        let fs = dfs.client();
+        let core = region.core();
+        // Each head waits on a creation queued behind the other's head.
+        let q0 = vec![
+            plain_entry(CommitOp::Create { path: "/app/x/f".into(), mode: 0o644 }),
+            plain_entry(CommitOp::Mkdir { path: "/app/y".into(), mode: 0o755 }),
+        ];
+        let q1 = vec![
+            plain_entry(CommitOp::Create { path: "/app/y/g".into(), mode: 0o644 }),
+            plain_entry(CommitOp::Mkdir { path: "/app/x".into(), mode: 0o755 }),
+        ];
+        replay_wal_entries(core, &fs, vec![q0, q1]).unwrap();
+        // One head had to be sacrificed to break the cycle; everything
+        // else must land.
+        assert_eq!(core.counters.get("recovery_skipped"), 1);
+        assert_eq!(core.counters.get("recovery_applied"), 3);
+    }
+
+    #[test]
+    fn incarnation_counter_bumps_durably_and_rejects_corruption() {
+        let dir = std::env::temp_dir().join(format!(
+            "pacon-incarnation-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(bump_incarnation(&dir).unwrap(), 1);
+        assert_eq!(bump_incarnation(&dir).unwrap(), 2);
+        assert!(!dir.join("incarnation.tmp").exists(), "temp file must not survive");
+        // A corrupt counter must fail the launch, not restart from 0.
+        std::fs::write(dir.join("incarnation"), "not-a-number").unwrap();
+        assert!(bump_incarnation(&dir).is_err());
+        // An exhausted counter must refuse rather than truncate.
+        std::fs::write(dir.join("incarnation"), (dfs::OpId::MAX_INCARNATION - 1).to_string())
+            .unwrap();
+        assert!(bump_incarnation(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

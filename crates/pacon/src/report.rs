@@ -74,6 +74,9 @@ pub struct RegionReport {
     pub recovery_skipped: u64,
     /// Buffered-but-unpublished ops discarded by checkpoint rollback.
     pub rollback_dropped_ops: u64,
+    /// Confirmed replay identities evicted from the DFS seen-cache (at
+    /// launch and after fully-truncating sync barriers).
+    pub replay_pruned: u64,
 }
 
 impl RegionReport {
@@ -151,14 +154,15 @@ impl fmt::Display for RegionReport {
         write!(
             f,
             "  wal:    {} appended / {} fsyncs / {} truncations, \
-             {} replayed ({} applied, {} skipped), {} rollback-dropped",
+             {} replayed ({} applied, {} skipped), {} rollback-dropped, {} pruned",
             self.wal_appended,
             self.wal_fsyncs,
             self.wal_truncations,
             self.wal_replayed,
             self.recovery_applied,
             self.recovery_skipped,
-            self.rollback_dropped_ops
+            self.rollback_dropped_ops,
+            self.replay_pruned
         )
     }
 }
@@ -202,6 +206,7 @@ impl PaconRegion {
             recovery_applied: core.counters.get("recovery_applied"),
             recovery_skipped: core.counters.get("recovery_skipped"),
             rollback_dropped_ops: core.counters.get("rollback_dropped_ops"),
+            replay_pruned: core.counters.get("replay_pruned"),
         }
     }
 }

@@ -163,11 +163,99 @@ fn durable_region_recovers_buffered_ops_after_crash() {
             "recovered content must match the last acknowledged write"
         );
     }
+    // The logs were reset after replay, so every replay identity from
+    // incarnation 1 is confirmed-and-gone: the launch pruned them.
+    assert_eq!(dfs.seen_len(), 0, "seen-cache must not leak across recoveries");
+    assert!(region.report().replay_pruned > 0);
     drop(region);
 
     // Recovery truncated the logs: a third launch has nothing to replay.
     let region = PaconRegion::launch_paused(config, &dfs).unwrap();
     assert_eq!(region.report().wal_replayed, 0);
+}
+
+/// Regression (review, dfs layer): `write_idempotent` must not skip a
+/// generation-0 writeback just because the path already has a recorded
+/// generation. Generation 0 means the writer could not learn the file's
+/// creation generation (it predates the writer's launch) — that is
+/// "unknown", not "older than everything", and the write is an
+/// acknowledged one: skipping it drops durable data.
+#[test]
+fn generation_zero_writeback_applies_over_recorded_generations() {
+    let dfs = dfs();
+    let cred = Credentials::new(1, 1);
+    let fs = dfs.client();
+    // Incarnation 1 creates the file durably: its generation is recorded
+    // in the cluster seen-cache.
+    let create_id = dfs::OpId::pack_write_id(1, 1);
+    fs.apply_batch_idempotent(
+        &[dfs::BatchOp::Create { path: "/f".into(), mode: 0o644 }],
+        &[dfs::OpId { write_id: create_id, generation: create_id }],
+        &cred,
+    )
+    .pop()
+    .unwrap()
+    .unwrap();
+    // A later incarnation replays an acknowledged write that could not
+    // learn the creation generation: it must apply.
+    let wid = dfs::OpId { write_id: dfs::OpId::pack_write_id(2, 1), generation: 0 };
+    fs.write_idempotent("/f", &cred, b"acknowledged", wid).unwrap();
+    assert_eq!(
+        fs.read("/f", &cred, 0, 64).unwrap(),
+        b"acknowledged",
+        "generation-0 writeback was skipped as stale"
+    );
+    assert_eq!(fs.counters.get("replay_skipped_write"), 0);
+    // The exact same write replayed again (crash during recovery) still
+    // no-ops by write_id identity.
+    fs.write_idempotent("/f", &cred, b"acknowledged", wid).unwrap();
+    assert_eq!(fs.counters.get("replay_skipped_write"), 1);
+}
+
+/// Regression (review): an acknowledged overwrite of a file created by
+/// an *earlier* incarnation must survive a crash. (With the current
+/// client the overwrite routes through the direct data plane — files
+/// loaded from the DFS are large/committed — but the guarantee must
+/// hold whichever way the client routes it; the journaled-writeback
+/// variant of the same guarantee is pinned at the dfs layer above.)
+#[test]
+fn writeback_to_preexisting_file_recovers_across_incarnations() {
+    let dfs = dfs();
+    let cred = Credentials::new(1, 1);
+    let wal_dir = fresh_wal_dir("preexisting");
+    let config = PaconConfig::new("/job", Topology::new(1, 1), cred)
+        .with_commit_batch(16)
+        .with_durability(&wal_dir);
+
+    // Incarnation 1: create the file and commit it all the way through.
+    let region = PaconRegion::launch(config.clone(), &dfs).unwrap();
+    let c = region.client(ClientId(0));
+    c.create("/job/f", &cred, 0o644).unwrap();
+    c.write("/job/f", &cred, 0, b"old").unwrap();
+    region.shutdown().unwrap();
+    drop(c);
+    drop(region);
+    assert_eq!(dfs.client().read("/job/f", &cred, 0, 64).unwrap(), b"old");
+
+    // Incarnation 2: overwrite — acknowledged and journaled, but the
+    // node dies before the commit queue publishes it.
+    let region = PaconRegion::launch_paused(config.clone(), &dfs).unwrap();
+    let c = region.client(ClientId(0));
+    c.write("/job/f", &cred, 0, b"new-payload").unwrap();
+    region.abort();
+    drop(c);
+    drop(region);
+
+    // Incarnation 3: recovery must apply the acknowledged overwrite
+    // instead of skipping it as "stale".
+    let region = PaconRegion::launch_paused(config, &dfs).unwrap();
+    assert_eq!(
+        dfs.client().read("/job/f", &cred, 0, 64).unwrap(),
+        b"new-payload",
+        "acknowledged write to a pre-incarnation file was dropped on recovery"
+    );
+    assert_eq!(region.report().recovery_skipped, 0);
+    drop(region);
 }
 
 /// Crash *during* recovery: the half-replayed log replays again on the
