@@ -132,7 +132,7 @@ fn bench_engine(c: &mut Criterion) {
                 return Step::Done;
             }
             self.remaining -= 1;
-            Step::Work { trace: self.trace.clone(), ops: 1 }
+            Step::Work { trace: self.trace.clone(), ops: 1, class: 0 }
         }
     }
     let mut trace = CostTrace::new();

@@ -16,6 +16,13 @@ use simnet::{LatencyProfile, Topology};
 use workloads::mdtest;
 use workloads::ops::FsOp;
 
+/// Two named columns plus the shared tail-latency columns.
+fn ablation_header(first: &str, second: &str) -> Vec<String> {
+    let mut h = vec![first.to_string(), second.to_string()];
+    h.extend(latency_header());
+    h
+}
+
 fn main() {
     let profile = Arc::new(LatencyProfile::default());
     let topo = Topology::new(8, 20);
@@ -33,11 +40,13 @@ fn main() {
         });
         let pool = WorkerPool::claim(&bed);
         let res = run_phase(&bed, &pool, |c| mdtest::create_phase("/app", c.0, items));
-        rows.push(vec![label.to_string(), fmt_ops(res.ops_per_sec)]);
+        let mut row = vec![label.to_string(), fmt_ops(res.ops_per_sec)];
+        row.extend(latency_cells(&res.run));
+        rows.push(row);
     }
     print_table(
         "Ablation (a): commit strategy — create ops/s, 160 clients",
-        &["strategy", "create"].map(String::from),
+        &ablation_header("strategy", "create"),
         &rows,
     );
 
@@ -69,11 +78,13 @@ fn main() {
                 .map(|i| FsOp::Create(format!("{chain}/f{:04}-{i:06}", c.0), 0o644))
                 .collect()
         });
-        rows.push(vec![label.to_string(), fmt_ops(res.ops_per_sec)]);
+        let mut row = vec![label.to_string(), fmt_ops(res.ops_per_sec)];
+        row.extend(latency_cells(&res.run));
+        rows.push(row);
     }
     print_table(
         "Ablation (b): permission checking at depth 6 — create ops/s",
-        &["mode", "create"].map(String::from),
+        &ablation_header("mode", "create"),
         &rows,
     );
 
@@ -104,11 +115,13 @@ fn main() {
                 })
                 .collect()
         });
-        rows.push(vec![label.to_string(), fmt_ops(res.ops_per_sec)]);
+        let mut row = vec![label.to_string(), fmt_ops(res.ops_per_sec)];
+        row.extend(latency_cells(&res.run));
+        rows.push(row);
     }
     print_table(
         "Ablation (c): parent-existence check — create ops/s (16 parents, round-robin)",
-        &["mode", "create"].map(String::from),
+        &ablation_header("mode", "create"),
         &rows,
     );
 
@@ -132,11 +145,13 @@ fn main() {
                 })
                 .collect()
         });
-        rows.push(vec![format!("{threshold} B"), fmt_ops(res.ops_per_sec)]);
+        let mut row = vec![format!("{threshold} B"), fmt_ops(res.ops_per_sec)];
+        row.extend(latency_cells(&res.run));
+        rows.push(row);
     }
     print_table(
         "Ablation (d): small-file threshold — create+write(2 KiB) ops/s",
-        &["threshold", "ops/s"].map(String::from),
+        &ablation_header("threshold", "ops/s"),
         &rows,
     );
     println!(

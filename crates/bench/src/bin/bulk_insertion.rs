@@ -36,7 +36,7 @@ impl Process for BulkClient {
             Some(op) => {
                 let (res, trace) = with_recording(|| op.exec(&self.fs, &CRED));
                 res.expect("bulk create");
-                Step::Work { trace, ops: 1 }
+                Step::Work { trace, ops: 1, class: op.class() }
             }
             None if !self.flushed => {
                 self.flushed = true;
@@ -44,7 +44,7 @@ impl Process for BulkClient {
                 res.expect("bulk flush");
                 // The flush is part of the measured job (BatchFS merges
                 // before the job completes).
-                Step::Work { trace, ops: 0 }
+                Step::Work { trace, ops: 0, class: 0 }
             }
             None => Step::Done,
         }
@@ -62,7 +62,9 @@ fn main() {
         let bed = TestBed::new(Backend::IndexFs, Arc::clone(&profile), topo, &["/app"]);
         let pool = WorkerPool::claim(&bed);
         let res = run_phase(&bed, &pool, |c| mdtest::create_phase("/app", c.0, items));
-        rows.push(vec!["IndexFS (per-op)".into(), fmt_ops(res.ops_per_sec)]);
+        let mut row = vec!["IndexFS (per-op)".into(), fmt_ops(res.ops_per_sec)];
+        row.extend(latency_cells(&res.run));
+        rows.push(row);
     }
 
     // IndexFS bulk (BatchFS/DeltaFS approximation).
@@ -83,10 +85,12 @@ fn main() {
             })
             .collect();
         let res = Simulation::new().run(&mut procs);
-        rows.push(vec![
+        let mut row = vec![
             "IndexFS bulk (BatchFS-like)".into(),
             fmt_ops(res.ops_per_sec()),
-        ]);
+        ];
+        row.extend(latency_cells(&res));
+        rows.push(row);
         // Everything must be queryable after the flush.
         let probe = cluster.client(NodeId(0));
         assert_eq!(
@@ -100,13 +104,17 @@ fn main() {
         let bed = TestBed::new(Backend::Pacon, Arc::clone(&profile), topo, &["/app"]);
         let pool = WorkerPool::claim(&bed);
         let res = run_phase(&bed, &pool, |c| mdtest::create_phase("/app", c.0, items));
-        rows.push(vec!["Pacon".into(), fmt_ops(res.ops_per_sec)]);
+        let mut row = vec!["Pacon".into(), fmt_ops(res.ops_per_sec)];
+        row.extend(latency_cells(&res.run));
+        rows.push(row);
         let _ = FsOpClient::new(bed.client(simnet::ClientId(0)), CRED, Vec::new());
     }
 
+    let mut header: Vec<String> = ["system", "create ops/s"].map(String::from).to_vec();
+    header.extend(latency_header());
     print_table(
         "Bulk insertion: file creation, 160 clients (Section II.B discussion)",
-        &["system", "create ops/s"].map(String::from),
+        &header,
         &rows,
     );
     println!(

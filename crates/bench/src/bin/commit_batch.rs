@@ -57,13 +57,16 @@ fn main() {
         let commit_ops_per_sec = report.committed as f64 * 1e9 / res.run.drained_ns as f64;
 
         let label = if batch == 1 { "unbatched".to_string() } else { format!("batch {batch}") };
-        rows.push(vec![
+        // Client-perceived create latency (the cache-write path).
+        let mut row = vec![
             label,
             fmt_ops(commit_ops_per_sec),
             fmt_ops(res.ops_per_sec),
             report.batches_flushed.to_string(),
             report.batched_ops.to_string(),
-        ]);
+        ];
+        row.extend(latency_cells(&res.run));
+        rows.push(row);
         series.push((
             batch,
             commit_ops_per_sec,
@@ -73,9 +76,14 @@ fn main() {
         ));
     }
 
+    let mut header: Vec<String> =
+        ["config", "commit ops/s", "client ops/s", "batches", "batched ops"]
+            .map(String::from)
+            .to_vec();
+    header.extend(latency_header());
     print_table(
         "Group commit: commit throughput vs batch size (160 clients, default profile)",
-        &["config", "commit ops/s", "client ops/s", "batches", "batched ops"].map(String::from),
+        &header,
         &rows,
     );
 

@@ -30,18 +30,23 @@ fn main() {
                 base.push(res.ops_per_sec);
             }
             let speedup = res.ops_per_sec / base.last().copied().unwrap_or(1.0);
-            rows.push(vec![
+            let mut row = vec![
                 backend.label().to_string(),
                 clients.to_string(),
                 fmt_ops(res.ops_per_sec),
                 format!("{speedup:.1}x"),
-            ]);
+            ];
+            row.extend(latency_cells(&res.run));
+            rows.push(row);
         }
     }
 
+    let mut header: Vec<String> =
+        ["system", "clients", "ops/s", "speedup"].map(String::from).to_vec();
+    header.extend(latency_header());
     print_table(
         "Fig 1: client scalability in file creation (speedup over 1 client)",
-        &["system", "clients", "ops/s", "speedup"].map(String::from),
+        &header,
         &rows,
     );
     println!(

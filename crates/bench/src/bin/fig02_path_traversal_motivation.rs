@@ -39,22 +39,27 @@ fn main() {
                 depth3 = Some(res.ops_per_sec);
             }
             let rel = res.ops_per_sec / depth3.unwrap();
-            rows.push(vec![
+            let mut row = vec![
                 backend.label().to_string(),
                 depth.to_string(),
                 tree.leaves.len().to_string(),
                 fmt_ops(res.ops_per_sec),
                 format!("{:.0}%", rel * 100.0),
-            ]);
+            ];
+            row.extend(latency_cells(&res.run));
+            rows.push(row);
             if depth == 6 {
                 drops.push((backend, 100.0 * (1.0 - rel)));
             }
         }
     }
 
+    let mut header: Vec<String> =
+        ["system", "depth", "leaves", "ops/s", "vs depth 3"].map(String::from).to_vec();
+    header.extend(latency_header());
     print_table(
         "Fig 2: random stat of leaf dirs vs namespace depth (fanout 5)",
-        &["system", "depth", "leaves", "ops/s", "vs depth 3"].map(String::from),
+        &header,
         &rows,
     );
     println!();

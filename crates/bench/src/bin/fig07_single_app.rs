@@ -52,23 +52,25 @@ fn main() {
                 backend,
                 [mkdir.ops_per_sec, create.ops_per_sec, stat.ops_per_sec],
             ));
-            rows.push(vec![
+            // Tail latency of the create phase (the headline op).
+            let mut row = vec![
                 nodes.to_string(),
                 (nodes * 20).to_string(),
                 backend.label().to_string(),
                 fmt_ops(mkdir.ops_per_sec),
                 fmt_ops(create.ops_per_sec),
                 fmt_ops(stat.ops_per_sec),
-            ]);
+            ];
+            row.extend(latency_cells(&create.run));
+            rows.push(row);
         }
     }
 
-    print_table(
-        "Fig 7: single-application throughput (ops/s)",
-        &["nodes", "clients", "system", "mkdir", "create", "stat"]
-            .map(String::from),
-        &rows,
-    );
+    let mut header: Vec<String> = ["nodes", "clients", "system", "mkdir", "create", "stat"]
+        .map(String::from)
+        .to_vec();
+    header.extend(latency_header().into_iter().map(|h| format!("create {h}")));
+    print_table("Fig 7: single-application throughput (ops/s)", &header, &rows);
 
     // Ratio summary at the largest scale.
     let get = |backend: Backend| {

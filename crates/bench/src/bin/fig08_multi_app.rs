@@ -52,19 +52,25 @@ fn main() {
             if napps == 16 {
                 at16.push((backend, [mkdir.ops_per_sec, create.ops_per_sec, stat.ops_per_sec]));
             }
-            rows.push(vec![
+            // Tail latency of the create phase (the headline op).
+            let mut row = vec![
                 napps.to_string(),
                 backend.label().to_string(),
                 fmt_ops(mkdir.ops_per_sec),
                 fmt_ops(create.ops_per_sec),
                 fmt_ops(stat.ops_per_sec),
-            ]);
+            ];
+            row.extend(latency_cells(&create.run));
+            rows.push(row);
         }
     }
 
+    let mut header: Vec<String> =
+        ["apps", "system", "mkdir", "create", "stat"].map(String::from).to_vec();
+    header.extend(latency_header().into_iter().map(|h| format!("create {h}")));
     print_table(
         "Fig 8: multi-application aggregate throughput (ops/s, 320 clients)",
-        &["apps", "system", "mkdir", "create", "stat"].map(String::from),
+        &header,
         &rows,
     );
 

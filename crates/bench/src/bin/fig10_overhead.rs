@@ -64,24 +64,31 @@ fn main() {
             if backend == Backend::Pacon {
                 pacon_vs_kv.push(res.ops_per_sec / raw_tput);
             }
-            rows.push(vec![
+            let mut row = vec![
                 depth.to_string(),
                 backend.label().to_string(),
                 fmt_ops(res.ops_per_sec),
                 format!("{:.0}%", 100.0 * res.ops_per_sec / raw_tput),
-            ]);
+            ];
+            row.extend(latency_cells(&res.run));
+            rows.push(row);
         }
-        rows.push(vec![
+        let mut row = vec![
             depth.to_string(),
             "Memcached".to_string(),
             fmt_ops(raw_tput),
             "100%".to_string(),
-        ]);
+        ];
+        row.extend(latency_cells(&raw));
+        rows.push(row);
     }
 
+    let mut header: Vec<String> =
+        ["depth", "system", "ops/s", "vs raw KV"].map(String::from).to_vec();
+    header.extend(latency_header());
     print_table(
         "Fig 10: single-client mkdir throughput vs raw Memcached insertion",
-        &["depth", "system", "ops/s", "vs raw KV"].map(String::from),
+        &header,
         &rows,
     );
     let min = pacon_vs_kv.iter().cloned().fold(f64::INFINITY, f64::min);

@@ -40,18 +40,23 @@ fn main() {
                     pacon_abs_320 = res.ops_per_sec;
                 }
             }
-            rows.push(vec![
+            let mut row = vec![
                 backend.label().to_string(),
                 clients.to_string(),
                 fmt_ops(res.ops_per_sec),
                 format!("{norm:.1}x"),
-            ]);
+            ];
+            row.extend(latency_cells(&res.run));
+            rows.push(row);
         }
     }
 
+    let mut header: Vec<String> =
+        ["system", "clients", "ops/s", "normalized"].map(String::from).to_vec();
+    header.extend(latency_header());
     print_table(
         "Fig 11: file-creation scalability (normalized to 1 client)",
-        &["system", "clients", "ops/s", "normalized"].map(String::from),
+        &header,
         &rows,
     );
 

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use pacon_bench::*;
 use qsim::Process;
 use simnet::{ClientId, LatencyProfile, Topology};
-use workloads::madbench::{run_madbench, verify_data, Breakdown, MadbenchConfig};
+use workloads::madbench::{run_madbench_phases, verify_data, MadbenchConfig, MadbenchPhases};
 
 fn main() {
     let profile = Arc::new(LatencyProfile::default());
@@ -27,41 +27,48 @@ fn main() {
         compute_ns_per_loop: 400_000_000,
     };
 
-    let mut results: Vec<(Backend, Breakdown)> = Vec::new();
+    let mut results: Vec<(Backend, MadbenchPhases)> = Vec::new();
     for backend in [Backend::BeeGfs, Backend::Pacon] {
         let bed = TestBed::new(backend, Arc::clone(&profile), topo, &["/mad"]);
         let pool = WorkerPool::claim(&bed);
         // Long-lived commit processes shared across all four phases
         // (empty for BeeGFS).
         let background: Vec<Box<dyn Process>> = pool.boxed();
-        let bd = run_madbench(&cfg, |p| bed.client(ClientId(p)), CRED, background);
+        let phases = run_madbench_phases(&cfg, |p| bed.client(ClientId(p)), CRED, background);
         // The data must actually round-trip.
         let probe = bed.client(ClientId(0));
         verify_data(&cfg, probe.as_ref(), &CRED).expect("data integrity");
-        results.push((backend, bd));
+        results.push((backend, phases));
     }
 
-    let bee_total = results[0].1.total_ns() as f64;
+    let bee_total = results[0].1.breakdown().total_ns() as f64;
     let mut rows = Vec::new();
-    for (backend, bd) in &results {
+    for (backend, phases) in &results {
+        let bd = phases.breakdown();
         let f = bd.fractions();
-        rows.push(vec![
+        // Tail latency of the init phase — the metadata-bound part.
+        let mut row = vec![
             backend.label().to_string(),
             format!("{:.3}", bd.total_ns() as f64 / bee_total),
             format!("{:.1}%", f[0] * 100.0),
             format!("{:.1}%", f[1] * 100.0),
             format!("{:.2}%", f[2] * 100.0),
             format!("{:.1}%", f[3] * 100.0),
-        ]);
+        ];
+        row.extend(latency_cells(&phases.init));
+        rows.push(row);
     }
+    let mut header: Vec<String> =
+        ["system", "total", "read", "write", "init", "other"].map(String::from).to_vec();
+    header.extend(latency_header().into_iter().map(|h| format!("init {h}")));
     print_table(
         "Fig 12: MADbench2 breakdown (normalized to BeeGFS total)",
-        &["system", "total", "read", "write", "init", "other"].map(String::from),
+        &header,
         &rows,
     );
 
-    let (_, bee) = &results[0];
-    let (_, pac) = &results[1];
+    let bee = results[0].1.breakdown();
+    let pac = results[1].1.breakdown();
     println!(
         "\n  init: Pacon {:.3} ms vs BeeGFS {:.3} ms (paper: Pacon slightly smaller)",
         pac.init_ns as f64 / 1e6,

@@ -32,6 +32,8 @@ const STAT_CHUNK: usize = 64;
 struct Series {
     label: &'static str,
     stat_ops_per_sec: f64,
+    /// p50/p99/p999 cells of the stat phase.
+    stat_latency: Vec<String>,
     stat_makespan_ns: u64,
     readdir_makespan_ns: u64,
     batched_reads: u64,
@@ -119,6 +121,7 @@ fn run_series(
     Series {
         label,
         stat_ops_per_sec: stat_res.ops_per_sec,
+        stat_latency: latency_cells(&stat_res.run),
         stat_makespan_ns: stat_res.run.makespan_ns,
         readdir_makespan_ns: rd_res.run.makespan_ns,
         batched_reads: report.batched_reads,
@@ -142,20 +145,26 @@ fn main() {
     let rows: Vec<Vec<String>> = [&base, &best]
         .iter()
         .map(|s| {
-            vec![
+            let mut row = vec![
                 s.label.to_string(),
                 fmt_ops(s.stat_ops_per_sec),
                 format!("{:.2}ms", s.readdir_makespan_ns as f64 / 1e6),
                 s.batched_reads.to_string(),
                 format!("{:.1}", s.keys_per_batch),
                 s.read_rtts_saved.to_string(),
-            ]
+            ];
+            row.extend(s.stat_latency.clone());
+            row
         })
         .collect();
+    let mut header: Vec<String> =
+        ["config", "stat ops/s", "readdir makespan", "batches", "keys/batch", "RTTs saved"]
+            .map(String::from)
+            .to_vec();
+    header.extend(latency_header().into_iter().map(|h| format!("stat {h}")));
     print_table(
         "Read path: batched multi-get vs per-key gets (160 clients, default profile)",
-        &["config", "stat ops/s", "readdir makespan", "batches", "keys/batch", "RTTs saved"]
-            .map(String::from),
+        &header,
         &rows,
     );
 

@@ -27,16 +27,21 @@ use pacon_bench::*;
 use simnet::{ClientId, LatencyProfile, Topology};
 
 /// One storm = `items` creates, each followed by an inline write (two
-/// journaled ops per file in durable mode).
-fn storm(region: &Arc<PaconRegion>, items: u32) -> f64 {
+/// journaled ops per file in durable mode). Returns elapsed seconds plus
+/// a per-op wall-clock latency histogram (create+write measured as one
+/// publish, so the histogram has `items` samples).
+fn storm(region: &Arc<PaconRegion>, items: u32) -> (f64, simnet::LatencyHistogram) {
     let c = region.client(ClientId(0));
+    let mut hist = simnet::LatencyHistogram::new();
     let started = Instant::now();
     for i in 0..items {
+        let op_started = Instant::now();
         let path = format!("/app/f{i}");
         c.create(&path, &CRED, 0o644).expect("create");
         c.write(&path, &CRED, 0, b"wal-bench-payload").expect("write");
+        hist.record(op_started.elapsed().as_nanos() as u64);
     }
-    started.elapsed().as_secs_f64()
+    (started.elapsed().as_secs_f64(), hist)
 }
 
 fn fresh_wal_dir(tag: &str) -> std::path::PathBuf {
@@ -64,14 +69,14 @@ fn main() {
     };
 
     let mut rows = Vec::new();
-    let mut series: Vec<(String, f64, u64)> = Vec::new();
+    let mut series: Vec<(String, f64, u64, simnet::LatencyHistogram)> = Vec::new();
 
     // -- volatile baseline ------------------------------------------------
     let dfs = dfs::DfsCluster::with_default_config(Arc::clone(&profile));
     let region = base(&dfs, PaconConfig::new("/app", topo, CRED));
-    let secs = storm(&region, items);
+    let (secs, hist) = storm(&region, items);
     let volatile_ops = total_ops as f64 / secs;
-    series.push(("volatile".into(), volatile_ops, 0));
+    series.push(("volatile".into(), volatile_ops, 0, hist));
     drop(region);
 
     // -- durable, fsync per append ---------------------------------------
@@ -83,9 +88,9 @@ fn main() {
             .with_durability(&wal_dir_strict)
             .with_wal_fsync_batch(1),
     );
-    let secs = storm(&region, items);
+    let (secs, hist) = storm(&region, items);
     let strict_ops = total_ops as f64 / secs;
-    series.push(("durable fsync=1".into(), strict_ops, region.report().wal_fsyncs));
+    series.push(("durable fsync=1".into(), strict_ops, region.report().wal_fsyncs, hist));
     drop(region);
 
     // -- durable, group fsync (kept alive for the recovery phase) --------
@@ -95,10 +100,10 @@ fn main() {
         .with_durability(&wal_dir)
         .with_wal_fsync_batch(32);
     let region = base(&dfs, config.clone());
-    let secs = storm(&region, items);
+    let (secs, hist) = storm(&region, items);
     let batched_ops = total_ops as f64 / secs;
     let batched_fsyncs = region.report().wal_fsyncs;
-    series.push(("durable fsync=32".into(), batched_ops, batched_fsyncs));
+    series.push(("durable fsync=32".into(), batched_ops, batched_fsyncs, hist));
 
     // -- recovery: kill with the full log buffered, time the relaunch ----
     region.abort();
@@ -119,18 +124,24 @@ fn main() {
     let _ = std::fs::remove_dir_all(&wal_dir_strict);
     let _ = std::fs::remove_dir_all(&wal_dir);
 
-    for (label, ops, fsyncs) in &series {
+    for (label, ops, fsyncs, hist) in &series {
         let overhead = (volatile_ops / ops - 1.0) * 100.0;
+        // Per-publish wall-clock tail (create+write measured together).
+        let p = |q: f64| hist.percentile(q).map(fmt_ns).unwrap_or_else(|| "-".into());
         rows.push(vec![
             label.clone(),
             fmt_ops(*ops),
             format!("{overhead:.0}%"),
             fsyncs.to_string(),
+            p(0.50),
+            p(0.99),
+            p(0.999),
         ]);
     }
     print_table(
         "Durable commit queue: publish throughput (wall clock, 1 client)",
-        &["config", "publish ops/s", "overhead", "fsyncs"].map(String::from),
+        &["config", "publish ops/s", "overhead", "fsyncs", "p50", "p99", "p999"]
+            .map(String::from),
         &rows,
     );
     println!(
@@ -162,11 +173,16 @@ fn main() {
     json.push_str(&format!("  \"items\": {items},\n"));
     json.push_str(&format!("  \"ops\": {total_ops},\n"));
     json.push_str("  \"series\": [\n");
-    for (i, (label, ops, fsyncs)) in series.iter().enumerate() {
+    for (i, (label, ops, fsyncs, hist)) in series.iter().enumerate() {
         let overhead = (volatile_ops / ops - 1.0) * 100.0;
+        let q = |q: f64| hist.percentile(q).unwrap_or(0);
         json.push_str(&format!(
             "    {{ \"config\": \"{label}\", \"publish_ops_per_sec\": {ops:.1}, \
-             \"overhead_pct\": {overhead:.1}, \"wal_fsyncs\": {fsyncs} }}{}\n",
+             \"overhead_pct\": {overhead:.1}, \"wal_fsyncs\": {fsyncs}, \
+             \"publish_p50_ns\": {}, \"publish_p99_ns\": {}, \"publish_p999_ns\": {} }}{}\n",
+            q(0.50),
+            q(0.99),
+            q(0.999),
             if i + 1 < series.len() { "," } else { "" }
         ));
     }

@@ -265,6 +265,59 @@ pub fn run_phase_with_clients(clients: Vec<FsOpClient>, pool: &WorkerPool) -> Ph
     PhaseResult { ops_per_sec: run.ops_per_sec(), run }
 }
 
+/// Format a nanosecond latency compactly (`850ns`, `12.4us`, `3.01ms`).
+pub fn fmt_ns(v: u64) -> String {
+    if v >= 1_000_000 {
+        format!("{:.2}ms", v as f64 / 1e6)
+    } else if v >= 10_000 {
+        format!("{:.1}us", v as f64 / 1e3)
+    } else {
+        format!("{v}ns")
+    }
+}
+
+/// The tail-latency columns every figure bench appends: p50/p99/p999
+/// over all op classes of a run, from the always-on engine histograms.
+pub fn latency_cells(run: &RunResult) -> Vec<String> {
+    let h = run.merged_hist();
+    [0.50, 0.99, 0.999]
+        .iter()
+        .map(|&q| h.percentile(q).map(fmt_ns).unwrap_or_else(|| "-".into()))
+        .collect()
+}
+
+/// Header labels matching [`latency_cells`].
+pub fn latency_header() -> Vec<String> {
+    vec!["p50".into(), "p99".into(), "p999".into()]
+}
+
+/// Print the per-op-class latency breakdown of a run: one row per op
+/// class that completed at least one job, with count and p50/p99/p999.
+/// `names[class]` labels the classes (falls back to the class index).
+pub fn print_class_latency(title: &str, run: &RunResult, names: &[&str]) {
+    let mut rows = Vec::new();
+    for (class, hist) in run.class_hists.iter().enumerate() {
+        if hist.is_empty() {
+            continue;
+        }
+        let name = names.get(class).copied().map(String::from).unwrap_or_else(|| format!("class{class}"));
+        rows.push(vec![
+            name,
+            hist.count().to_string(),
+            fmt_ns(hist.percentile(0.50).unwrap_or(0)),
+            fmt_ns(hist.percentile(0.99).unwrap_or(0)),
+            fmt_ns(hist.percentile(0.999).unwrap_or(0)),
+            fmt_ns(hist.max().unwrap_or(0)),
+        ]);
+    }
+    if rows.is_empty() {
+        return;
+    }
+    let header: Vec<String> =
+        ["op", "count", "p50", "p99", "p999", "max"].iter().map(|s| s.to_string()).collect();
+    print_table(title, &header, &rows);
+}
+
 /// Format ops/s compactly.
 pub fn fmt_ops(v: f64) -> String {
     if v >= 1e6 {

@@ -12,11 +12,21 @@
 //!
 //! The engine is validated against an exact Mean-Value-Analysis solver
 //! ([`mva`]) and the asymptotic operational bounds of closed networks.
+//!
+//! Event scheduling uses a hierarchical timer wheel with an arena-backed
+//! event slab ([`wheel`]); the original binary-heap scheduler is kept
+//! behind the `reference-heap` feature ([`heap`]) as the
+//! trace-equivalence oracle and benchmark baseline.
 
 #![forbid(unsafe_code)]
 
 pub mod engine;
+#[cfg(feature = "reference-heap")]
+pub(crate) mod heap;
 pub mod mva;
+#[cfg(feature = "reference-heap")]
+pub mod sched_bench;
+pub(crate) mod wheel;
 
 pub use engine::{Process, RunOptions, RunResult, Simulation, Step};
 pub use mva::{mva_multiclass, mva_throughput, ClassResult, ClassSpec, MvaResult};

@@ -21,7 +21,7 @@ impl Process for Client {
             return Step::Done;
         }
         self.remaining -= 1;
-        Step::Work { trace: self.trace.clone(), ops: 1 }
+        Step::Work { trace: self.trace.clone(), ops: 1, class: 0 }
     }
 }
 

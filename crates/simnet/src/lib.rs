@@ -31,6 +31,6 @@ pub mod trace;
 
 pub use profiles::LatencyProfile;
 pub use station::Station;
-pub use stats::Counters;
+pub use stats::{Counters, LatencyHistogram};
 pub use topology::{ClientId, NodeId, Topology};
 pub use trace::{charge, is_recording, recorded_total_ns, with_recording, CostTrace, Seg};

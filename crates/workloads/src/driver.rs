@@ -40,7 +40,7 @@ impl Process for FsOpClient {
                 }
                 // Batched ops count every logical operation they carry so
                 // batched and unbatched runs report comparable totals.
-                Step::Work { trace, ops: op.weight() }
+                Step::Work { trace, ops: op.weight(), class: op.class() }
             }
             None => Step::Done,
         }
@@ -84,13 +84,17 @@ impl Process for PaconWorkerProc {
             trace.push(simnet::Station::ClientCpu, 1);
         }
         match step {
-            WorkerStep::Committed | WorkerStep::Discarded => Step::Work { trace, ops: 1 },
+            WorkerStep::Committed | WorkerStep::Discarded => {
+                Step::Work { trace, ops: 1, class: 0 }
+            }
             WorkerStep::Batch { committed, discarded, .. } => {
                 // One batched message settles many ops at once; retried
                 // ones re-count when their resubmission lands.
-                Step::Work { trace, ops: (committed + discarded) as u64 }
+                Step::Work { trace, ops: (committed + discarded) as u64, class: 0 }
             }
-            WorkerStep::Retried | WorkerStep::BarrierReported => Step::Work { trace, ops: 0 },
+            WorkerStep::Retried | WorkerStep::BarrierReported => {
+                Step::Work { trace, ops: 0, class: 0 }
+            }
             // A crashed node makes no further progress; park it like an
             // idle worker so the engine can drain the rest of the run.
             WorkerStep::Crashed => Step::Idle { ns: WORKER_IDLE_POLL_NS },
@@ -102,7 +106,7 @@ impl Process for PaconWorkerProc {
                     // alive through the engine's drain phase.
                     let mut t = simnet::CostTrace::new();
                     t.push(simnet::Station::ClientCpu, WORKER_IDLE_POLL_NS);
-                    Step::Work { trace: t, ops: 0 }
+                    Step::Work { trace: t, ops: 0, class: 0 }
                 }
             }
         }

@@ -28,6 +28,8 @@ pub mod memaslap;
 pub mod ops;
 pub mod threaded;
 pub mod trace;
+pub mod zipf;
 
 pub use driver::{run_closed_loop, FsOpClient, PaconWorkerProc};
-pub use ops::FsOp;
+pub use ops::{FsOp, CLASS_NAMES};
+pub use zipf::Zipf;

@@ -120,7 +120,27 @@ impl Process for ComputeProc {
         self.remaining -= 1;
         let mut t = CostTrace::new();
         t.push(Station::Compute, self.ns_per_loop);
-        Step::Work { trace: t, ops: 1 }
+        Step::Work { trace: t, ops: 1, class: 0 }
+    }
+}
+
+/// Full engine results of the four phases, for callers that want more
+/// than the makespan breakdown (e.g. per-phase tail latencies).
+pub struct MadbenchPhases {
+    pub init: RunResult,
+    pub write: RunResult,
+    pub read: RunResult,
+    pub other: RunResult,
+}
+
+impl MadbenchPhases {
+    pub fn breakdown(&self) -> Breakdown {
+        Breakdown {
+            init_ns: self.init.makespan_ns,
+            write_ns: self.write.makespan_ns,
+            read_ns: self.read.makespan_ns,
+            other_ns: self.other.makespan_ns,
+        }
     }
 }
 
@@ -131,10 +151,20 @@ impl Process for ComputeProc {
 ///   workers); they are reused across all four phases.
 pub fn run_madbench(
     cfg: &MadbenchConfig,
-    mut client_factory: impl FnMut(u32) -> Box<dyn FileSystem>,
+    client_factory: impl FnMut(u32) -> Box<dyn FileSystem>,
     cred: Credentials,
     background: Vec<Box<dyn Process>>,
 ) -> Breakdown {
+    run_madbench_phases(cfg, client_factory, cred, background).breakdown()
+}
+
+/// As [`run_madbench`], keeping each phase's full [`RunResult`].
+pub fn run_madbench_phases(
+    cfg: &MadbenchConfig,
+    mut client_factory: impl FnMut(u32) -> Box<dyn FileSystem>,
+    cred: Credentials,
+    background: Vec<Box<dyn Process>>,
+) -> MadbenchPhases {
     // One long-lived proc vector: finished clients return Done instantly
     // in later phases, while the background workers keep running.
     let mut procs: Vec<Box<dyn Process>> = background;
@@ -178,12 +208,7 @@ pub fn run_madbench(
     }
     let other = run_phase(&mut procs);
 
-    Breakdown {
-        init_ns: init.makespan_ns,
-        write_ns: write.makespan_ns,
-        read_ns: read.makespan_ns,
-        other_ns: other.makespan_ns,
-    }
+    MadbenchPhases { init, write, read, other }
 }
 
 /// Verify the written data is intact (used by tests; MADbench2 checks its

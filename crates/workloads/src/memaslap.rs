@@ -63,7 +63,11 @@ impl Process for KvOpClient {
                         self.kv.get(key.as_bytes());
                     }
                 });
-                Step::Work { trace, ops: 1 }
+                let class = match &op {
+                    KvOp::Set(..) => 0,
+                    KvOp::Get(..) => 1,
+                };
+                Step::Work { trace, ops: 1, class }
             }
             None => Step::Done,
         }

@@ -69,6 +69,24 @@ impl FsOp {
         }
     }
 
+    /// Dense op-class index for per-class latency histograms (matches
+    /// [`CLASS_NAMES`]).
+    pub fn class(&self) -> u16 {
+        match self {
+            FsOp::Mkdir(..) => 0,
+            FsOp::Create(..) => 1,
+            FsOp::Stat(..) => 2,
+            FsOp::Unlink(..) => 3,
+            FsOp::Rmdir(..) => 4,
+            FsOp::Readdir(..) => 5,
+            FsOp::Write { .. } => 6,
+            FsOp::Read { .. } => 7,
+            FsOp::Fsync(..) => 8,
+            FsOp::StatMany(..) => 9,
+            FsOp::ReaddirPlus(..) => 10,
+        }
+    }
+
     /// Number of logical file-system operations this op represents: a
     /// batched stat counts one per path so that batched and unbatched
     /// runs of the same workload report comparable op totals.
@@ -79,6 +97,21 @@ impl FsOp {
         }
     }
 }
+
+/// Human-readable name of each op class, indexed by [`FsOp::class`].
+pub const CLASS_NAMES: &[&str] = &[
+    "mkdir",
+    "create",
+    "stat",
+    "unlink",
+    "rmdir",
+    "readdir",
+    "write",
+    "read",
+    "fsync",
+    "stat_many",
+    "readdir_plus",
+];
 
 /// Convenience: run a whole op list, returning `(ok, err)` counts.
 pub fn exec_all(fs: &dyn FileSystem, cred: &Credentials, ops: &[FsOp]) -> (u64, u64) {

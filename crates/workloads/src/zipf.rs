@@ -1,0 +1,185 @@
+//! Zipfian hot-directory workload generation.
+//!
+//! The paper's motivating observation is that bursty metadata traffic
+//! concentrates on a small set of hot directories (checkpoint and
+//! job-launch storms hammer the same parent). This module provides a
+//! seedable Zipf(θ) sampler — inverse-CDF over precomputed cumulative
+//! weights, exact for the universe sizes the benches use — plus phase
+//! generators where clients stat/create against a skewed choice of
+//! directories, so tail latency reflects contention on the hot parents
+//! rather than uniform load.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ops::FsOp;
+
+/// A Zipf-distributed index sampler over `0..n`: rank `k` (0-based) is
+/// drawn with probability proportional to `1 / (k + 1)^theta`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities; `cum[k]` = P(rank <= k). Last entry is
+    /// 1.0 by construction.
+    cum: Vec<f64>,
+}
+
+impl Zipf {
+    /// `theta = 0` degenerates to uniform; the classic "hot-spot" choice
+    /// is `theta ≈ 0.99` (YCSB's default).
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipf universe must not be empty");
+        assert!(theta >= 0.0, "zipf exponent must be non-negative");
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(theta);
+            cum.push(total);
+        }
+        for c in &mut cum {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top.
+        *cum.last_mut().expect("non-empty") = 1.0;
+        Self { cum }
+    }
+
+    /// Draw one rank in `0..n`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        // 53-bit uniform in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        // First k with cum[k] > u.
+        self.cum.partition_point(|&c| c <= u).min(self.cum.len() - 1)
+    }
+
+    /// The probability mass of rank 0 (the hottest item) — used by tests
+    /// and bench metadata.
+    pub fn hottest_mass(&self) -> f64 {
+        self.cum[0]
+    }
+}
+
+/// Ops for one client's Zipf-skewed stat phase: `count` stats whose
+/// target is drawn Zipf(θ) from `universe` (rank 0 = hottest path).
+pub fn zipf_stat_phase(universe: &[String], count: u32, theta: f64, seed: u64) -> Vec<FsOp> {
+    assert!(!universe.is_empty(), "stat universe must not be empty");
+    let zipf = Zipf::new(universe.len(), theta);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| FsOp::Stat(universe[zipf.sample(&mut rng)].clone())).collect()
+}
+
+/// Ops for one client's Zipf-skewed create phase: `count` file creates
+/// whose *parent directory* is drawn Zipf(θ) from `dirs`, so the hot
+/// directories absorb most inserts. File names are per-client unique.
+pub fn zipf_create_phase(
+    dirs: &[String],
+    client: u32,
+    count: u32,
+    theta: f64,
+    seed: u64,
+) -> Vec<FsOp> {
+    assert!(!dirs.is_empty(), "directory universe must not be empty");
+    let zipf = Zipf::new(dirs.len(), theta);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let d = &dirs[zipf.sample(&mut rng)];
+            FsOp::Create(format!("{d}/z{client:04}-{i:06}"), 0o644)
+        })
+        .collect()
+}
+
+/// A mixed hot-directory phase: per op, `stat_pct`% Zipf-skewed stats
+/// against already-created paths in `universe`, the rest Zipf-skewed
+/// creates under `dirs` (the paper's bursty ls-while-checkpointing mix).
+pub fn zipf_mixed_phase(
+    dirs: &[String],
+    universe: &[String],
+    client: u32,
+    count: u32,
+    theta: f64,
+    stat_pct: u32,
+    seed: u64,
+) -> Vec<FsOp> {
+    assert!(stat_pct <= 100);
+    let stat_zipf = Zipf::new(universe.len(), theta);
+    let dir_zipf = Zipf::new(dirs.len(), theta);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            if rng.gen_range(0u32..100) < stat_pct {
+                FsOp::Stat(universe[stat_zipf.sample(&mut rng)].clone())
+            } else {
+                let d = &dirs[dir_zipf.sample(&mut rng)];
+                FsOp::Create(format!("{d}/m{client:04}-{i:06}"), 0o644)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_mass_decreases_by_rank() {
+        let z = Zipf::new(100, 0.99);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..200_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Head dominates: rank 0 beats rank 10 beats rank 90.
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+        // Rank-0 empirical mass tracks the analytic mass within noise.
+        let p0 = counts[0] as f64 / 200_000.0;
+        assert!((p0 - z.hottest_mass()).abs() < 0.01, "p0={p0}");
+        // Theta 0.99 over 100 items puts ~19% of mass on the hottest.
+        assert!(z.hottest_mass() > 0.15 && z.hottest_mass() < 0.25);
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let z = Zipf::new(50, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0u64; 50];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let expect = 100_000 / 50;
+        assert!(counts.iter().all(|&c| (c as i64 - expect as i64).abs() < expect as i64 / 2));
+    }
+
+    #[test]
+    fn zipf_phases_are_deterministic_and_in_universe() {
+        let dirs: Vec<String> = (0..10).map(|i| format!("/hot/d{i}")).collect();
+        let files: Vec<String> = (0..30).map(|i| format!("/hot/d0/f{i}")).collect();
+        let a = zipf_stat_phase(&files, 40, 0.99, 5);
+        let b = zipf_stat_phase(&files, 40, 0.99, 5);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|op| matches!(op, FsOp::Stat(p) if files.contains(p))));
+
+        let c = zipf_create_phase(&dirs, 3, 40, 0.99, 5);
+        assert_eq!(c.len(), 40);
+        assert!(c.iter().all(|op| matches!(
+            op,
+            FsOp::Create(p, _) if dirs.iter().any(|d| p.starts_with(&format!("{d}/z0003-")))
+        )));
+
+        let m = zipf_mixed_phase(&dirs, &files, 1, 60, 0.99, 50, 9);
+        let stats = m.iter().filter(|op| matches!(op, FsOp::Stat(_))).count();
+        assert!(stats > 10 && stats < 50, "mix should be roughly half stats, got {stats}");
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_on_hot_directory() {
+        let dirs: Vec<String> = (0..20).map(|i| format!("/hot/d{i}")).collect();
+        let ops = zipf_create_phase(&dirs, 0, 2000, 0.99, 11);
+        let hot = ops
+            .iter()
+            .filter(|op| matches!(op, FsOp::Create(p, _) if p.starts_with("/hot/d0/")))
+            .count();
+        // Uniform would give 100; Zipf 0.99 gives several times that.
+        assert!(hot > 300, "hot-dir creates = {hot}");
+    }
+}

@@ -15,6 +15,10 @@ bins=(
   ablations
   bulk_insertion
   latency
+  commit_batch
+  read_path
+  wal_commit
+  qsim_scale
 )
 for b in "${bins[@]}"; do
   echo "=== $b ==="
