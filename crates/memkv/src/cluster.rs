@@ -7,12 +7,30 @@
 //! `net_hop_remote`, and every request pays the shard's `kv_op` service
 //! (plus a per-KiB payload charge for inline small-file data).
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use simnet::{charge, LatencyProfile, NodeId, Station, Topology};
 
 use crate::ring::Ring;
 use crate::shard::{CasOutcome, Shard, ShardStats, Value};
+
+/// A cache request that could not be served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvError {
+    /// The shard owning the key is crashed. The ring deliberately keeps
+    /// the dead node's points — re-hashing elsewhere would silently serve
+    /// stale/missing data — so callers must retry or degrade.
+    NodeDown(NodeId),
+}
+
+/// Liveness of one cache node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeStatus {
+    Up,
+    /// Crashed: shard state wiped, requests surface [`KvError::NodeDown`].
+    Down,
+}
 
 /// A distributed cache: one shard per node plus the hash ring.
 pub struct KvCluster {
@@ -24,6 +42,15 @@ pub struct KvCluster {
     /// distinct cache clusters (one per consistent region) must map to
     /// distinct stations in the queueing model.
     station_base: u32,
+    /// Per-node liveness (index-aligned with `node_ids`/`shards`).
+    up: Vec<AtomicBool>,
+    /// Extra virtual ns charged per access to a slowed node (fault-plane
+    /// `SlowCacheNode`); 0 = healthy.
+    slowdown_ns: Vec<AtomicU64>,
+    /// Ring epoch: bumped on *any* membership-affecting event (crash or
+    /// restart), monotonically. A down-payment on elastic resharding —
+    /// consumers can cheaply detect "the ring changed under me".
+    epoch: AtomicU64,
 }
 
 impl KvCluster {
@@ -59,9 +86,21 @@ impl KvCluster {
         station_base: u32,
     ) -> Arc<Self> {
         let node_ids: Vec<NodeId> = topology.node_ids().collect();
-        let shards = node_ids.iter().map(|_| Arc::new(Shard::new(shard_max_bytes))).collect();
+        let shards: Vec<Arc<Shard>> =
+            node_ids.iter().map(|_| Arc::new(Shard::new(shard_max_bytes))).collect();
         let ring = Ring::new(&node_ids);
-        Arc::new(Self { shards, node_ids, ring, profile, station_base })
+        let up = node_ids.iter().map(|_| AtomicBool::new(true)).collect();
+        let slowdown_ns = node_ids.iter().map(|_| AtomicU64::new(0)).collect();
+        Arc::new(Self {
+            shards,
+            node_ids,
+            ring,
+            profile,
+            station_base,
+            up,
+            slowdown_ns,
+            epoch: AtomicU64::new(0),
+        })
     }
 
     /// Station-id base of this cluster's shards.
@@ -90,13 +129,62 @@ impl KvCluster {
         self.ring.node_for(key)
     }
 
-    fn shard(&self, node: NodeId) -> &Shard {
-        let idx = self
-            .node_ids
+    fn node_index(&self, node: NodeId) -> usize {
+        self.node_ids
             .iter()
             .position(|n| *n == node)
-            .expect("ring returned a node outside the cluster");
-        &self.shards[idx]
+            .expect("ring returned a node outside the cluster")
+    }
+
+    fn shard(&self, node: NodeId) -> &Shard {
+        &self.shards[self.node_index(node)]
+    }
+
+    /// Crash `node`: its shard state is wiped immediately (volatile
+    /// cache memory dies with the process) and every request routed to
+    /// it surfaces [`KvError::NodeDown`] until [`restart`](Self::restart).
+    /// The ring keeps the node's points, so no key silently re-hashes to
+    /// a surviving shard. Bumps the ring epoch.
+    pub fn crash(&self, node: NodeId) {
+        let idx = self.node_index(node);
+        self.shards[idx].clear();
+        self.up[idx].store(false, Ordering::Release);
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Restart a crashed node with a **cold** cache (the wipe happened at
+    /// crash time; cleared again here for belt-and-braces). Bumps the
+    /// ring epoch.
+    pub fn restart(&self, node: NodeId) {
+        let idx = self.node_index(node);
+        self.shards[idx].clear();
+        self.up[idx].store(true, Ordering::Release);
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Number of nodes (up or down) backing this cluster.
+    pub fn node_count(&self) -> usize {
+        self.node_ids.len()
+    }
+
+    /// Liveness of `node`.
+    pub fn node_status(&self, node: NodeId) -> NodeStatus {
+        if self.up[self.node_index(node)].load(Ordering::Acquire) {
+            NodeStatus::Up
+        } else {
+            NodeStatus::Down
+        }
+    }
+
+    /// Monotonic counter bumped on every crash/restart.
+    pub fn ring_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Fault-plane slow-down: every access to `node` charges `extra_ns`
+    /// additional virtual ns of shard service (0 restores full speed).
+    pub fn set_slowdown(&self, node: NodeId, extra_ns: u64) {
+        self.slowdown_ns[self.node_index(node)].store(extra_ns, Ordering::Release);
     }
 
     /// Total bytes across all shards.
@@ -170,7 +258,11 @@ pub struct KvClient {
 }
 
 impl KvClient {
-    fn charge_access(&self, key: &[u8], payload_len: usize) -> NodeId {
+    /// Charge the network hop, check liveness, then charge shard service
+    /// (with any fault-plane slow-down). A request to a crashed node pays
+    /// the hop — the packet travelled before the timeout — but no shard
+    /// service, and surfaces [`KvError::NodeDown`].
+    fn try_access(&self, key: &[u8], payload_len: usize) -> Result<NodeId, KvError> {
         let target = self.cluster.shard_node(key);
         let p = &self.cluster.profile;
         let hop = match self.local {
@@ -178,12 +270,26 @@ impl KvClient {
             _ => p.net_hop_remote,
         };
         charge(Station::Network, hop);
+        let idx = self.cluster.node_index(target);
+        if !self.cluster.up[idx].load(Ordering::Acquire) {
+            return Err(KvError::NodeDown(target));
+        }
+        let extra = self.cluster.slowdown_ns[idx].load(Ordering::Acquire);
         let payload = (payload_len as u64).div_ceil(1024) * p.kv_payload_per_kib;
         charge(
             Station::KvShard(self.cluster.station_base + target.0),
-            p.kv_op + payload,
+            p.kv_op + payload + extra,
         );
-        target
+        Ok(target)
+    }
+
+    fn charge_access(&self, key: &[u8], payload_len: usize) -> NodeId {
+        match self.try_access(key, payload_len) {
+            Ok(node) => node,
+            Err(KvError::NodeDown(n)) => {
+                panic!("kv access to crashed node {n:?}; use the try_* surface to handle faults")
+            }
+        }
     }
 
     /// `gets`: value and CAS version.
@@ -192,11 +298,31 @@ impl KvClient {
         self.cluster.shard(node).get(key)
     }
 
+    /// Fault-aware `gets`: surfaces [`KvError::NodeDown`] for crashed
+    /// shards instead of panicking.
+    pub fn try_get(&self, key: &[u8]) -> Result<Option<(Value, u64)>, KvError> {
+        let node = self.try_access(key, 0)?;
+        Ok(self.cluster.shard(node).get(key))
+    }
+
     /// Batched `gets`: group keys by owning shard node and pay **one**
     /// network hop plus one batched shard service per node group instead
     /// of a full round trip per key (the read-side analogue of group
     /// commit). Results are in input order; a missing key yields `None`.
     pub fn multi_gets(&self, keys: &[&[u8]]) -> Vec<Option<(Value, u64)>> {
+        match self.try_multi_gets(keys) {
+            Ok(out) => out,
+            Err(KvError::NodeDown(n)) => {
+                panic!("kv access to crashed node {n:?}; use the try_* surface to handle faults")
+            }
+        }
+    }
+
+    /// Fault-aware [`multi_gets`](Self::multi_gets): if *any* owning node
+    /// is down the whole batch fails with [`KvError::NodeDown`] — a batch
+    /// with a hole would force callers to guess which misses are real.
+    /// Hops charged up to the failure point stand (the packets flew).
+    pub fn try_multi_gets(&self, keys: &[&[u8]]) -> Result<Vec<Option<(Value, u64)>>, KvError> {
         let mut out: Vec<Option<(Value, u64)>> = vec![None; keys.len()];
         // Group key indices by owning node, preserving first-seen order.
         // Node counts are small (one per cluster node), so a linear scan
@@ -216,6 +342,11 @@ impl KvClient {
                 _ => p.net_hop_remote,
             };
             charge(Station::Network, hop);
+            let idx = self.cluster.node_index(*node);
+            if !self.cluster.up[idx].load(Ordering::Acquire) {
+                return Err(KvError::NodeDown(*node));
+            }
+            let extra = self.cluster.slowdown_ns[idx].load(Ordering::Acquire);
             let batch: Vec<&[u8]> = idxs.iter().map(|&i| keys[i]).collect();
             let results = self.cluster.shard(*node).get_many(&batch);
             // One request decode (`kv_op`) plus a marginal probe per
@@ -223,13 +354,13 @@ impl KvClient {
             let payload: usize = results.iter().flatten().map(|(v, _)| v.len()).sum();
             let payload_ns = (payload as u64).div_ceil(1024) * p.kv_payload_per_kib;
             let service =
-                p.kv_op + (idxs.len() as u64 - 1) * p.kv_multi_per_key + payload_ns;
+                p.kv_op + (idxs.len() as u64 - 1) * p.kv_multi_per_key + payload_ns + extra;
             charge(Station::KvShard(self.cluster.station_base + node.0), service);
             for (&i, r) in idxs.iter().zip(results) {
                 out[i] = r;
             }
         }
-        out
+        Ok(out)
     }
 
     /// Batched `get` (no versions): convenience over [`KvClient::multi_gets`].
@@ -243,10 +374,22 @@ impl KvClient {
         self.cluster.shard(node).set(key, value)
     }
 
+    /// Fault-aware [`set`](Self::set).
+    pub fn try_set(&self, key: &[u8], value: &[u8]) -> Result<u64, KvError> {
+        let node = self.try_access(key, value.len())?;
+        Ok(self.cluster.shard(node).set(key, value))
+    }
+
     /// Store if absent.
     pub fn add(&self, key: &[u8], value: &[u8]) -> Option<u64> {
         let node = self.charge_access(key, value.len());
         self.cluster.shard(node).add(key, value)
+    }
+
+    /// Fault-aware [`add`](Self::add).
+    pub fn try_add(&self, key: &[u8], value: &[u8]) -> Result<Option<u64>, KvError> {
+        let node = self.try_access(key, value.len())?;
+        Ok(self.cluster.shard(node).add(key, value))
     }
 
     /// Check-and-swap.
@@ -255,10 +398,27 @@ impl KvClient {
         self.cluster.shard(node).cas(key, expected_version, value)
     }
 
+    /// Fault-aware [`cas`](Self::cas).
+    pub fn try_cas(
+        &self,
+        key: &[u8],
+        expected_version: u64,
+        value: &[u8],
+    ) -> Result<CasOutcome, KvError> {
+        let node = self.try_access(key, value.len())?;
+        Ok(self.cluster.shard(node).cas(key, expected_version, value))
+    }
+
     /// Delete; true if the key existed.
     pub fn delete(&self, key: &[u8]) -> bool {
         let node = self.charge_access(key, 0);
         self.cluster.shard(node).delete(key)
+    }
+
+    /// Fault-aware [`delete`](Self::delete).
+    pub fn try_delete(&self, key: &[u8]) -> Result<bool, KvError> {
+        let node = self.try_access(key, 0)?;
+        Ok(self.cluster.shard(node).delete(key))
     }
 
     /// The cluster this client talks to.
@@ -411,6 +571,89 @@ mod tests {
         client.set(b"k", b"v");
         let got = client.multi_get(&[b"k".as_ref()]);
         assert_eq!(&*got[0].clone().unwrap(), b"v");
+    }
+
+    #[test]
+    fn crash_surfaces_node_down_and_keeps_ring_points() {
+        let c = cluster(4);
+        let client = c.client(NodeId(0));
+        // Find keys owned by two different nodes.
+        let keys: Vec<String> = (0..200).map(|i| format!("/fault/f{i}")).collect();
+        let victim = c.shard_node(keys[0].as_bytes());
+        let surviving_key = keys
+            .iter()
+            .find(|k| c.shard_node(k.as_bytes()) != victim)
+            .expect("4-node ring spreads keys");
+        for k in &keys {
+            client.set(k.as_bytes(), b"v");
+        }
+
+        c.crash(victim);
+        assert_eq!(c.node_status(victim), NodeStatus::Down);
+        // The ring still routes to the dead node — no silent re-hash.
+        assert_eq!(c.shard_node(keys[0].as_bytes()), victim);
+        assert_eq!(client.try_get(keys[0].as_bytes()), Err(KvError::NodeDown(victim)));
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_bytes()).collect();
+        assert_eq!(client.try_multi_gets(&refs), Err(KvError::NodeDown(victim)));
+        assert_eq!(client.try_set(keys[0].as_bytes(), b"x"), Err(KvError::NodeDown(victim)));
+        // Surviving shards keep serving.
+        assert!(client.try_get(surviving_key.as_bytes()).unwrap().is_some());
+
+        // Restart comes back cold: up, but the crash wiped its state.
+        c.restart(victim);
+        assert_eq!(c.node_status(victim), NodeStatus::Up);
+        assert_eq!(client.try_get(keys[0].as_bytes()), Ok(None), "cold cache after restart");
+        assert!(client.try_set(keys[0].as_bytes(), b"warm").is_ok());
+        assert!(client.try_get(keys[0].as_bytes()).unwrap().is_some());
+    }
+
+    #[test]
+    fn ring_epoch_is_monotonic_across_crash_restart_cycles() {
+        let c = cluster(3);
+        assert_eq!(c.node_count(), 3);
+        let mut last = c.ring_epoch();
+        assert_eq!(last, 0);
+        for _ in 0..3 {
+            c.crash(NodeId(1));
+            let e = c.ring_epoch();
+            assert!(e > last, "crash must bump the epoch");
+            last = e;
+            c.restart(NodeId(1));
+            let e = c.ring_epoch();
+            assert!(e > last, "restart must bump the epoch");
+            last = e;
+        }
+        // Unrelated traffic never moves the epoch.
+        let client = c.client(NodeId(0));
+        client.set(b"k", b"v");
+        client.get(b"k");
+        assert_eq!(c.ring_epoch(), last);
+    }
+
+    #[test]
+    fn slowdown_charges_extra_service() {
+        let c = cluster(1);
+        let p = c.profile().clone();
+        let client = c.client(NodeId(0));
+        c.set_slowdown(NodeId(0), 7_000);
+        let ((), t) = with_recording(|| {
+            client.get(b"k");
+        });
+        assert_eq!(t.station_ns(Station::KvShard(0)), p.kv_op + 7_000);
+        c.set_slowdown(NodeId(0), 0);
+        let ((), t) = with_recording(|| {
+            client.get(b"k");
+        });
+        assert_eq!(t.station_ns(Station::KvShard(0)), p.kv_op);
+    }
+
+    #[test]
+    #[should_panic(expected = "crashed node")]
+    fn infallible_surface_panics_on_crashed_node() {
+        let c = cluster(1);
+        let client = c.client(NodeId(0));
+        c.crash(NodeId(0));
+        client.get(b"k");
     }
 
     #[test]

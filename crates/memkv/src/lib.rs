@@ -26,6 +26,6 @@ pub mod cluster;
 pub mod ring;
 pub mod shard;
 
-pub use cluster::{KvClient, KvCluster};
+pub use cluster::{KvClient, KvCluster, KvError, NodeStatus};
 pub use ring::Ring;
 pub use shard::{CasOutcome, Shard, ShardStats, Value};

@@ -21,6 +21,8 @@
 
 pub mod pubsub;
 pub mod queue;
+pub mod redelivery;
 
 pub use pubsub::PubSub;
-pub use queue::{push_pull, Consumer, Publisher, RecvError, TryRecvError};
+pub use queue::{push_pull, Consumer, LinkView, Publisher, RecvError, SendFault, TryRecvError};
+pub use redelivery::{Disconnected, FlushOutcome, ReliablePublisher};

@@ -4,25 +4,229 @@
 //! [`CachedMeta`] records as values, and the lock-free CAS-retry update
 //! loop of Section III.D-3 ("when multiple write operations conflict ...
 //! Pacon will re-execute it until the update is successful").
+//!
+//! Two surfaces coexist:
+//!
+//! * the original **infallible** methods (`get`, `put`, …) assume a
+//!   healthy cluster and panic if a request lands on a crashed node —
+//!   appropriate for tests and for callers that run only while healthy;
+//! * the **fault-aware** `try_*` methods return [`CacheError`] instead.
+//!   On a [`MetaCache`] built with [`MetaCache::with_faults`], every
+//!   `try_*` RPC is wrapped in a guarded retry loop: bounded attempts
+//!   with deterministic jittered exponential backoff (virtual-clock
+//!   sleeps, see [`RetryPolicy`]), and on exhaustion the *region* enters
+//!   degraded mode — subsequent calls fail fast, gated by a rate-limited
+//!   recovery probe ([`crate::degraded`]).
+
+use std::sync::Arc;
 
 use fsapi::{FsError, FsResult};
-use memkv::{CasOutcome, KvClient};
+use memkv::{CasOutcome, KvClient, KvError};
 
+use crate::degraded::Mode;
 use crate::metadata::CachedMeta;
+use crate::region::RegionCore;
+use crate::retry::{splitmix64, RetryPolicy};
 
 /// Give up a CAS loop after this many conflicts; reaching it means a
 /// livelock-grade pathology rather than normal contention.
 const MAX_CAS_ATTEMPTS: u32 = 1_000;
 
+/// A fault-aware cache RPC gave up: the owning node stayed down through
+/// the whole retry budget (or the region is degraded and the probe is
+/// not due). The caller falls back to the DFS backup copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheError {
+    Unavailable,
+}
+
 /// Per-client handle onto the region's distributed metadata cache.
 #[derive(Clone)]
 pub struct MetaCache {
     kv: KvClient,
+    /// Fault plane: retry policy, degraded-mode state, counters and the
+    /// virtual clock all live on the region core. `None` = bare cache
+    /// (workers, merged regions, unit tests): `try_*` makes exactly one
+    /// attempt and never retries or trips degraded mode.
+    fault: Option<Arc<RegionCore>>,
 }
 
 impl MetaCache {
     pub fn new(kv: KvClient) -> Self {
-        Self { kv }
+        Self { kv, fault: None }
+    }
+
+    /// Fault-aware handle: `try_*` RPCs retry with backoff against
+    /// `core`'s policy and drive its degraded-mode state machine.
+    pub fn with_faults(kv: KvClient, core: Arc<RegionCore>) -> Self {
+        Self { kv, fault: Some(core) }
+    }
+
+    /// Run one cache RPC under the fault guard. Healthy path: attempt,
+    /// and on `NodeDown` sleep (virtual clock) and retry until the
+    /// policy's budget/deadline runs out, then flip the region to
+    /// Degraded. Degraded path: fail fast unless the recovery probe is
+    /// due; a successful probe starts Rewarming.
+    fn guarded<T>(&self, f: impl Fn(&KvClient) -> Result<T, KvError>) -> Result<T, CacheError> {
+        let Some(core) = &self.fault else {
+            return f(&self.kv).map_err(|_| CacheError::Unavailable);
+        };
+        let policy = RetryPolicy::from_config(&core.config);
+        let probe_interval = policy.deadline_ns;
+        if core.degraded.mode() == Mode::Degraded {
+            if !core.degraded.probe_due(core.sim_ns(), probe_interval) {
+                return Err(CacheError::Unavailable);
+            }
+            core.counters.incr("recovery_probes");
+            return match f(&self.kv) {
+                Ok(v) => {
+                    core.degraded.begin_rewarm();
+                    core.degraded.note_success(core.sim_ns());
+                    Ok(v)
+                }
+                Err(KvError::NodeDown(_)) => Err(CacheError::Unavailable),
+            };
+        }
+        // Deterministic per-call jitter seed: the logical clock tick is
+        // unique per call and reproducible under deterministic driving.
+        let seed = splitmix64(core.now());
+        let mut slept = 0u64;
+        let mut attempt = 0u32;
+        loop {
+            match f(&self.kv) {
+                Ok(v) => {
+                    if core.degraded.note_success(core.sim_ns()) {
+                        core.counters.incr("degraded_recoveries");
+                    }
+                    return Ok(v);
+                }
+                Err(KvError::NodeDown(_)) => {
+                    match policy.next_backoff(attempt, slept, seed) {
+                        Some(delay) => {
+                            core.counters.incr("rpc_retries");
+                            slept += delay;
+                            core.advance(delay);
+                            attempt += 1;
+                        }
+                        None => {
+                            core.degraded.enter_degraded(core.sim_ns(), probe_interval);
+                            core.counters.incr("degraded_entered");
+                            return Err(CacheError::Unavailable);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fault-aware [`Self::get`].
+    pub fn try_get(&self, path: &str) -> Result<Option<(CachedMeta, u64)>, CacheError> {
+        let hit = self
+            .guarded(|kv| kv.try_get(path.as_bytes()))?
+            .and_then(|(bytes, ver)| CachedMeta::decode(&bytes).map(|m| (m, ver)));
+        if hit.is_some() && self.purge_if_stale(path) {
+            return Ok(None);
+        }
+        Ok(hit)
+    }
+
+    /// Lazy cleanup behind a degraded-mode unlink: the removal committed
+    /// against the backup while this record's shard was unreachable, so a
+    /// record that survived the outage describes a dead incarnation.
+    /// Delete it and report the hit as a miss. Returns true when the hit
+    /// must be suppressed.
+    fn purge_if_stale(&self, path: &str) -> bool {
+        let Some(core) = &self.fault else {
+            return false;
+        };
+        if !core.is_stale_tombstone(path) {
+            return false;
+        }
+        if self.guarded(|kv| kv.try_delete(path.as_bytes())).is_ok() {
+            core.clear_stale_tombstone(path);
+        }
+        true
+    }
+
+    /// Fault-aware [`Self::multi_get`]. The whole batch fails together:
+    /// a batch with a hole would force callers to guess which misses are
+    /// real (see `memkv::KvClient::try_multi_gets`).
+    pub fn try_multi_get(
+        &self,
+        paths: &[&str],
+    ) -> Result<Vec<Option<(CachedMeta, u64)>>, CacheError> {
+        let keys: Vec<&[u8]> = paths.iter().map(|p| p.as_bytes()).collect();
+        Ok(self
+            .guarded(|kv| kv.try_multi_gets(&keys))?
+            .into_iter()
+            .zip(paths)
+            .map(|(r, path)| {
+                let hit =
+                    r.and_then(|(bytes, ver)| CachedMeta::decode(&bytes).map(|m| (m, ver)));
+                if hit.is_some() && self.purge_if_stale(path) {
+                    return None;
+                }
+                hit
+            })
+            .collect())
+    }
+
+    /// Fault-aware [`Self::put`].
+    pub fn try_put(&self, path: &str, meta: &CachedMeta) -> Result<u64, CacheError> {
+        let bytes = meta.encode();
+        let ver = self.guarded(|kv| kv.try_set(path.as_bytes(), &bytes))?;
+        // A fresh authoritative record supersedes any stale survivor.
+        if let Some(core) = &self.fault {
+            core.clear_stale_tombstone(path);
+        }
+        Ok(ver)
+    }
+
+    /// Fault-aware [`Self::add_new`]. Outer error = cache unreachable;
+    /// inner error = the path is already cached.
+    pub fn try_add_new(
+        &self,
+        path: &str,
+        meta: &CachedMeta,
+    ) -> Result<FsResult<u64>, CacheError> {
+        let bytes = meta.encode();
+        let added = self.guarded(|kv| kv.try_add(path.as_bytes(), &bytes))?;
+        if added.is_some() {
+            if let Some(core) = &self.fault {
+                core.clear_stale_tombstone(path);
+            }
+        }
+        Ok(added.ok_or(FsError::AlreadyExists))
+    }
+
+    /// Fault-aware [`Self::update`]: the CAS-retry loop with every get
+    /// and CAS individually guarded. Outer error = cache unreachable
+    /// mid-loop; inner is the caller's abort.
+    pub fn try_update<E>(
+        &self,
+        path: &str,
+        mut f: impl FnMut(&mut CachedMeta) -> Result<(), E>,
+    ) -> Result<Result<Option<CachedMeta>, E>, CacheError> {
+        for _ in 0..MAX_CAS_ATTEMPTS {
+            let Some((mut meta, version)) = self.try_get(path)? else {
+                return Ok(Ok(None));
+            };
+            if let Err(e) = f(&mut meta) {
+                return Ok(Err(e));
+            }
+            let bytes = meta.encode();
+            match self.guarded(|kv| kv.try_cas(path.as_bytes(), version, &bytes))? {
+                CasOutcome::Stored { .. } => return Ok(Ok(Some(meta))),
+                CasOutcome::Conflict { .. } => continue,
+                CasOutcome::NotFound => return Ok(Ok(None)),
+            }
+        }
+        panic!("cache CAS loop exceeded {MAX_CAS_ATTEMPTS} attempts on {path}");
+    }
+
+    /// Fault-aware [`Self::delete`].
+    pub fn try_delete(&self, path: &str) -> Result<bool, CacheError> {
+        self.guarded(|kv| kv.try_delete(path.as_bytes()))
     }
 
     /// Fetch a record and its CAS version.
@@ -185,5 +389,68 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(c0.get("/ctr").unwrap().0.size, 800);
+    }
+
+    /// A fault-aware cache over a real region core (paused — no worker
+    /// threads, deterministic single-threaded driving).
+    fn faulted() -> (Arc<crate::region::RegionCore>, MetaCache) {
+        let dfs = dfs::DfsCluster::with_default_config(Arc::new(LatencyProfile::zero()));
+        let region = crate::PaconRegion::launch_paused(
+            crate::PaconConfig::new("/w", Topology::new(2, 1), fsapi::Credentials::new(1, 1)),
+            &dfs,
+        )
+        .unwrap();
+        let core = Arc::clone(region.core());
+        let cache =
+            MetaCache::with_faults(core.cache_cluster.client(NodeId(0)), Arc::clone(&core));
+        (core, cache)
+    }
+
+    #[test]
+    fn guarded_rpc_retries_then_degrades_probes_and_rewarms() {
+        let (core, c) = faulted();
+        c.add_new("/w/f", &meta()).unwrap();
+        let victim = core.cache_cluster.shard_node(b"/w/f");
+        core.cache_cluster.crash(victim);
+
+        // Healthy → bounded retries with backoff → Degraded.
+        assert_eq!(c.try_get("/w/f"), Err(CacheError::Unavailable));
+        let policy = RetryPolicy::from_config(&core.config);
+        assert_eq!(core.counters.get("rpc_retries") as u32, policy.budget);
+        assert_eq!(core.degraded.mode(), Mode::Degraded);
+        assert!(core.sim_ns() > 0, "backoff slept on the virtual clock");
+
+        // Degraded: fail fast, no further retries burned.
+        let before = core.counters.get("rpc_retries");
+        assert_eq!(c.try_get("/w/f"), Err(CacheError::Unavailable));
+        assert_eq!(core.counters.get("rpc_retries"), before);
+
+        // Node restarts; the first call past the probe interval probes,
+        // reaches the (cold) cache and starts rewarming.
+        core.cache_cluster.restart(victim);
+        core.advance(policy.deadline_ns);
+        assert_eq!(c.try_get("/w/f"), Ok(None), "restart wiped the record");
+        assert_eq!(core.degraded.mode(), Mode::Rewarming);
+        assert_eq!(core.counters.get("recovery_probes"), 1);
+
+        // A streak of cache successes closes the degraded window.
+        for _ in 0..crate::degraded::REWARM_STREAK {
+            c.try_get("/w/f").unwrap();
+        }
+        assert_eq!(core.degraded.mode(), Mode::Healthy);
+        assert_eq!(core.counters.get("degraded_recoveries"), 1);
+        assert!(core.degraded.window_ns(core.sim_ns()) > 0);
+    }
+
+    #[test]
+    fn bare_cache_try_surface_fails_fast_without_degraded_state() {
+        let cluster = KvCluster::new(Topology::new(2, 1), Arc::new(LatencyProfile::zero()));
+        let c = MetaCache::new(cluster.client(NodeId(0)));
+        c.add_new("/w/f", &meta()).unwrap();
+        cluster.crash(cluster.shard_node(b"/w/f"));
+        // No region core: exactly one attempt, mapped to Unavailable.
+        assert_eq!(c.try_get("/w/f"), Err(CacheError::Unavailable));
+        assert_eq!(c.try_put("/w/f", &meta()), Err(CacheError::Unavailable));
+        assert_eq!(c.try_delete("/w/f"), Err(CacheError::Unavailable));
     }
 }

@@ -20,12 +20,13 @@ use dfs::DfsClient;
 use fsapi::types::{ACCESS_R, ACCESS_W, ACCESS_X};
 use fsapi::{path as fspath, Credentials, FileKind, FileStat, FsError, FsResult, Perm};
 use fsapi::FileSystem;
-use mq::Publisher;
+use mq::{Publisher, ReliablePublisher};
 use simnet::{charge, ClientId, NodeId, Station};
 use syncguard::{level, Mutex, RwLock};
 
-use crate::cache::MetaCache;
+use crate::cache::{CacheError, MetaCache};
 use crate::commit::op::{CommitOp, QueueMsg};
+use crate::degraded::Mode as DegradedMode;
 use crate::eviction;
 use crate::metadata::CachedMeta;
 use crate::region::{RegionCore, RegionHandle, Route};
@@ -43,6 +44,11 @@ pub struct PaconClient {
     /// Per-node queue publishers; index = node id. A client publishes its
     /// own ops to its node's queue and barrier markers to all queues.
     publishers: Vec<Publisher<QueueMsg>>,
+    /// Redelivery wrapper around this client's own-node publisher: commit
+    /// ops survive broker loss in the unacked window and are resent after
+    /// [`Self::flush_publishes`]. Barrier markers bypass it on purpose —
+    /// a barrier during an outage should fail, not silently queue.
+    redelivery: ReliablePublisher<QueueMsg>,
     dfs: DfsClient,
     merged: RwLock<Vec<Merged>>,
     id: ClientId,
@@ -66,10 +72,12 @@ impl PaconClient {
         id: ClientId,
         node: NodeId,
     ) -> Self {
+        let redelivery = ReliablePublisher::new(publishers[node.index()].clone());
         Self {
+            cache: MetaCache::with_faults(kv, Arc::clone(&core)),
             core,
-            cache: MetaCache::new(kv),
             publishers,
+            redelivery,
             dfs,
             merged: RwLock::new(level::CLIENT_VIEW, "pacon.client.merged", Vec::new()),
             id,
@@ -113,18 +121,39 @@ impl PaconClient {
     }
 
     fn publish(&self, op: CommitOp) -> FsResult<()> {
-        self.publish_with_snapshot(op, None)
+        self.publish_at(op, None, false, None)
+    }
+
+    /// [`Self::publish`] for ops admitted during a degraded window: the
+    /// envelope is tagged so the commit worker applies create-if-absent
+    /// semantics (the admission check could only see the backup view).
+    fn publish_degraded(&self, op: CommitOp) -> FsResult<()> {
+        self.publish_at(op, None, true, None)
     }
 
     /// Publish an op, optionally journaling a data `snapshot` alongside it
     /// (inline writebacks: the WAL must carry the bytes because replay
     /// rebuilds file content from the log, not from the cache).
     fn publish_with_snapshot(&self, op: CommitOp, snapshot: Option<&[u8]>) -> FsResult<()> {
+        self.publish_at(op, snapshot, false, None)
+    }
+
+    /// Full publish entry point. `ts` carries a pre-allocated publish
+    /// timestamp — unlinks stamp themselves *before* marking the removal
+    /// pending, so the pending-removal table and the queue envelope agree
+    /// on the op's identity.
+    fn publish_at(
+        &self,
+        op: CommitOp,
+        snapshot: Option<&[u8]>,
+        degraded: bool,
+        ts: Option<u64>,
+    ) -> FsResult<()> {
         if self.core.config.synchronous_commit {
             return self.commit_synchronously(op);
         }
         if self.core.config.commit_batch_size > 1 {
-            return self.publish_buffered(op, snapshot);
+            return self.publish_buffered(op, snapshot, degraded, ts);
         }
         charge(Station::ClientCpu, self.profile().queue_push);
         let msg = QueueMsg {
@@ -132,7 +161,8 @@ impl PaconClient {
             op,
             client: self.id.0,
             epoch: self.core.board.current_epoch(),
-            timestamp: self.core.now(),
+            timestamp: ts.unwrap_or_else(|| self.core.now()),
+            degraded,
         };
         // Durable order: count the op in flight, journal it, then send.
         // Enqueued-before-append is what makes truncation safe: `drained()`
@@ -142,9 +172,17 @@ impl PaconClient {
             self.core.note_completed();
             return Err(e);
         }
-        match self.publishers[self.node.index()].send(msg) {
-            Ok(()) => Ok(()),
-            Err(_) => {
+        match self.redelivery.publish(msg) {
+            Ok(out) => {
+                // `pending > 0` = the broker link is down and the op sits
+                // in the redelivery window: acknowledged to the caller,
+                // still counted in flight, resent on heal/flush.
+                if out.pending > 0 {
+                    self.core.counters.incr("publishes_buffered");
+                }
+                Ok(())
+            }
+            Err(mq::Disconnected) => {
                 // Shutdown race. In durable mode the op is already
                 // journaled — keep it counted in flight so no truncation
                 // can drop it; the next launch replays it.
@@ -156,23 +194,47 @@ impl PaconClient {
         }
     }
 
+    /// Reconcile this client's redelivery window with its node's broker:
+    /// resend commit ops provably lost in a broker crash, deliver ones
+    /// buffered while the link was down. Returns how many messages this
+    /// call delivered. The chaos driver calls this after healing a link.
+    pub fn flush_publishes(&self) -> FsResult<usize> {
+        self.redelivery
+            .flush()
+            .map(|out| out.delivered)
+            .map_err(|_| FsError::Backend("commit queue closed".into()))
+    }
+
+    /// Commit messages not yet provably consumed by this node's broker.
+    pub fn unacked_publishes(&self) -> usize {
+        self.redelivery.unacked()
+    }
+
     /// Group commit: buffer the op in the node's publish buffer instead
     /// of dispatching a queue message per op; flush as one batch message
     /// when the buffer reaches the configured size. Coalescing may settle
     /// the op entirely client-side (create×unlink annihilation, writeback
     /// collapse) — those ops complete without ever touching the queue.
-    fn publish_buffered(&self, op: CommitOp, snapshot: Option<&[u8]>) -> FsResult<()> {
+    fn publish_buffered(
+        &self,
+        op: CommitOp,
+        snapshot: Option<&[u8]>,
+        degraded: bool,
+        ts: Option<u64>,
+    ) -> FsResult<()> {
         use crate::commit::publish::Buffered;
         let unlink_path = match &op {
             CommitOp::Unlink { path } => Some(path.clone()),
             _ => None,
         };
+        let timestamp = ts.unwrap_or_else(|| self.core.now());
         let msg = QueueMsg {
             id: self.core.op_identity(&op),
             op,
             client: self.id.0,
             epoch: self.core.board.current_epoch(),
-            timestamp: self.core.now(),
+            timestamp,
+            degraded,
         };
         self.core.note_enqueued();
         let node = self.node.index();
@@ -207,6 +269,9 @@ impl PaconClient {
                 }
                 self.core.counters.add("coalesced_cancel", absorbed as u64 + 1);
                 let path = unlink_path.expect("only unlinks cancel");
+                // The unlink settled client-side: its pending-removal
+                // mark retires here, not in a commit worker.
+                self.core.note_unlink_retired(&path, timestamp);
                 if let Some((meta, _)) = self.cache.get(&path) {
                     if meta.removed {
                         self.cache.delete(&path);
@@ -322,7 +387,20 @@ impl PaconClient {
         if self.parent_memo.lock().as_deref() == Some(parent) {
             return Ok(());
         }
-        match self.cache.get(parent) {
+        let cached = match self.cache.try_get(parent) {
+            Ok(c) => c,
+            Err(CacheError::Unavailable) => {
+                // Degraded: verify against the backup copy only.
+                self.core.counters.incr("degraded_reads");
+                let stat = self.dfs.stat(parent, cred)?;
+                if stat.kind != FileKind::Dir {
+                    return Err(FsError::NotADirectory);
+                }
+                *self.parent_memo.lock() = Some(parent.to_string());
+                return Ok(());
+            }
+        };
+        match cached {
             Some((meta, _)) if meta.removed => Err(FsError::NotFound),
             Some((meta, _)) if meta.kind != FileKind::Dir => Err(FsError::NotADirectory),
             Some(_) => {
@@ -335,27 +413,52 @@ impl PaconClient {
                 if stat.kind != FileKind::Dir {
                     return Err(FsError::NotADirectory);
                 }
-                self.cache.put(parent, &CachedMeta::from_stat(&stat));
+                self.warm_cache(parent, &CachedMeta::from_stat(&stat));
                 *self.parent_memo.lock() = Some(parent.to_string());
                 Ok(())
             }
         }
     }
 
+    /// Best-effort cache populate from a DFS-loaded record; counts the
+    /// key as rewarmed while the region is recovering from an outage.
+    fn warm_cache(&self, path: &str, meta: &CachedMeta) {
+        if self.cache.try_put(path, meta).is_ok()
+            && self.core.degraded.mode() == DegradedMode::Rewarming
+        {
+            self.core.counters.incr("rewarm_keys");
+        }
+    }
+
     /// Load an uncached in-region entry from the DFS into the cache
     /// (getattr-miss path, Section III.D-1).
     fn load_from_dfs(&self, path: &str, cred: &Credentials) -> FsResult<CachedMeta> {
+        // An acknowledged unlink may still sit in the commit queue while
+        // the backup copy keeps the file. Resurrecting the record from
+        // that stale view would drop the pending removal's tombstone and
+        // let a second unlink of the same incarnation through.
+        if self.core.unlink_pending(path) {
+            return Err(FsError::NotFound);
+        }
         let stat = self.dfs.stat(path, cred)?;
         let meta = CachedMeta::from_stat(&stat);
-        self.cache.put(path, &meta);
+        self.warm_cache(path, &meta);
         Ok(meta)
     }
 
-    /// Get the cached record, falling back to a sync DFS load.
+    /// Get the cached record, falling back to a sync DFS load. While
+    /// degraded, reads are served straight from the backup copy.
     fn get_or_load(&self, path: &str, cred: &Credentials) -> FsResult<CachedMeta> {
-        match self.cache.get(path) {
-            Some((meta, _)) => Ok(meta),
-            None => self.load_from_dfs(path, cred),
+        match self.cache.try_get(path) {
+            Ok(Some((meta, _))) => Ok(meta),
+            Ok(None) => self.load_from_dfs(path, cred),
+            Err(CacheError::Unavailable) => {
+                if self.core.unlink_pending(path) {
+                    return Err(FsError::NotFound);
+                }
+                self.core.counters.incr("degraded_reads");
+                Ok(CachedMeta::from_stat(&self.dfs.stat(path, cred)?))
+            }
         }
     }
 
@@ -366,12 +469,12 @@ impl PaconClient {
         &self,
         cache: &MetaCache,
         paths: &[&str],
-    ) -> Vec<Option<(CachedMeta, u64)>> {
+    ) -> Result<Vec<Option<(CachedMeta, u64)>>, CacheError> {
         if !self.core.config.read_batching {
-            return paths.iter().map(|p| cache.get(p)).collect(); // lint:allow-per-key-get
+            return paths.iter().map(|p| cache.try_get(p)).collect(); // lint:allow-per-key-get
         }
         if paths.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let cluster = cache.kv().cluster();
         let mut nodes: Vec<NodeId> = Vec::new();
@@ -384,11 +487,11 @@ impl PaconClient {
         self.core.counters.incr("batched_reads");
         self.core.counters.add("batched_read_keys", paths.len() as u64);
         self.core.counters.add("read_rtts_saved", (paths.len() - nodes.len()) as u64);
-        cache.multi_get(paths)
+        cache.try_multi_get(paths)
     }
 
     /// [`Self::batched_get_on`] against this client's own region cache.
-    fn batched_get(&self, paths: &[&str]) -> Vec<Option<(CachedMeta, u64)>> {
+    fn batched_get(&self, paths: &[&str]) -> Result<Vec<Option<(CachedMeta, u64)>>, CacheError> {
         self.batched_get_on(&self.cache, paths)
     }
 
@@ -407,31 +510,71 @@ impl PaconClient {
             FileKind::Dir => CachedMeta::new_dir(perm, self.core.now()),
             FileKind::File => CachedMeta::new_file(perm, self.core.now()),
         };
-        match self.cache.add_new(path, &fresh) {
-            Ok(_) => {}
-            Err(FsError::AlreadyExists) => {
+        // Set when duplicate detection could not consult the primary copy:
+        // the published op carries the flag so `AlreadyExists` at commit
+        // time settles as idempotent success instead of a retriable
+        // conflict (it may duplicate an acknowledged-but-uncommitted
+        // creation this admission check cannot see).
+        let mut degraded = false;
+        match self.cache.try_add_new(path, &fresh) {
+            Ok(Ok(_)) => {}
+            Ok(Err(FsError::AlreadyExists)) => {
                 // A record exists; re-creation is legal only over a
                 // marked-removed one (Section III.D-1).
-                let replaced = self.cache.update(path, |m| {
+                match self.cache.try_update(path, |m| {
                     if m.removed {
                         *m = fresh.clone();
                         Ok(())
                     } else {
                         Err(FsError::AlreadyExists)
                     }
-                })?;
-                if replaced.is_none() {
-                    // Record vanished between add and update: retry once
-                    // as a fresh add.
-                    self.cache.add_new(path, &fresh)?;
+                }) {
+                    Ok(Ok(Some(_))) => {}
+                    Ok(Ok(None)) => {
+                        // Record vanished between add and update: retry
+                        // once as a fresh add.
+                        match self.cache.try_add_new(path, &fresh) {
+                            Ok(r) => {
+                                r?;
+                            }
+                            Err(CacheError::Unavailable) => {
+                                self.core.counters.incr("degraded_writes");
+                                degraded = true;
+                            }
+                        }
+                    }
+                    Ok(Err(e)) => return Err(e),
+                    Err(CacheError::Unavailable) => {
+                        self.core.counters.incr("degraded_writes");
+                        degraded = true;
+                    }
                 }
             }
-            Err(e) => return Err(e),
+            Ok(Err(e)) => return Err(e),
+            Err(CacheError::Unavailable) => {
+                // Degraded creation: the primary copy is unreachable, so
+                // duplicate detection falls back to the committed backup
+                // view (creations still queued are invisible to it — the
+                // documented consistency gap of a degraded window). The
+                // op itself still queues through the commit path below.
+                self.core.counters.incr("degraded_writes");
+                degraded = true;
+                match self.dfs.stat(path, cred) {
+                    Ok(_) => return Err(FsError::AlreadyExists),
+                    Err(FsError::NotFound) => {}
+                    Err(e) => return Err(e),
+                }
+            }
         }
-        self.publish(match kind {
+        let op = match kind {
             FileKind::Dir => CommitOp::Mkdir { path: path.to_string(), mode },
             FileKind::File => CommitOp::Create { path: path.to_string(), mode },
-        })?;
+        };
+        if degraded {
+            self.publish_degraded(op)?;
+        } else {
+            self.publish(op)?;
+        }
         self.core.counters.incr(match kind {
             FileKind::Dir => "mkdir",
             FileKind::File => "create",
@@ -462,6 +605,7 @@ impl PaconClient {
                     client: self.id.0,
                     epoch,
                     timestamp: self.core.now(),
+                    degraded: false,
                 })
             })
             .map_err(|_| FsError::Backend("commit queue closed".into()))?;
@@ -509,6 +653,98 @@ impl PaconClient {
     fn inline_fits(&self, path: &str, inline_len: usize) -> bool {
         META_HEADER + path.len() + inline_len <= self.core.config.small_file_threshold
     }
+
+    /// Unlink while the primary copy is unreachable: verify against the
+    /// committed backup view, then queue the removal through the normal
+    /// commit path. Removals of entries whose creation is still queued
+    /// fail `NotFound` here — the degraded window trades namespace
+    /// read-your-writes for availability.
+    fn degraded_unlink(&self, path: &str, cred: &Credentials) -> FsResult<()> {
+        self.core.counters.incr("degraded_writes");
+        // The backup still holds a file whose removal is already queued:
+        // from the client's point of view that file is gone.
+        if self.core.unlink_pending(path) {
+            return Err(FsError::NotFound);
+        }
+        let stat = self.dfs.stat(path, cred)?;
+        if stat.kind == FileKind::Dir {
+            return Err(FsError::IsADirectory);
+        }
+        // Same slot release as the healthy path: writes after a
+        // re-creation must queue fresh writebacks.
+        self.core.pending_writebacks.lock().remove(path);
+        let ts = self.core.now();
+        self.core.note_unlink_pending(path, ts);
+        // The shard is unreachable, so the cached record (if one survives
+        // the outage) cannot be tombstoned now — mark it for lazy
+        // deletion instead of letting it resurface after the heal.
+        self.core.mark_stale_tombstone(path);
+        if let Err(e) =
+            self.publish_at(CommitOp::Unlink { path: path.to_string() }, None, true, Some(ts))
+        {
+            self.core.note_unlink_retired(path, ts);
+            self.core.clear_stale_tombstone(path);
+            return Err(e);
+        }
+        self.core.counters.incr("unlink");
+        Ok(())
+    }
+
+    /// Write while the primary copy is unreachable. Committed files take
+    /// the data straight to the backup copy; files not yet on the DFS
+    /// stage into the durable staging buffer (their queued create lands
+    /// first, and fsync/commit flushes the staged bytes).
+    fn degraded_write(
+        &self,
+        path: &str,
+        cred: &Credentials,
+        offset: u64,
+        data: &[u8],
+    ) -> FsResult<usize> {
+        self.core.counters.incr("degraded_writes");
+        if self.core.unlink_pending(path) {
+            // The backup copy still holds the file, but its removal is
+            // already acknowledged — writing there would land bytes on a
+            // doomed incarnation.
+            return Err(FsError::NotFound);
+        }
+        let end = offset as usize + data.len();
+        // lint: allow(commit-path, degraded mode: primary copy unreachable, data goes to the backup copy directly)
+        match self.dfs.write(path, cred, offset, data) {
+            Ok(_) => {
+                // If the path's own shard is still up (the window was
+                // opened by a different node's crash), keep the primary
+                // copy coherent too: a writeback already queued for this
+                // path reads the cache at commit time, and a stale inline
+                // record would clobber the bytes just written.
+                let shard = self.core.cache_cluster.shard_node(path.as_bytes());
+                if self.core.cache_cluster.node_status(shard) == memkv::NodeStatus::Up {
+                    let _ = self.cache.update::<()>(path, |m| {
+                        if !m.large && !m.removed {
+                            if m.inline.len() < end {
+                                m.inline.resize(end, 0);
+                            }
+                            m.inline[offset as usize..end].copy_from_slice(data);
+                        }
+                        m.size = m.size.max(end as u64);
+                        Ok(())
+                    });
+                }
+                Ok(data.len())
+            }
+            Err(FsError::NotFound) => {
+                // Creation still queued: stage like an uncommitted file.
+                let mut staging = self.core.staging.lock();
+                let buf = staging.entry(path.to_string()).or_default();
+                if buf.len() < end {
+                    buf.resize(end, 0);
+                }
+                buf[offset as usize..end].copy_from_slice(data);
+                Ok(data.len())
+            }
+            Err(e) => Err(e),
+        }
+    }
 }
 
 impl FileSystem for PaconClient {
@@ -547,10 +783,18 @@ impl FileSystem for PaconClient {
                 if path != self.core.root {
                     self.check_perm(self.parent_of(path)?, cred, ACCESS_X)?;
                 }
-                match self.cache.get(path) {
-                    Some((meta, _)) if meta.removed => Err(FsError::NotFound),
-                    Some((meta, _)) => Ok(meta.to_stat()),
-                    None => Ok(self.load_from_dfs(path, cred)?.to_stat()),
+                match self.cache.try_get(path) {
+                    Ok(Some((meta, _))) if meta.removed => Err(FsError::NotFound),
+                    Ok(Some((meta, _))) => Ok(meta.to_stat()),
+                    Ok(None) => Ok(self.load_from_dfs(path, cred)?.to_stat()),
+                    Err(CacheError::Unavailable) => {
+                        if self.core.unlink_pending(path) {
+                            return Err(FsError::NotFound);
+                        }
+                        // Degraded read: the committed backup view.
+                        self.core.counters.incr("degraded_reads");
+                        self.dfs.stat(path, cred)
+                    }
                 }
             }
             Route::Merged(i) => {
@@ -614,7 +858,18 @@ impl FileSystem for PaconClient {
             }
         }
         let keys: Vec<&str> = lookup.iter().map(|&i| paths[i].as_str()).collect();
-        let metas = self.batched_get(&keys);
+        let metas = match self.batched_get(&keys) {
+            Ok(m) => m,
+            Err(CacheError::Unavailable) => {
+                // Degraded: the whole batch falls through to per-path
+                // stats on the backup copy.
+                self.core.counters.add("degraded_reads", keys.len() as u64);
+                for &i in &lookup {
+                    out[i] = self.dfs.stat(&paths[i], cred);
+                }
+                return out;
+            }
+        };
         for (&i, meta) in lookup.iter().zip(metas) {
             out[i] = match meta {
                 Some((m, _)) if m.removed => Err(FsError::NotFound),
@@ -634,12 +889,19 @@ impl FileSystem for PaconClient {
             Route::Own => {
                 drop(merged);
                 self.check_perm(self.parent_of(path)?, cred, ACCESS_W | ACCESS_X)?;
-                if self.cache.get(path).is_none() {
-                    // rm of an uncached entry: verify against the DFS and
-                    // pull the record in, mirroring the getattr-miss path.
-                    self.load_from_dfs(path, cred)?;
+                match self.cache.try_get(path) {
+                    Ok(Some(_)) => {}
+                    Ok(None) => {
+                        // rm of an uncached entry: verify against the DFS
+                        // and pull the record in, mirroring the
+                        // getattr-miss path.
+                        self.load_from_dfs(path, cred)?;
+                    }
+                    Err(CacheError::Unavailable) => {
+                        return self.degraded_unlink(path, cred);
+                    }
                 }
-                let updated = self.cache.update(path, |m| {
+                let updated = match self.cache.try_update(path, |m| {
                     if m.removed {
                         return Err(FsError::NotFound);
                     }
@@ -648,7 +910,12 @@ impl FileSystem for PaconClient {
                     }
                     m.removed = true;
                     Ok(())
-                })?;
+                }) {
+                    Ok(r) => r?,
+                    Err(CacheError::Unavailable) => {
+                        return self.degraded_unlink(path, cred);
+                    }
+                };
                 if updated.is_none() {
                     return Err(FsError::NotFound);
                 }
@@ -657,7 +924,27 @@ impl FileSystem for PaconClient {
                 // after a re-creation (the worker would apply it ahead of
                 // the queued unlink+create and the data would be lost).
                 self.core.pending_writebacks.lock().remove(path);
-                self.publish(CommitOp::Unlink { path: path.to_string() })?;
+                if self.core.config.synchronous_commit {
+                    // Synchronous ablation: the commit settles before
+                    // publish returns, so there is no pending window.
+                    self.publish(CommitOp::Unlink { path: path.to_string() })?;
+                } else {
+                    // Mark the removal pending *before* publishing: once
+                    // the worker can see the message it may settle it at
+                    // any time, and retiring an unmarked unlink would
+                    // leak the count.
+                    let ts = self.core.now();
+                    self.core.note_unlink_pending(path, ts);
+                    if let Err(e) = self.publish_at(
+                        CommitOp::Unlink { path: path.to_string() },
+                        None,
+                        false,
+                        Some(ts),
+                    ) {
+                        self.core.note_unlink_retired(path, ts);
+                        return Err(e);
+                    }
+                }
                 self.core.counters.incr("unlink");
                 Ok(())
             }
@@ -704,7 +991,10 @@ impl FileSystem for PaconClient {
                 for key in keys {
                     if let Ok(k) = std::str::from_utf8(&key) {
                         if fspath::is_same_or_ancestor(path, k) {
-                            self.cache.delete(k);
+                            // Best-effort: a crashed shard's records are
+                            // wiped anyway; removed_dirs epochs guard any
+                            // survivors from stale resurrection.
+                            let _ = self.cache.try_delete(k);
                         }
                     }
                 }
@@ -781,7 +1071,15 @@ impl FileSystem for PaconClient {
                 let children: Vec<String> =
                     names.iter().map(|n| fspath::join(path, n.as_str())).collect();
                 let keys: Vec<&str> = children.iter().map(|p| p.as_str()).collect();
-                let metas = self.batched_get(&keys);
+                let metas = match self.batched_get(&keys) {
+                    Ok(m) => m,
+                    Err(CacheError::Unavailable) => {
+                        // Degraded: treat every child as a miss; the
+                        // per-entry fallback below stats the backup copy.
+                        self.core.counters.add("degraded_reads", keys.len() as u64);
+                        vec![None; keys.len()]
+                    }
+                };
                 let mut out = Vec::with_capacity(names.len());
                 for ((name, child), meta) in names.into_iter().zip(&children).zip(metas) {
                     match meta {
@@ -807,7 +1105,11 @@ impl FileSystem for PaconClient {
                 let children: Vec<String> =
                     names.iter().map(|n| fspath::join(path, n.as_str())).collect();
                 let keys: Vec<&str> = children.iter().map(|p| p.as_str()).collect();
-                let metas = self.batched_get_on(&m.cache, &keys);
+                // A faulted foreign cache degrades to all-misses: every
+                // entry below falls back to the DFS.
+                let metas = self
+                    .batched_get_on(&m.cache, &keys)
+                    .unwrap_or_else(|_| vec![None; keys.len()]);
                 let mut out = Vec::with_capacity(names.len());
                 for ((name, child), meta) in names.into_iter().zip(&children).zip(metas) {
                     match meta {
@@ -835,8 +1137,14 @@ impl FileSystem for PaconClient {
             Route::Own => {
                 drop(merged);
                 self.check_perm(path, cred, ACCESS_W)?;
-                if self.cache.get(path).is_none() {
-                    self.load_from_dfs(path, cred)?;
+                match self.cache.try_get(path) {
+                    Ok(Some(_)) => {}
+                    Ok(None) => {
+                        self.load_from_dfs(path, cred)?;
+                    }
+                    Err(CacheError::Unavailable) => {
+                        return self.degraded_write(path, cred, offset, data);
+                    }
                 }
                 enum Outcome {
                     Inline,
@@ -845,7 +1153,7 @@ impl FileSystem for PaconClient {
                 }
                 let mut outcome = Outcome::Inline;
                 let end = offset as usize + data.len();
-                let updated = self.cache.update(path, |m| {
+                let updated = match self.cache.try_update(path, |m| {
                     if m.removed {
                         return Err(FsError::NotFound);
                     }
@@ -879,7 +1187,12 @@ impl FileSystem for PaconClient {
                         outcome = Outcome::WentLarge(full);
                     }
                     Ok(())
-                })?;
+                }) {
+                    Ok(r) => r?,
+                    Err(CacheError::Unavailable) => {
+                        return self.degraded_write(path, cred, offset, data);
+                    }
+                };
                 let meta = updated.ok_or(FsError::NotFound)?;
                 match outcome {
                     Outcome::Inline => {
@@ -909,6 +1222,7 @@ impl FileSystem for PaconClient {
                                     client: self.id.0,
                                     epoch: self.core.board.current_epoch(),
                                     timestamp: self.core.now(),
+                                    degraded: false,
                                 };
                                 self.core.wal_append(
                                     self.node.index(),

@@ -56,6 +56,12 @@ pub struct QueueMsg {
     /// volatile mode and on envelopes that are never replayed (barrier
     /// markers, batch wrappers).
     pub id: dfs::OpId,
+    /// Published while the region was degraded. A degraded admission
+    /// check can only consult the committed backup view, so such a
+    /// creation may duplicate one that is already acknowledged but not
+    /// yet committed — the commit worker settles its `AlreadyExists` as
+    /// idempotent success instead of retrying it.
+    pub degraded: bool,
 }
 
 #[cfg(test)]

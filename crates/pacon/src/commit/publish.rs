@@ -134,7 +134,7 @@ mod tests {
     use super::*;
 
     fn msg(op: CommitOp) -> QueueMsg {
-        QueueMsg { id: Default::default(), op, client: 0, epoch: 0, timestamp: 0 }
+        QueueMsg { id: Default::default(), op, client: 0, epoch: 0, timestamp: 0, degraded: false }
     }
 
     fn create(p: &str) -> QueueMsg {

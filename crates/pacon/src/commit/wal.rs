@@ -13,6 +13,7 @@
 //!
 //! ```text
 //! u8  tag (0 mkdir | 1 create | 2 unlink | 3 write)
+//! u8  flags           (bit 0: published while degraded)
 //! u16 mode            (creations; 0 otherwise)
 //! u64 generation
 //! u64 epoch
@@ -68,8 +69,9 @@ fn encode_value(msg: &QueueMsg, snapshot: Option<&[u8]>) -> FsResult<Vec<u8>> {
         }
     };
     let snap = snapshot.unwrap_or(&[]);
-    let mut v = Vec::with_capacity(1 + 2 + 8 + 8 + 4 + 8 + 4 + snap.len());
+    let mut v = Vec::with_capacity(2 + 2 + 8 + 8 + 4 + 8 + 4 + snap.len());
     v.push(tag);
+    v.push(msg.degraded as u8);
     v.extend_from_slice(&mode.to_le_bytes());
     v.extend_from_slice(&msg.id.generation.to_le_bytes());
     v.extend_from_slice(&msg.epoch.to_le_bytes());
@@ -83,24 +85,25 @@ fn encode_value(msg: &QueueMsg, snapshot: Option<&[u8]>) -> FsResult<Vec<u8>> {
 fn decode_record(rec: &WalRecord) -> Option<WalEntry> {
     let path = String::from_utf8(rec.key.clone()).ok()?;
     let v = rec.value.as_deref()?;
-    if v.len() < 1 + 2 + 8 + 8 + 4 + 8 + 4 {
+    if v.len() < 2 + 2 + 8 + 8 + 4 + 8 + 4 {
         return None;
     }
     let tag = v[0];
-    let mode = u16::from_le_bytes(v[1..3].try_into().ok()?);
-    let generation = u64::from_le_bytes(v[3..11].try_into().ok()?);
-    let epoch = u64::from_le_bytes(v[11..19].try_into().ok()?);
-    let client = u32::from_le_bytes(v[19..23].try_into().ok()?);
-    let timestamp = u64::from_le_bytes(v[23..31].try_into().ok()?);
-    let snap_len = u32::from_le_bytes(v[31..35].try_into().ok()?) as usize;
-    if v.len() != 35 + snap_len {
+    let degraded = v[1] & 1 != 0;
+    let mode = u16::from_le_bytes(v[2..4].try_into().ok()?);
+    let generation = u64::from_le_bytes(v[4..12].try_into().ok()?);
+    let epoch = u64::from_le_bytes(v[12..20].try_into().ok()?);
+    let client = u32::from_le_bytes(v[20..24].try_into().ok()?);
+    let timestamp = u64::from_le_bytes(v[24..32].try_into().ok()?);
+    let snap_len = u32::from_le_bytes(v[32..36].try_into().ok()?) as usize;
+    if v.len() != 36 + snap_len {
         return None;
     }
     let (op, snapshot) = match tag {
         TAG_MKDIR => (CommitOp::Mkdir { path, mode }, None),
         TAG_CREATE => (CommitOp::Create { path, mode }, None),
         TAG_UNLINK => (CommitOp::Unlink { path }, None),
-        TAG_WRITE => (CommitOp::WriteInline { path }, Some(v[35..].to_vec())),
+        TAG_WRITE => (CommitOp::WriteInline { path }, Some(v[36..].to_vec())),
         _ => return None,
     };
     Some(WalEntry {
@@ -110,6 +113,7 @@ fn decode_record(rec: &WalRecord) -> Option<WalEntry> {
             epoch,
             timestamp,
             id: dfs::OpId { write_id: rec.seq, generation },
+            degraded,
         },
         snapshot,
     })
@@ -307,6 +311,7 @@ mod tests {
             epoch: 2,
             timestamp: 99,
             id: dfs::OpId { write_id, generation },
+            degraded: false,
         }
     }
 

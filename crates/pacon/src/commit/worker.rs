@@ -65,6 +65,11 @@ pub enum WorkerStep {
     Crashed,
 }
 
+/// Recent-message dedup window per worker. Duplicates only arise from
+/// scripted duplicate delivery and are adjacent in FIFO order, so a
+/// small window suffices.
+const SEEN_WINDOW: usize = 64;
+
 /// One op awaiting resubmission.
 struct RetryEntry {
     msg: QueueMsg,
@@ -92,6 +97,9 @@ pub struct CommitWorker {
     /// cycle passes without progress the worker reports `Idle` instead of
     /// spinning (the missing prerequisite lives in another queue).
     stuck_retries: usize,
+    /// `(client, timestamp)` of the most recent messages, for dropping
+    /// duplicated deliveries (lossy-link fault plane).
+    seen: VecDeque<(u32, u64)>,
 }
 
 impl CommitWorker {
@@ -112,7 +120,25 @@ impl CommitWorker {
             waiting: None,
             flushing_for: None,
             stuck_retries: 0,
+            seen: VecDeque::new(),
         }
+    }
+
+    /// Has this exact message already been consumed? Region timestamps
+    /// are unique per message (`RegionCore::now` ticks on every build),
+    /// so `(client, timestamp)` identifies a delivery exactly; a repeat
+    /// within the window is a duplicated send. The publisher counted the
+    /// op once, so the duplicate must be dropped without settling.
+    fn is_duplicate(&mut self, msg: &QueueMsg) -> bool {
+        let key = (msg.client, msg.timestamp);
+        if self.seen.contains(&key) {
+            return true;
+        }
+        if self.seen.len() == SEEN_WINDOW {
+            self.seen.pop_front();
+        }
+        self.seen.push_back(key);
+        false
     }
 
     pub fn node(&self) -> NodeId {
@@ -163,6 +189,10 @@ impl CommitWorker {
         // retry backlog.
         match self.consumer.try_recv() {
             Ok(msg) => {
+                if self.is_duplicate(&msg) {
+                    self.core.counters.incr("duplicate_drops");
+                    return WorkerStep::Retried;
+                }
                 self.stuck_retries = 0;
                 self.charge_dispatch();
                 match msg.op {
@@ -345,11 +375,11 @@ impl CommitWorker {
                 // copy: a write racing in after our read re-queues a fresh
                 // writeback instead of being silently absorbed.
                 self.core.pending_writebacks.lock().remove(path.as_str());
-                match self.cache.get(path) {
+                match self.cache.try_get(path) {
                     // Freshest primary copy wins; a record that vanished,
                     // was marked removed, or went large needs no inline
                     // writeback.
-                    Some((meta, _)) if !meta.removed && !meta.large => {
+                    Ok(Some((meta, _))) if !meta.removed && !meta.large => {
                         if id.is_none() {
                             self.dfs.write(path, &cred, 0, &meta.inline).map(|_| ())
                         } else {
@@ -358,10 +388,14 @@ impl CommitWorker {
                                 .map(|_| ())
                         }
                     }
-                    _ => {
+                    Ok(_) => {
                         self.core.counters.incr("writeback_skipped");
                         Ok(())
                     }
+                    // Cache node down: retriable through the backlog.
+                    // After the node restarts the wiped record reads as
+                    // gone and the writeback settles as skipped.
+                    Err(_) => Err(FsError::Backend("cache node down".into())),
                 }
             }
             CommitOp::Barrier { .. } | CommitOp::Batch(_) => {
@@ -396,6 +430,17 @@ impl CommitWorker {
     ) -> WorkerStep {
         match result {
             Ok(()) => {
+                // Birth bookkeeping feeds the duplicate-admission check
+                // below: the path's committed incarnation is now the one
+                // this op made (or removed).
+                if let Some(path) = msg.op.path() {
+                    if msg.op.is_creation() {
+                        self.core.note_birth(path, msg.timestamp);
+                    } else if matches!(msg.op, CommitOp::Unlink { .. }) {
+                        self.core.clear_birth(path);
+                    }
+                }
+                self.retire(&msg);
                 self.after_success(&msg);
                 self.core.note_completed();
                 self.core.counters.incr("committed");
@@ -408,10 +453,49 @@ impl CommitWorker {
             Err(FsError::AlreadyExists)
                 if backend_faulted && attempts > 0 && msg.op.is_creation() =>
             {
+                self.retire(&msg);
                 self.after_success(&msg);
                 self.core.note_completed();
                 self.core.counters.incr("committed");
                 self.core.counters.incr("idempotent_replays");
+                WorkerStep::Committed
+            }
+            // A duplicate admission: the path's committed file is *older*
+            // than this creation and no acknowledged unlink separates
+            // them, so the path was already created when this op was
+            // acknowledged — its admission check saw a cold or
+            // unreachable cache (degraded windows, post-crash cold
+            // shards). `AlreadyExists` means its outcome is in place
+            // (create-if-absent semantics). It must NOT sit in the
+            // backlog waiting for the path to free up — committing the
+            // duplicate after a later acknowledged unlink would resurrect
+            // the file. Both other causes of the conflict fall through to
+            // the retry backlog and resolve there: a *pending* unlink
+            // between the birth and this creation (a legitimate
+            // re-creation waiting for its predecessor's removal) and a
+            // committed file *newer* than the creation (a cross-queue
+            // race — the blocking file will be removed by an acknowledged
+            // unlink).
+            Err(FsError::AlreadyExists)
+                if msg.op.is_creation() && {
+                    let p = msg.op.path().expect("creations have a path");
+                    match self.core.birth_of(p) {
+                        Some(b) => {
+                            b < msg.timestamp
+                                && !self.core.unlink_pending_between(p, b, msg.timestamp)
+                        }
+                        // No tracked birth: the blocking file never
+                        // committed through this region. Only a degraded
+                        // admission treats that as its own duplicate.
+                        None => msg.degraded,
+                    }
+                } =>
+            {
+                self.retire(&msg);
+                self.after_success(&msg);
+                self.core.note_completed();
+                self.core.counters.incr("committed");
+                self.core.counters.incr("degraded_idempotent");
                 WorkerStep::Committed
             }
             // Namespace-convention rejections (resubmit until the missing
@@ -426,12 +510,14 @@ impl CommitWorker {
             ) => {
                 if let Some(path) = msg.op.path() {
                     if self.under_removed_dir(path, msg.epoch) {
+                        self.retire(&msg);
                         self.core.note_completed();
                         self.core.counters.incr("discarded_removed_dir");
                         return WorkerStep::Discarded;
                     }
                 }
                 if attempts + 1 >= self.core.config.max_commit_retries {
+                    self.retire(&msg);
                     self.core.note_completed();
                     self.core.counters.incr("dropped_retry_budget");
                     return WorkerStep::Discarded;
@@ -447,10 +533,20 @@ impl CommitWorker {
             Err(_) => {
                 // Permission or backend error: not retriable; count and
                 // surface through counters (the primary copy stays).
+                self.retire(&msg);
                 self.core.note_completed();
                 self.core.counters.incr("commit_errors");
                 WorkerStep::Discarded
             }
+        }
+    }
+
+    /// Release the pending-removal mark once an unlink settles for good
+    /// (committed or discarded). Must run *before* `after_success` so the
+    /// deferred cache deletion sees the post-retirement count.
+    fn retire(&self, msg: &QueueMsg) {
+        if let CommitOp::Unlink { path } = &msg.op {
+            self.core.note_unlink_retired(path, msg.timestamp);
         }
     }
 
@@ -459,8 +555,10 @@ impl CommitWorker {
         let cred = self.core.config.cred;
         match &msg.op {
             CommitOp::Mkdir { path, .. } | CommitOp::Create { path, .. } => {
-                // Backup copy now exists: mark the cached record committed.
-                let _ = self.cache.update::<()>(path, |m| {
+                // Backup copy now exists: mark the cached record
+                // committed. Best-effort — a crashed shard's record is
+                // wiped anyway and rewarms as committed from the DFS.
+                let _ = self.cache.try_update::<()>(path, |m| {
                     m.committed = true;
                     Ok(())
                 });
@@ -478,10 +576,21 @@ impl CommitWorker {
             CommitOp::Unlink { path } => {
                 // Deferred cache deletion: drop the record only if it is
                 // still the marked-removed version (a re-create must
-                // survive).
-                if let Some((meta, _)) = self.cache.get(path) {
-                    if meta.removed {
-                        self.cache.delete(path);
+                // survive) and no *later* unlink of the same path is still
+                // queued — the removed-mark we would delete is that
+                // unlink's tombstone, and dropping it lets the read path
+                // resurrect the record from the not-yet-updated backup
+                // copy. Best-effort under faults, as above.
+                if !self.core.unlink_pending(path) {
+                    if let Ok(Some((meta, _))) = self.cache.try_get(path) {
+                        // A record marked stale is this very unlink's
+                        // degraded-mode leftover: it never got its
+                        // removed-mark, delete it all the same.
+                        if (meta.removed || self.core.is_stale_tombstone(path))
+                            && self.cache.try_delete(path).is_ok()
+                        {
+                            self.core.clear_stale_tombstone(path);
+                        }
                     }
                 }
                 self.core.staging.lock().remove(path.as_str());

@@ -85,6 +85,16 @@ pub struct PaconConfig {
     /// recovered ops have applied, *before* the logs are truncated — the
     /// crash-during-recovery (double-replay) scenario.
     pub recovery_crash_after: Option<u64>,
+    /// Fault plane: total virtual ns one cache RPC may spend sleeping
+    /// across retries before the client declares the node unreachable
+    /// and enters degraded mode. Measured on the region's virtual clock
+    /// (no wall time is ever consumed).
+    pub rpc_deadline: u64,
+    /// Fault plane: retry attempts after the initial try of a cache RPC.
+    pub retry_budget: u32,
+    /// Fault plane: first retry's nominal backoff in virtual ns; doubles
+    /// per retry with deterministic full jitter (see `retry::RetryPolicy`).
+    pub backoff_base: u64,
 }
 
 impl PaconConfig {
@@ -110,7 +120,29 @@ impl PaconConfig {
             wal_dir: None,
             wal_fsync_batch: 1,
             recovery_crash_after: None,
+            rpc_deadline: 8_000_000,
+            retry_budget: 4,
+            backoff_base: 100_000,
         }
+    }
+
+    /// Builder-style: set the per-RPC retry deadline (virtual ns).
+    pub fn with_rpc_deadline(mut self, ns: u64) -> Self {
+        self.rpc_deadline = ns;
+        self
+    }
+
+    /// Builder-style: set the cache-RPC retry budget.
+    pub fn with_retry_budget(mut self, attempts: u32) -> Self {
+        self.retry_budget = attempts;
+        self
+    }
+
+    /// Builder-style: set the base backoff delay (virtual ns).
+    pub fn with_backoff_base(mut self, ns: u64) -> Self {
+        assert!(ns >= 2, "backoff base must be at least 2 ns (jitter needs range)");
+        self.backoff_base = ns;
+        self
     }
 
     /// Builder-style: enable the durable commit queue, journaling into
@@ -223,6 +255,16 @@ mod tests {
         let c = c.with_commit_batch(32).without_commit_coalescing();
         assert_eq!(c.commit_batch_size, 32);
         assert!(!c.commit_batch_coalescing);
+    }
+
+    #[test]
+    fn fault_knobs_default_and_build() {
+        let c = PaconConfig::new("/app", Topology::new(1, 1), Credentials::new(1, 1));
+        assert_eq!(c.rpc_deadline, 8_000_000);
+        assert_eq!(c.retry_budget, 4);
+        assert_eq!(c.backoff_base, 100_000);
+        let c = c.with_rpc_deadline(1_000).with_retry_budget(2).with_backoff_base(10);
+        assert_eq!((c.rpc_deadline, c.retry_budget, c.backoff_base), (1_000, 2, 10));
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Per-region degraded-mode state machine (the fault plane's client
+//! side): `Healthy → Degraded → Rewarming → Healthy`.
+//!
+//! A client enters **Degraded** when a cache RPC exhausts its retry
+//! budget/deadline ([`crate::retry::RetryPolicy`]). While degraded,
+//! reads fall through to the DFS backup copy and cache RPCs fail fast —
+//! except for a rate-limited **recovery probe**: one raw attempt per
+//! probe interval. A successful probe moves the region to **Rewarming**,
+//! where traffic goes cache-first again and DFS loads are put back into
+//! the cache (counted as `rewarm_keys`); after [`REWARM_STREAK`]
+//! consecutive cache successes the region is **Healthy** and the
+//! degraded window (measured on the region's virtual clock) closes.
+//!
+//! All transitions are lock-free atomics: this sits on the hot read
+//! path, where the healthy-mode cost must stay one relaxed load.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+
+/// Consecutive cache successes in `Rewarming` before declaring
+/// `Healthy`. Small on purpose: a flapping node re-enters Degraded
+/// through the normal retry path, so optimism here is cheap.
+pub const REWARM_STREAK: u32 = 4;
+
+/// Client-visible cache health of one region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Cache RPCs served normally.
+    Healthy,
+    /// Retry budget exhausted: reads fall through to the DFS, cache RPCs
+    /// fail fast, probes gate re-entry.
+    Degraded,
+    /// A probe succeeded: cache-first again, misses re-warm the cache.
+    Rewarming,
+}
+
+const HEALTHY: u8 = 0;
+const DEGRADED: u8 = 1;
+const REWARMING: u8 = 2;
+
+/// Shared, lock-free degraded-mode state (one per region core).
+pub struct DegradedState {
+    mode: AtomicU8,
+    /// Virtual-ns timestamp when the current degraded window opened.
+    entered_at: AtomicU64,
+    /// Closed degraded windows, accumulated (virtual ns).
+    total_ns: AtomicU64,
+    /// Consecutive cache successes while rewarming.
+    streak: AtomicU32,
+    /// Virtual-ns time the next recovery probe is allowed.
+    probe_at: AtomicU64,
+    /// Times the region entered degraded mode.
+    entries: AtomicU64,
+}
+
+impl DegradedState {
+    pub fn new() -> Self {
+        Self {
+            mode: AtomicU8::new(HEALTHY),
+            entered_at: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            streak: AtomicU32::new(0),
+            probe_at: AtomicU64::new(0),
+            entries: AtomicU64::new(0),
+        }
+    }
+
+    pub fn mode(&self) -> Mode {
+        match self.mode.load(Ordering::Acquire) {
+            HEALTHY => Mode::Healthy,
+            DEGRADED => Mode::Degraded,
+            _ => Mode::Rewarming,
+        }
+    }
+
+    /// Retry budget exhausted at virtual time `now`: enter (or re-enter)
+    /// degraded mode. A failure during Rewarming keeps the original
+    /// window open — the region was never healthy in between.
+    pub fn enter_degraded(&self, now_ns: u64, probe_interval_ns: u64) {
+        let prev = self.mode.swap(DEGRADED, Ordering::AcqRel);
+        if prev == HEALTHY {
+            self.entered_at.store(now_ns, Ordering::Release);
+            self.entries.fetch_add(1, Ordering::Relaxed);
+        }
+        self.streak.store(0, Ordering::Relaxed);
+        self.probe_at.store(now_ns + probe_interval_ns, Ordering::Release);
+    }
+
+    /// Is a recovery probe due at `now`? Claims the probe slot (and
+    /// schedules the next one) when it is, so concurrent clients send
+    /// one probe per interval, not one each.
+    pub fn probe_due(&self, now_ns: u64, probe_interval_ns: u64) -> bool {
+        let due = self.probe_at.load(Ordering::Acquire);
+        now_ns >= due
+            && self
+                .probe_at
+                .compare_exchange(
+                    due,
+                    now_ns + probe_interval_ns,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+    }
+
+    /// A recovery probe reached the cache: start rewarming.
+    pub fn begin_rewarm(&self) {
+        if self
+            .mode
+            .compare_exchange(DEGRADED, REWARMING, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.streak.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// A cache RPC succeeded at virtual time `now`. Returns `true` when
+    /// this success closed the degraded window (Rewarming → Healthy).
+    pub fn note_success(&self, now_ns: u64) -> bool {
+        if self.mode.load(Ordering::Acquire) != REWARMING {
+            return false;
+        }
+        let streak = self.streak.fetch_add(1, Ordering::AcqRel) + 1;
+        if streak < REWARM_STREAK {
+            return false;
+        }
+        if self
+            .mode
+            .compare_exchange(REWARMING, HEALTHY, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            let opened = self.entered_at.load(Ordering::Acquire);
+            self.total_ns.fetch_add(now_ns.saturating_sub(opened), Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Total virtual ns spent outside Healthy, including the window
+    /// still open at `now` (if any).
+    pub fn window_ns(&self, now_ns: u64) -> u64 {
+        let closed = self.total_ns.load(Ordering::Acquire);
+        if self.mode.load(Ordering::Acquire) == HEALTHY {
+            closed
+        } else {
+            closed + now_ns.saturating_sub(self.entered_at.load(Ordering::Acquire))
+        }
+    }
+
+    /// Times the region has entered degraded mode.
+    pub fn entries(&self) -> u64 {
+        self.entries.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for DegradedState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_cycle_accumulates_the_window() {
+        let d = DegradedState::new();
+        assert_eq!(d.mode(), Mode::Healthy);
+        assert_eq!(d.window_ns(50), 0);
+
+        d.enter_degraded(100, 10);
+        assert_eq!(d.mode(), Mode::Degraded);
+        assert_eq!(d.entries(), 1);
+        assert_eq!(d.window_ns(150), 50, "open window counts");
+
+        // Probe slot: one per interval.
+        assert!(!d.probe_due(105, 10), "not due yet");
+        assert!(d.probe_due(110, 10));
+        assert!(!d.probe_due(110, 10), "slot already claimed");
+
+        d.begin_rewarm();
+        assert_eq!(d.mode(), Mode::Rewarming);
+        for _ in 0..REWARM_STREAK - 1 {
+            assert!(!d.note_success(200));
+        }
+        assert!(d.note_success(200), "streak closes the window");
+        assert_eq!(d.mode(), Mode::Healthy);
+        assert_eq!(d.window_ns(999), 100, "window 100→200 is closed");
+    }
+
+    #[test]
+    fn failure_during_rewarm_keeps_the_window_open() {
+        let d = DegradedState::new();
+        d.enter_degraded(100, 10);
+        assert!(d.probe_due(110, 10));
+        d.begin_rewarm();
+        assert!(!d.note_success(120));
+        // Relapse: same window, entries does not double-count.
+        d.enter_degraded(130, 10);
+        assert_eq!(d.entries(), 1);
+        assert_eq!(d.window_ns(150), 50, "window still anchored at 100");
+        // Streak was reset by the relapse.
+        assert!(d.probe_due(140, 10));
+        d.begin_rewarm();
+        for _ in 0..REWARM_STREAK - 1 {
+            assert!(!d.note_success(160));
+        }
+        assert!(d.note_success(160));
+        assert_eq!(d.window_ns(999), 60);
+    }
+}

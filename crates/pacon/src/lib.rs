@@ -48,14 +48,19 @@ pub mod checkpoint;
 pub mod client;
 pub mod commit;
 pub mod config;
+pub mod degraded;
 pub mod directory;
 pub mod eviction;
 pub mod metadata;
 pub mod permission;
 pub mod region;
 pub mod report;
+pub mod retry;
 
+pub use cache::CacheError;
 pub use client::PaconClient;
+pub use degraded::{DegradedState, Mode as DegradedMode};
+pub use retry::RetryPolicy;
 pub use commit::op::{CommitOp, QueueMsg};
 pub use config::PaconConfig;
 pub use directory::RegionDirectory;

@@ -48,6 +48,34 @@ pub struct RegionCore {
     /// one queued writeback covers every earlier write to the file —
     /// repeated small-file writes coalesce instead of flooding the queue.
     pub pending_writebacks: Mutex<std::collections::HashSet<String>>,
+    /// Acknowledged-but-uncommitted unlinks per path, by publish
+    /// timestamp (a multiset: each published `CommitOp::Unlink` holds one
+    /// entry until it settles). Three consumers: the commit worker defers
+    /// the cache-record deletion while a *newer* unlink is still pending
+    /// (deleting would drop that unlink's removed-mark), the read path
+    /// refuses to resurrect the record from the DFS backup (which still
+    /// holds the file until the pending unlink commits), and the
+    /// duplicate-admission check uses the timestamps to tell a legitimate
+    /// re-creation (an unlink acknowledged between the blocking file's
+    /// birth and the creation) from a duplicate.
+    pub(crate) pending_removals: Mutex<HashMap<String, Vec<u64>>>,
+    /// Paths whose cache record may be a stale survivor of a
+    /// degraded-mode unlink: the removal was acknowledged against the
+    /// backup view while the record's shard was unreachable, so a record
+    /// that outlives the outage still reads `removed = false`. Hits on
+    /// marked paths are deleted instead of served (lazy cleanup in
+    /// `MetaCache::try_get` plus the commit worker's settle).
+    pub(crate) stale_tombstones: Mutex<std::collections::HashSet<String>>,
+    /// Logical timestamp of the last *committed* creation per live path
+    /// (cleared when an unlink commits). Lets the commit worker tell a
+    /// duplicate admission from a genuine ordering conflict when a
+    /// creation hits `AlreadyExists`: a committed file *older* than the
+    /// failing creation means the path was already acknowledged-created
+    /// when this op was admitted (the admission check saw a cold or
+    /// unreachable cache) — retrying would resurrect it after a later
+    /// unlink. A *newer* committed file is a cross-queue race the retry
+    /// backlog resolves.
+    pub(crate) committed_births: Mutex<HashMap<String, u64>>,
     /// Group commit: one publish buffer per node, coalescing ops before
     /// they enter the commit queue. Unused (always empty) when
     /// `commit_batch_size <= 1`.
@@ -77,12 +105,29 @@ pub struct RegionCore {
     /// Durable mode: latest namespace generation per path, so writeback
     /// identities can be ordered against re-creations during replay.
     pub(crate) generations: Mutex<HashMap<String, u64>>,
+    /// Virtual-ns clock of the fault plane. Backoff "sleeps" and the
+    /// chaos driver advance it; degraded windows are measured on it.
+    /// Distinct from `clock`, whose ticks are per-event identities.
+    sim_ns: AtomicU64,
+    /// Degraded-mode state machine (Healthy → Degraded → Rewarming).
+    pub degraded: crate::degraded::DegradedState,
 }
 
 impl RegionCore {
     /// Monotonic logical timestamp.
     pub fn now(&self) -> u64 {
         self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Current virtual time (fault plane), in ns.
+    pub fn sim_ns(&self) -> u64 {
+        self.sim_ns.load(Ordering::Relaxed)
+    }
+
+    /// Advance the virtual clock by `ns` (a backoff "sleep" or a chaos
+    /// driver step); returns the new time. No wall time passes.
+    pub fn advance(&self, ns: u64) -> u64 {
+        self.sim_ns.fetch_add(ns, Ordering::Relaxed) + ns
     }
 
     /// Is `path` inside this consistent region?
@@ -106,6 +151,78 @@ impl RegionCore {
     /// Whether this region journals its commit queue.
     pub fn durable(&self) -> bool {
         !self.wals.is_empty()
+    }
+
+    /// An unlink for `path`, publish-stamped `ts`, was acknowledged and
+    /// is about to be (or has just been) published.
+    pub(crate) fn note_unlink_pending(&self, path: &str, ts: u64) {
+        self.pending_removals.lock().entry(path.to_string()).or_default().push(ts);
+    }
+
+    /// The published unlink stamped `ts` settled (committed, discarded or
+    /// dropped) — or its publish failed and the pending mark rolls back.
+    pub(crate) fn note_unlink_retired(&self, path: &str, ts: u64) {
+        let mut pending = self.pending_removals.lock();
+        if let Some(v) = pending.get_mut(path) {
+            if let Some(i) = v.iter().position(|&t| t == ts) {
+                v.swap_remove(i);
+            }
+            if v.is_empty() {
+                pending.remove(path);
+            }
+        }
+    }
+
+    /// Does `path` have an acknowledged unlink still in the commit queue?
+    /// While it does, the DFS backup may still hold the file, but program
+    /// order says it is gone — reads must not resurrect it.
+    pub(crate) fn unlink_pending(&self, path: &str) -> bool {
+        self.pending_removals.lock().contains_key(path)
+    }
+
+    /// Is an unlink with publish timestamp strictly inside
+    /// `(after, before)` still pending for `path`? Distinguishes a
+    /// legitimate re-creation (its predecessor's removal is acknowledged
+    /// but not yet committed — the creation must wait for it) from a
+    /// duplicate admission (no removal separates it from the committed
+    /// file it collides with).
+    pub(crate) fn unlink_pending_between(&self, path: &str, after: u64, before: u64) -> bool {
+        self.pending_removals
+            .lock()
+            .get(path)
+            .is_some_and(|v| v.iter().any(|&t| after < t && t < before))
+    }
+
+    /// A degraded-mode unlink was acknowledged while `path`'s shard was
+    /// unreachable: any surviving cache record is a stale incarnation.
+    pub(crate) fn mark_stale_tombstone(&self, path: &str) {
+        self.stale_tombstones.lock().insert(path.to_string());
+    }
+
+    /// The stale record was deleted (or a fresh authoritative record was
+    /// written): hits on `path` are trustworthy again.
+    pub(crate) fn clear_stale_tombstone(&self, path: &str) {
+        self.stale_tombstones.lock().remove(path);
+    }
+
+    pub(crate) fn is_stale_tombstone(&self, path: &str) -> bool {
+        self.stale_tombstones.lock().contains(path)
+    }
+
+    /// A creation for `path` committed on the DFS at logical time `ts`.
+    pub(crate) fn note_birth(&self, path: &str, ts: u64) {
+        self.committed_births.lock().insert(path.to_string(), ts);
+    }
+
+    /// An unlink for `path` committed: the recorded birth is gone.
+    pub(crate) fn clear_birth(&self, path: &str) {
+        self.committed_births.lock().remove(path);
+    }
+
+    /// Logical timestamp of `path`'s last committed creation, if a
+    /// creation committed through this region and no unlink has since.
+    pub(crate) fn birth_of(&self, path: &str) -> Option<u64> {
+        self.committed_births.lock().get(path).copied()
     }
 
     /// Allocate the replay identity for an op about to be published.
@@ -226,6 +343,7 @@ impl RegionCore {
                 epoch: self.board.current_epoch(),
                 timestamp: self.now(),
                 id: dfs::OpId::NONE,
+                degraded: false,
             }
         };
         // permit_blocking: the send blocks while the buffer lock is held by
@@ -342,6 +460,21 @@ impl PaconRegion {
                 "pacon.region.pending_writebacks",
                 std::collections::HashSet::new(),
             ),
+            pending_removals: Mutex::new(
+                level::REGION_STATE,
+                "pacon.region.pending_removals",
+                HashMap::new(),
+            ),
+            stale_tombstones: Mutex::new(
+                level::REGION_STATE,
+                "pacon.region.stale_tombstones",
+                std::collections::HashSet::new(),
+            ),
+            committed_births: Mutex::new(
+                level::REGION_STATE,
+                "pacon.region.committed_births",
+                HashMap::new(),
+            ),
             publish_bufs: (0..nodes)
                 .map(|_| Mutex::new(level::PUBLISH, "pacon.region.publish_buf", PublishBuffer::new()))
                 .collect(),
@@ -359,6 +492,8 @@ impl PaconRegion {
                 "pacon.region.generations",
                 HashMap::new(),
             ),
+            sim_ns: AtomicU64::new(0),
+            degraded: crate::degraded::DegradedState::new(),
             config,
         });
 
@@ -521,6 +656,35 @@ impl PaconRegion {
         Ok(())
     }
 
+    /// Apply one scripted fault event to the region's subsystems — the
+    /// chaos driver's dispatch point. Cache-node events hit the memkv
+    /// cluster; commit-link events hit the node's queue.
+    pub fn apply_fault(&self, ev: simnet::FaultEvent) {
+        use simnet::FaultEvent as E;
+        match ev {
+            E::CrashCacheNode(n) => self.core.cache_cluster.crash(n),
+            E::RestartCacheNode(n) => self.core.cache_cluster.restart(n),
+            E::SlowCacheNode { node, extra_ns } => {
+                self.core.cache_cluster.set_slowdown(node, extra_ns)
+            }
+            E::RestoreCacheNode(n) => self.core.cache_cluster.set_slowdown(n, 0),
+            E::PartitionCommitLink(n) => self.publishers[n.0 as usize].partition(),
+            E::CrashBroker(n) => {
+                let lost = self.publishers[n.0 as usize].sever();
+                self.core.counters.add("broker_lost_msgs", lost as u64);
+            }
+            E::HealCommitLink(n) => self.publishers[n.0 as usize].heal(),
+            E::DuplicateCommitSends { node, count } => {
+                self.publishers[node.0 as usize].arm_duplicates(count)
+            }
+        }
+    }
+
+    /// Is node `n`'s commit link currently down?
+    pub fn commit_link_severed(&self, n: usize) -> bool {
+        self.publishers[n].is_severed()
+    }
+
     /// Run an empty barrier: returns once every operation published
     /// before this call is committed to the DFS. Used by checkpointing
     /// and by tests that need a consistent backup copy without shutting
@@ -544,6 +708,7 @@ impl PaconRegion {
                     epoch,
                     timestamp: self.core.now(),
                     id: dfs::OpId::NONE,
+                    degraded: false,
                 })
             })
             .expect("commit queue closed during sync barrier");
@@ -902,7 +1067,14 @@ mod tests {
 
     fn plain_entry(op: CommitOp) -> WalEntry {
         WalEntry {
-            msg: QueueMsg { op, client: 0, epoch: 0, timestamp: 0, id: dfs::OpId::NONE },
+            msg: QueueMsg {
+                op,
+                client: 0,
+                epoch: 0,
+                timestamp: 0,
+                id: dfs::OpId::NONE,
+                degraded: false,
+            },
             snapshot: None,
         }
     }

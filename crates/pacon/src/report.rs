@@ -77,6 +77,17 @@ pub struct RegionReport {
     /// Confirmed replay identities evicted from the DFS seen-cache (at
     /// launch and after fully-truncating sync barriers).
     pub replay_pruned: u64,
+    /// Fault plane: cache RPC retries taken (backoff sleeps on the
+    /// virtual clock).
+    pub rpc_retries: u64,
+    /// Reads served from the DFS backup copy while the region was
+    /// degraded.
+    pub degraded_reads: u64,
+    /// Total virtual ns spent outside Healthy (closed windows plus the
+    /// one still open, if any).
+    pub degraded_window_ns: u64,
+    /// Keys re-populated into the cache from DFS loads during recovery.
+    pub rewarm_keys: u64,
 }
 
 impl RegionReport {
@@ -151,7 +162,7 @@ impl fmt::Display for RegionReport {
             "  state:  barrier epoch {}, {} staged file(s), {} evicted record(s)",
             self.barrier_epoch, self.staged_files, self.evicted
         )?;
-        write!(
+        writeln!(
             f,
             "  wal:    {} appended / {} fsyncs / {} truncations, \
              {} replayed ({} applied, {} skipped), {} rollback-dropped, {} pruned",
@@ -163,6 +174,12 @@ impl fmt::Display for RegionReport {
             self.recovery_skipped,
             self.rollback_dropped_ops,
             self.replay_pruned
+        )?;
+        write!(
+            f,
+            "  fault:  {} rpc retries, {} degraded reads, {} rewarmed keys, \
+             degraded window {} ns",
+            self.rpc_retries, self.degraded_reads, self.rewarm_keys, self.degraded_window_ns
         )
     }
 }
@@ -207,6 +224,10 @@ impl PaconRegion {
             recovery_skipped: core.counters.get("recovery_skipped"),
             rollback_dropped_ops: core.counters.get("rollback_dropped_ops"),
             replay_pruned: core.counters.get("replay_pruned"),
+            rpc_retries: core.counters.get("rpc_retries"),
+            degraded_reads: core.counters.get("degraded_reads"),
+            degraded_window_ns: core.degraded.window_ns(core.sim_ns()),
+            rewarm_keys: core.counters.get("rewarm_keys"),
         }
     }
 }

@@ -1,0 +1,80 @@
+//! Property tests for the fault plane's backoff math: every delay is
+//! bounded by the cap, never zero after the first retry, and the total
+//! virtual sleep of one guarded call never exceeds its deadline. All of
+//! it runs on sim time with seeded jitter — no wall clock, no global RNG
+//! — so each case is a pure function of its inputs.
+
+use pacon::RetryPolicy;
+use proptest::prelude::*;
+
+proptest! {
+    /// Walk a full retry sequence exactly the way `MetaCache::guarded`
+    /// does and check the envelope invariants at every step.
+    #[test]
+    fn retry_sequence_respects_cap_budget_and_deadline(
+        base in 2u64..1_000_000,
+        budget in 0u32..64,
+        deadline in 0u64..100_000_000,
+        seed in any::<u64>(),
+    ) {
+        let policy = RetryPolicy {
+            deadline_ns: deadline,
+            budget,
+            base_ns: base,
+            cap_ns: base.saturating_mul(64),
+        };
+        let mut slept = 0u64;
+        let mut attempt = 0u32;
+        while let Some(d) = policy.next_backoff(attempt, slept, seed) {
+            prop_assert!(d >= 1, "a zero backoff would hot-spin on a down node");
+            prop_assert!(d <= policy.cap_ns.max(2), "delay {d} exceeds the cap");
+            slept += d;
+            attempt += 1;
+            prop_assert!(slept <= deadline, "total sleep {slept} burst the deadline");
+            prop_assert!(attempt <= budget, "budget overrun");
+        }
+        // The cut-off itself is honest: either the budget ran out or one
+        // more delay would cross the deadline.
+        if attempt < budget {
+            let next = policy.backoff_ns(attempt, seed);
+            prop_assert!(slept.saturating_add(next) > deadline);
+        }
+    }
+
+    /// Jitter is a pure function of `(policy, attempt, seed)` — the
+    /// determinism a replayable chaos run depends on.
+    #[test]
+    fn backoff_is_deterministic_per_seed(
+        base in 2u64..1_000_000,
+        attempt in 0u32..32,
+        seed in any::<u64>(),
+    ) {
+        let policy = RetryPolicy {
+            deadline_ns: u64::MAX,
+            budget: 64,
+            base_ns: base,
+            cap_ns: base.saturating_mul(64),
+        };
+        prop_assert_eq!(policy.backoff_ns(attempt, seed), policy.backoff_ns(attempt, seed));
+    }
+
+    /// Full jitter stays in `[d/2, d]`: delays keep real exponential
+    /// growth until the cap pins them (a delay collapsing toward zero
+    /// would defeat the backoff).
+    #[test]
+    fn jitter_stays_in_the_upper_half_window(
+        base in 2u64..1_000_000,
+        attempt in 0u32..32,
+        seed in any::<u64>(),
+    ) {
+        let cap = base.saturating_mul(64);
+        let policy = RetryPolicy { deadline_ns: u64::MAX, budget: 64, base_ns: base, cap_ns: cap };
+        let nominal = base
+            .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+            .min(cap)
+            .max(2);
+        let d = policy.backoff_ns(attempt, seed);
+        prop_assert!(d >= nominal / 2, "delay {d} fell below half the nominal {nominal}");
+        prop_assert!(d <= nominal, "delay {d} above the nominal {nominal}");
+    }
+}

@@ -1,0 +1,252 @@
+//! Deterministic fault plane: scripted, seed-reproducible failures.
+//!
+//! A [`FaultPlan`] is a timed script of fault events — cache-node
+//! crashes/restarts/slow-downs, commit-link partitions, broker crashes
+//! (lossy), and scripted message duplication — keyed entirely on **sim
+//! time** (the caller's virtual-ns clock; no wall clock anywhere, lint R3
+//! applies). The plan itself touches no subsystem: a driver calls
+//! [`FaultPlan::advance_to`] with the current virtual time and applies
+//! the due events to the layers that model them (`memkv` node
+//! crash/restart, `mq` link control, latency slow-downs).
+//!
+//! Every applied event is appended to a human-readable trace so a failed
+//! chaos run can be replayed from its artifact: same seed + same script
+//! ⇒ same storm.
+
+use std::io::Write as _;
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use syncguard::{level, Mutex};
+
+use crate::NodeId;
+
+/// One scripted fault, applied by the chaos driver at its due time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Cache node dies: its shard state is wiped and requests routed to
+    /// it surface `NodeDown` until the matching restart.
+    CrashCacheNode(NodeId),
+    /// Crashed cache node comes back — with a cold cache.
+    RestartCacheNode(NodeId),
+    /// Every access to this cache node costs `extra_ns` more virtual ns
+    /// (degraded NIC / overloaded server) until restored.
+    SlowCacheNode { node: NodeId, extra_ns: u64 },
+    /// Clears a [`SlowCacheNode`](FaultEvent::SlowCacheNode).
+    RestoreCacheNode(NodeId),
+    /// Commit-path link to this node's broker goes down; messages
+    /// already buffered at the broker survive (pure partition).
+    PartitionCommitLink(NodeId),
+    /// The broker itself dies: link down *and* its buffered messages are
+    /// lost (the publisher-side redelivery window must resend them).
+    CrashBroker(NodeId),
+    /// Commit link (or restarted broker) comes back up.
+    HealCommitLink(NodeId),
+    /// The next `count` commit messages published to this node's queue
+    /// are delivered twice (duplicated send; idempotence must absorb).
+    DuplicateCommitSends { node: NodeId, count: u32 },
+}
+
+struct PlanState {
+    cursor: usize,
+    trace: Vec<String>,
+}
+
+/// A timed, deterministic script of [`FaultEvent`]s.
+pub struct FaultPlan {
+    /// (due-time ns, event), sorted by time (stable: ties keep script
+    /// order).
+    events: Vec<(u64, FaultEvent)>,
+    state: Mutex<PlanState>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults — the unfaulted oracle's view).
+    pub fn empty() -> Self {
+        Self::from_events(Vec::new())
+    }
+
+    /// Build from explicit `(time_ns, event)` pairs; order within the
+    /// same timestamp follows the script.
+    pub fn from_events(mut events: Vec<(u64, FaultEvent)>) -> Self {
+        events.sort_by_key(|&(t, _)| t);
+        Self {
+            events,
+            state: Mutex::new(
+                level::STATS,
+                "simnet.faultplan",
+                PlanState { cursor: 0, trace: Vec::new() },
+            ),
+        }
+    }
+
+    /// Generate a deterministic random fault storm over `nodes` nodes
+    /// inside the window `[start_ns, end_ns)`. Each of the `rounds`
+    /// injected faults is paired with its clearing event *inside* the
+    /// window, so by `end_ns` every fault has cleared and the system can
+    /// be asserted back to steady state. Same seed ⇒ same storm.
+    pub fn storm(seed: u64, nodes: u32, start_ns: u64, end_ns: u64, rounds: u32) -> Self {
+        assert!(nodes > 0, "storm needs at least one node");
+        assert!(end_ns > start_ns, "storm window must be non-empty");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let span = (end_ns - start_ns) / rounds.max(1) as u64;
+        let mut events = Vec::new();
+        for r in 0..rounds {
+            let slot = start_ns + r as u64 * span;
+            // Fault strikes in the first half of its slot and clears in
+            // the second half, so rounds never overlap.
+            let t_fault = slot + rng.gen_range(0..span.max(2) / 2);
+            let t_clear = slot + span.max(2) / 2 + rng.gen_range(0..span.max(2) / 2);
+            let node = NodeId(rng.gen_range(0..nodes));
+            match rng.gen_range(0u32..4) {
+                0 => {
+                    events.push((t_fault, FaultEvent::CrashCacheNode(node)));
+                    events.push((t_clear, FaultEvent::RestartCacheNode(node)));
+                }
+                1 => {
+                    events.push((t_fault, FaultEvent::PartitionCommitLink(node)));
+                    events.push((t_clear, FaultEvent::HealCommitLink(node)));
+                }
+                2 => {
+                    events.push((t_fault, FaultEvent::CrashBroker(node)));
+                    events.push((t_clear, FaultEvent::HealCommitLink(node)));
+                }
+                _ => {
+                    let count = rng.gen_range(1u32..4);
+                    events.push((t_fault, FaultEvent::DuplicateCommitSends { node, count }));
+                }
+            }
+        }
+        Self::from_events(events)
+    }
+
+    /// Pop every event due at or before `now_ns` (sim time), in order,
+    /// recording each in the trace. The driver applies them.
+    pub fn advance_to(&self, now_ns: u64) -> Vec<FaultEvent> {
+        let mut st = self.state.lock();
+        let mut due = Vec::new();
+        while let Some(&(t, ev)) = self.events.get(st.cursor) {
+            if t > now_ns {
+                break;
+            }
+            st.cursor += 1;
+            st.trace.push(format!("t={t} apply={ev:?} (now={now_ns})"));
+            due.push(ev);
+        }
+        due
+    }
+
+    /// Events not yet delivered by [`advance_to`](Self::advance_to).
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.state.lock().cursor
+    }
+
+    /// Sim time of the next undelivered event, if any.
+    pub fn next_due(&self) -> Option<u64> {
+        self.events.get(self.state.lock().cursor).map(|&(t, _)| t)
+    }
+
+    /// Total scripted events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The applied-event trace so far (one line per event).
+    pub fn trace(&self) -> Vec<String> {
+        self.state.lock().trace.clone()
+    }
+
+    /// Append a free-form driver annotation to the trace (e.g. "entered
+    /// degraded mode"), keeping the artifact self-describing.
+    pub fn annotate(&self, line: impl Into<String>) {
+        self.state.lock().trace.push(line.into());
+    }
+
+    /// Write the trace to `path` (the CI failure artifact).
+    pub fn write_trace(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        for line in self.state.lock().trace.iter() {
+            writeln!(f, "{line}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_delivers_in_time_order_exactly_once() {
+        let n = NodeId(1);
+        let plan = FaultPlan::from_events(vec![
+            (300, FaultEvent::RestartCacheNode(n)),
+            (100, FaultEvent::CrashCacheNode(n)),
+            (200, FaultEvent::PartitionCommitLink(n)),
+        ]);
+        assert_eq!(plan.next_due(), Some(100));
+        assert_eq!(plan.advance_to(50), vec![]);
+        assert_eq!(
+            plan.advance_to(250),
+            vec![FaultEvent::CrashCacheNode(n), FaultEvent::PartitionCommitLink(n)]
+        );
+        assert_eq!(plan.remaining(), 1);
+        assert_eq!(plan.advance_to(1_000), vec![FaultEvent::RestartCacheNode(n)]);
+        assert_eq!(plan.advance_to(2_000), vec![], "events fire exactly once");
+        assert_eq!(plan.trace().len(), 3);
+    }
+
+    #[test]
+    fn storm_is_deterministic_per_seed_and_self_clearing() {
+        let a = FaultPlan::storm(42, 4, 1_000, 101_000, 8);
+        let b = FaultPlan::storm(42, 4, 1_000, 101_000, 8);
+        let c = FaultPlan::storm(43, 4, 1_000, 101_000, 8);
+        assert_eq!(a.events, b.events, "same seed, same storm");
+        assert_ne!(a.events, c.events, "different seed, different storm");
+
+        // Every crash/partition is cleared inside the window.
+        let mut down_nodes = std::collections::HashSet::new();
+        let mut cut_links = std::collections::HashSet::new();
+        for &(t, ev) in &a.events {
+            assert!((1_000..101_000).contains(&t));
+            match ev {
+                FaultEvent::CrashCacheNode(n) => {
+                    down_nodes.insert(n);
+                }
+                FaultEvent::RestartCacheNode(n) => {
+                    down_nodes.remove(&n);
+                }
+                FaultEvent::PartitionCommitLink(n) | FaultEvent::CrashBroker(n) => {
+                    cut_links.insert(n);
+                }
+                FaultEvent::HealCommitLink(n) => {
+                    cut_links.remove(&n);
+                }
+                _ => {}
+            }
+        }
+        assert!(down_nodes.is_empty(), "all crashed nodes restarted");
+        assert!(cut_links.is_empty(), "all links healed");
+    }
+
+    #[test]
+    fn trace_round_trips_to_disk() {
+        let plan = FaultPlan::from_events(vec![(5, FaultEvent::CrashCacheNode(NodeId(0)))]);
+        plan.advance_to(10);
+        plan.annotate("driver: entered degraded mode");
+        let path = std::env::temp_dir()
+            .join(format!("simnet-faultplan-{}", std::process::id()))
+            .join("trace.txt");
+        plan.write_trace(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("CrashCacheNode"));
+        assert!(text.contains("degraded"));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+}

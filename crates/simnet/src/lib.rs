@@ -23,12 +23,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod fault;
 pub mod profiles;
 pub mod station;
 pub mod stats;
 pub mod topology;
 pub mod trace;
 
+pub use fault::{FaultEvent, FaultPlan};
 pub use profiles::LatencyProfile;
 pub use station::Station;
 pub use stats::{Counters, LatencyHistogram};

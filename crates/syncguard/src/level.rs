@@ -21,6 +21,8 @@
 //!                 the queue send and the barrier-epoch read, so it
 //!                 orders before BARRIER and QUEUE.
 //! BARRIER         barrier-board state (epoch/reached counters).
+//! REDELIVERY      mq publisher-side redelivery buffer (unacked sends);
+//!                 held across the queue send it is redelivering.
 //! QUEUE           mq PUSH/PULL queue state; PUB/SUB hub.
 //! QUEUE_SUB       PUB/SUB per-subscriber buffers (locked under the hub).
 //! SHARD           memkv cache shards.
@@ -46,6 +48,7 @@ pub const REGION_STATE: u16 = 16;
 pub const WAL: u16 = 28;
 pub const PUBLISH: u16 = 30;
 pub const BARRIER: u16 = 40;
+pub const REDELIVERY: u16 = 45;
 pub const QUEUE: u16 = 50;
 pub const QUEUE_SUB: u16 = 55;
 pub const SHARD: u16 = 60;
@@ -68,6 +71,7 @@ pub const ALL: &[(&str, u16)] = &[
     ("WAL", WAL),
     ("PUBLISH", PUBLISH),
     ("BARRIER", BARRIER),
+    ("REDELIVERY", REDELIVERY),
     ("QUEUE", QUEUE),
     ("QUEUE_SUB", QUEUE_SUB),
     ("SHARD", SHARD),

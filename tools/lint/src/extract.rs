@@ -210,7 +210,7 @@ fn push_fn(f: &ItemFn, owner: Option<&str>, facts: &mut FileFacts) {
         acqs: Vec::new(),
     };
     if let Some(body) = &f.body {
-        let mut w = Walker { facts: &mut ff, loop_depth: 0, permit: 0 };
+        let mut w = Walker { facts: &mut ff, loop_depth: 0, spin_depth: 0, permit: 0 };
         w.walk(&body.stream().trees);
     }
     facts.fns.push(ff);
@@ -403,6 +403,8 @@ const PERMIT_FNS: &[&str] = &["permit_blocking"];
 struct Walker<'w> {
     facts: &'w mut FnFacts,
     loop_depth: u32,
+    /// Enclosing `while`/`loop` bodies only (no structural bound).
+    spin_depth: u32,
     permit: u32,
 }
 
@@ -410,6 +412,8 @@ impl Walker<'_> {
     fn walk(&mut self, trees: &[TokenTree]) {
         let mut i = 0;
         let mut pending_loop = false;
+        // The pending loop is a `while`/`loop` (unbounded construct).
+        let mut pending_spin = false;
         // The next brace opens an `if`/`while` body whose condition
         // temporaries drop before the block runs (unlike `match` and
         // `if let`/`while let`, whose scrutinee temporaries live on).
@@ -440,6 +444,7 @@ impl Walker<'_> {
                         }
                         "for" | "while" | "loop" => {
                             pending_loop = true;
+                            pending_spin = s != "for";
                             if s == "while"
                                 && !matches!(trees.get(i + 1), Some(TokenTree::Ident(n)) if n.as_str() == "let")
                             {
@@ -484,9 +489,12 @@ impl Walker<'_> {
                             }
                             if pending_loop {
                                 pending_loop = false;
+                                let spin = std::mem::take(&mut pending_spin);
                                 self.facts.events.push(Event::LoopOpen);
                                 self.loop_depth += 1;
+                                self.spin_depth += spin as u32;
                                 self.walk(&g.stream().trees);
+                                self.spin_depth -= spin as u32;
                                 self.loop_depth -= 1;
                                 self.facts.events.push(Event::LoopClose);
                             } else {
@@ -504,6 +512,7 @@ impl Walker<'_> {
                         self.facts.events.push(Event::Stmt);
                         pending_let = None;
                         pending_loop = false;
+                        pending_spin = false;
                         pending_cond = false;
                     }
                     i += 1;
@@ -698,6 +707,7 @@ impl Walker<'_> {
             bind_var: None,
             in_permit: self.permit > 0,
             loop_depth: self.loop_depth,
+            spin_depth: self.spin_depth,
         });
         self.facts.events.push(Event::Call(self.facts.calls.len() - 1));
     }

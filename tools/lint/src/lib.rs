@@ -24,6 +24,9 @@
 //!   wrapped in `syncguard::permit_blocking`.
 //! - **R7 commit-path** — no dfs mutation from `pacon` outside the
 //!   `apply_batch`/`write_idempotent`/replay entry points.
+//! - **R8 retry-loop** — no `try_*` cache/kv call retried in a loop
+//!   without a bounded budget and backoff (`RetryPolicy::next_backoff`)
+//!   in core-crate library code.
 //! - **lock-order** — every static hold-while-acquiring edge must
 //!   descend the level hierarchy declared in
 //!   `crates/syncguard/src/level.rs`; inversions report both sites.
@@ -120,6 +123,7 @@ pub fn analyze(files: &[(String, String)]) -> Result<Analysis, String> {
             analysis.unwrap_counts.insert(f.rel.clone(), unwraps);
         }
         analysis.findings.append(&mut rules::r5(f));
+        analysis.findings.append(&mut rules::r8(f));
     }
 
     let ws = Workspace::build(&facts);
@@ -159,6 +163,7 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
     };
     let (mut findings, unwraps) = rules::token_rules(&facts);
     findings.append(&mut rules::r5(&facts));
+    findings.append(&mut rules::r8(&facts));
     for _ in 0..unwraps {
         findings.push(Finding {
             rule: Rule::R4Unwrap,

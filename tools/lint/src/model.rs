@@ -28,6 +28,9 @@ pub enum Rule {
     R6HoldAcrossBlocking,
     /// Mds/cluster mutation from pacon outside the commit entry points.
     R7CommitPathBypass,
+    /// Retry loop around a fault-surface cache/kv call with no bounded
+    /// budget or backoff (`RetryPolicy::next_backoff`-style) in sight.
+    R8UnboundedRetryLoop,
     /// Static may-hold-while-acquiring edge that inverts the declared
     /// lock-level hierarchy.
     LockOrder,
@@ -45,6 +48,7 @@ impl Rule {
             Rule::R5PerKeyGetLoop => "per-key-get",
             Rule::R6HoldAcrossBlocking => "hold-across-blocking",
             Rule::R7CommitPathBypass => "commit-path",
+            Rule::R8UnboundedRetryLoop => "retry-loop",
             Rule::LockOrder => "lock-order",
         }
     }
@@ -60,6 +64,7 @@ impl fmt::Display for Rule {
             Rule::R5PerKeyGetLoop => "R5 per-key-get-loop",
             Rule::R6HoldAcrossBlocking => "R6 hold-across-blocking",
             Rule::R7CommitPathBypass => "R7 commit-path-bypass",
+            Rule::R8UnboundedRetryLoop => "R8 retry-loop",
             Rule::LockOrder => "lock-order",
         };
         f.write_str(s)
@@ -173,6 +178,10 @@ pub struct Call {
     pub in_permit: bool,
     /// Number of enclosing `for`/`while`/`loop` bodies.
     pub loop_depth: u32,
+    /// Number of enclosing `while`/`loop` bodies only — the constructs
+    /// with no structural iteration bound (R8 targets these; a `for`
+    /// over a key set retries nothing).
+    pub spin_depth: u32,
 }
 
 /// How a guard was taken.

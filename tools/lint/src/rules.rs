@@ -219,6 +219,63 @@ pub fn r5(f: &FileFacts) -> Vec<Finding> {
     findings
 }
 
+/// R8: a `try_*` cache/kv call (the fault surface — these return
+/// `NodeDown`-class errors when a node is crashed or partitioned)
+/// inside a `while`/`loop` body, in a function that shows no evidence
+/// of a bounded retry envelope. A free-running retry turns a dead node
+/// into a hot spin (and, under the virtual clock, a livelock): every
+/// such loop must consult `RetryPolicy`-style backoff — whose
+/// `next_backoff` bounds both the attempt budget and the deadline — or
+/// carry an explicit `lint: allow(retry-loop)` justification. `for`
+/// loops are exempt: their iteration is structurally bounded (a sweep
+/// over keys is not a retry).
+pub fn r8(f: &FileFacts) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if !f.crate_name.as_deref().is_some_and(|c| CORE_CRATES.contains(&c)) {
+        return findings;
+    }
+    for ff in &f.fns {
+        // Evidence of a bounded envelope anywhere in the function:
+        // `next_backoff` / `backoff_ns` gate every delay on the budget
+        // and deadline, so their presence marks a policied loop.
+        let has_backoff = ff.calls.iter().any(|c| c.name.contains("backoff"));
+        if has_backoff {
+            continue;
+        }
+        for call in &ff.calls {
+            if call.spin_depth == 0 || !call.name.starts_with("try_") {
+                continue;
+            }
+            let recv = match call.links.last() {
+                Some(Link::Field(n)) | Some(Link::Method(n)) => n.as_str(),
+                None => match &call.base {
+                    Base::Ident(n) => n.as_str(),
+                    _ => continue,
+                },
+            };
+            if !matches!(recv, "cache" | "kv") {
+                continue;
+            }
+            if f.allows(call.line, Rule::R8UnboundedRetryLoop.slug()) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: Rule::R8UnboundedRetryLoop,
+                file: f.rel.clone(),
+                line: call.line,
+                message: format!(
+                    "`{recv}.{}(..)` retried in a loop with no bounded budget or \
+                     backoff — gate the retry on RetryPolicy::next_backoff, or mark \
+                     the line `lint: allow(retry-loop)` with a justification",
+                    call.name
+                ),
+                related: Vec::new(),
+            });
+        }
+    }
+    findings
+}
+
 /// Point mutations on the dfs surface — everything that changes
 /// namespace state outside the sanctioned batch/idempotent entry
 /// points.

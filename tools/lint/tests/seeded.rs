@@ -90,6 +90,19 @@ fn r7_commit_bypass_fixture_fires() {
 }
 
 #[test]
+fn r8_retry_loop_fixture_fires() {
+    let a = run(&[("crates/pacon/src/fix_r8.rs", "r8_retry_loop.rs")]);
+    // Only the bare spin fires: the policy-gated loop (next_backoff in
+    // the same function) and the allow-marked drain stay silent.
+    assert_eq!(lines_of(&a, Rule::R8UnboundedRetryLoop), vec![6], "{:?}", a.findings);
+    assert!(a.findings[0].message.contains("next_backoff"), "{}", a.findings[0].message);
+    // The same source outside the core crates is not the lint's
+    // business (a bench may poll freely).
+    let b = run(&[("crates/bench/src/fix_r8.rs", "r8_retry_loop.rs")]);
+    assert!(lines_of(&b, Rule::R8UnboundedRetryLoop).is_empty(), "{:?}", b.findings);
+}
+
+#[test]
 fn inverted_two_lock_fixture_reports_both_sites() {
     let a = run(&[("crates/pacon/src/fix_inversion.rs", "inversion_two_locks.rs")]);
     let inv: Vec<_> = a.findings.iter().filter(|f| f.rule == Rule::LockOrder).collect();
