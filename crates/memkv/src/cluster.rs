@@ -1,4 +1,4 @@
-//! Cluster facade and the per-node client handle.
+//! Cluster facade, epoch'd routing and the per-node client handle.
 //!
 //! A [`KvCluster`] owns one [`Shard`] per node of the topology (the paper
 //! launches one Memcached instance per application node). A [`KvClient`]
@@ -6,14 +6,49 @@
 //! every request: a same-node access pays `net_local`, a remote shard pays
 //! `net_hop_remote`, and every request pays the shard's `kv_op` service
 //! (plus a per-KiB payload charge for inline small-file data).
+//!
+//! # Live membership (elastic resharding)
+//!
+//! Ring membership is a dynamic subset of the provisioned nodes:
+//! [`KvCluster::begin_join`] / [`KvCluster::begin_leave`] start an epoch'd
+//! migration that moves only the key ranges whose consistent-hash
+//! ownership changes, driven forward in bounded batches by
+//! [`KvCluster::migration_step`]. Clients keep reading and writing
+//! throughout:
+//!
+//! * every client op routes through the [`EpochRouter`] — a read lock
+//!   (level `ROUTE`, just outside `SHARD`) held across the shard ops it
+//!   routes, so a membership flip is atomic w.r.t. in-flight ops;
+//! * a migrated key is removed from its source shard behind a *moved-out
+//!   marker* and installed on the new owner **with its source version**
+//!   ([`Shard::install`] lifts the destination's version clock), so CAS
+//!   tokens handed out before the move keep working after it;
+//! * reads try the post-migration owner first and fall back to the
+//!   pre-migration owner for not-yet-moved ranges (a moved-out marker
+//!   makes the new owner's miss authoritative);
+//! * writes land on the pre-migration owner until the key moves, then on
+//!   the new owner — decided per-op under the route lock, so no write is
+//!   ever applied to a shard that has ceded the key;
+//! * epoch-fenced CAS ([`KvClient::try_cas_fenced`]) rejects writers whose
+//!   routing view predates a membership event with
+//!   [`KvError::WrongEpoch`]; the caller re-reads (fresh version + epoch)
+//!   and retries — versions survive migration, so the retry lands.
+//!
+//! A node crash while a migration is active resolves it deterministically:
+//! a **join** aborts (the joiner is wiped, markers dropped, the old ring
+//! restored — moved keys degrade to cache misses, never stale hits); a
+//! **leave** force-completes (authority flips to the target ring; unmoved
+//! keys degrade to misses). Either way the epoch advances and the cluster
+//! keeps serving.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use simnet::{charge, LatencyProfile, NodeId, Station, Topology};
+use syncguard::{level, RwLock};
 
 use crate::ring::Ring;
-use crate::shard::{CasOutcome, Shard, ShardStats, Value};
+use crate::shard::{CasOutcome, KeyMoved, Shard, ShardStats, Value};
 
 /// A cache request that could not be served.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +57,11 @@ pub enum KvError {
     /// the dead node's points — re-hashing elsewhere would silently serve
     /// stale/missing data — so callers must retry or degrade.
     NodeDown(NodeId),
+    /// An epoch-fenced operation carried a routing epoch older than the
+    /// cluster's current one: ring membership changed since the caller
+    /// read its version. Refresh (re-read value + epoch) and retry — the
+    /// moved entry keeps its version, so a refreshed CAS still lands.
+    WrongEpoch { seen: u64, current: u64 },
 }
 
 /// Liveness of one cache node.
@@ -32,11 +72,135 @@ pub enum NodeStatus {
     Down,
 }
 
-/// A distributed cache: one shard per node plus the hash ring.
+/// Which membership change a live migration is performing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationKind {
+    /// `node` is joining the ring; remapped ranges flow *to* it.
+    Join(NodeId),
+    /// `node` is leaving the ring; its ranges flow to the survivors.
+    Leave(NodeId),
+}
+
+impl MigrationKind {
+    /// The node joining or leaving.
+    pub fn node(&self) -> NodeId {
+        match *self {
+            MigrationKind::Join(n) | MigrationKind::Leave(n) => n,
+        }
+    }
+}
+
+/// In-flight state of one membership migration.
+struct MigrationState {
+    kind: MigrationKind,
+    /// Ring after the migration completes.
+    target: Arc<Ring>,
+    /// Membership after the migration completes (sorted).
+    members_after: Vec<NodeId>,
+    /// Keys still to move (re-filled by straggler sweeps until clean).
+    queue: Vec<Vec<u8>>,
+    cursor: usize,
+}
+
+/// Routing view: current membership, the authoritative ring(s) and any
+/// in-flight migration.
+struct RouteState {
+    /// Current ring membership (sorted subset of the provisioned nodes).
+    members: Vec<NodeId>,
+    /// Ring over `members`; during a migration this is the
+    /// *pre-migration* ring and the target ring lives in `migration`.
+    stable: Arc<Ring>,
+    migration: Option<MigrationState>,
+}
+
+/// Per-key routing decision made under the route lock.
+enum Target {
+    /// No migration, or the key's owner is unchanged by it.
+    Direct(NodeId),
+    /// Mid-migration and ownership differs: `new` is the post-migration
+    /// owner (tried first by reads), `old` the pre-migration owner.
+    Migrating { old: NodeId, new: NodeId },
+}
+
+/// The epoch'd two-ring router: owns ring membership, the live-migration
+/// state and the monotonic ring epoch. Every client op holds its read
+/// lock across the shard access it routes; membership events take the
+/// write lock, so a flip never splits an op.
+pub struct EpochRouter {
+    state: RwLock<RouteState>,
+    /// Bumped under the write lock on *any* membership event: crash,
+    /// restart, migration begin, complete, abort. Monotonic.
+    epoch: AtomicU64,
+}
+
+impl EpochRouter {
+    fn new(members: Vec<NodeId>) -> Self {
+        let stable = Arc::new(Ring::new(&members));
+        Self {
+            state: RwLock::new(
+                level::ROUTE,
+                "memkv.route",
+                RouteState { members, stable, migration: None },
+            ),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Current ring epoch (monotonic across membership events).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn bump(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+/// Snapshot of the reshard counters (see [`KvCluster::reshard_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReshardStats {
+    /// Migrations started (`begin_join` + `begin_leave`).
+    pub reshard_started: u64,
+    /// Keys moved to their new owner across all migrations.
+    pub keys_migrated: u64,
+    /// Join migrations aborted by a crash (old ring restored).
+    pub migration_aborts: u64,
+    /// Leave migrations force-completed by a crash (target ring adopted
+    /// with the unmoved remainder degraded to misses).
+    pub forced_completes: u64,
+}
+
+/// Result of a partial (per-node-group fault-isolated) batched get: the
+/// results fetched from healthy node groups survive even when another
+/// group's node is down mid-batch.
+#[derive(Debug, Clone)]
+pub struct PartialMultiGet {
+    /// Per input key, in input order. `None` = miss *or* unfetched (the
+    /// key's index then appears under `failed`).
+    pub results: Vec<Option<(Value, u64)>>,
+    /// Key indices that could not be fetched, grouped by the down node
+    /// that owned them. Empty = the batch completed in full.
+    pub failed: Vec<(NodeId, Vec<usize>)>,
+}
+
+impl PartialMultiGet {
+    /// Did every node group answer?
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty()
+    }
+
+    /// Number of keys left unfetched by down node groups.
+    pub fn failed_keys(&self) -> usize {
+        self.failed.iter().map(|(_, idxs)| idxs.len()).sum()
+    }
+}
+
+/// A distributed cache: one shard per provisioned node plus the epoch'd
+/// router over the current ring membership.
 pub struct KvCluster {
     shards: Vec<Arc<Shard>>,
     node_ids: Vec<NodeId>,
-    ring: Ring,
+    router: EpochRouter,
     profile: Arc<LatencyProfile>,
     /// Offset added to shard indices when charging `Station::KvShard` —
     /// distinct cache clusters (one per consistent region) must map to
@@ -47,10 +211,11 @@ pub struct KvCluster {
     /// Extra virtual ns charged per access to a slowed node (fault-plane
     /// `SlowCacheNode`); 0 = healthy.
     slowdown_ns: Vec<AtomicU64>,
-    /// Ring epoch: bumped on *any* membership-affecting event (crash or
-    /// restart), monotonically. A down-payment on elastic resharding —
-    /// consumers can cheaply detect "the ring changed under me".
-    epoch: AtomicU64,
+    // Reshard counters (snapshot via `reshard_stats`).
+    reshard_started: AtomicU64,
+    keys_migrated: AtomicU64,
+    migration_aborts: AtomicU64,
+    forced_completes: AtomicU64,
 }
 
 impl KvCluster {
@@ -78,7 +243,7 @@ impl KvCluster {
         Self::with_options(topology, profile, shard_max_bytes, 0)
     }
 
-    /// Full-control constructor.
+    /// Full-control constructor: every provisioned node starts on the ring.
     pub fn with_options(
         topology: Topology,
         profile: Arc<LatencyProfile>,
@@ -86,20 +251,55 @@ impl KvCluster {
         station_base: u32,
     ) -> Arc<Self> {
         let node_ids: Vec<NodeId> = topology.node_ids().collect();
+        let members = node_ids.clone();
+        Self::build(node_ids, members, profile, shard_max_bytes, station_base)
+    }
+
+    /// As [`KvCluster::with_options`] but with only `members` (a non-empty
+    /// subset of the provisioned nodes) on the initial ring; the rest are
+    /// provisioned spares that can [`begin_join`](Self::begin_join) later.
+    pub fn with_initial_members(
+        topology: Topology,
+        profile: Arc<LatencyProfile>,
+        shard_max_bytes: Option<usize>,
+        station_base: u32,
+        members: &[NodeId],
+    ) -> Arc<Self> {
+        let node_ids: Vec<NodeId> = topology.node_ids().collect();
+        assert!(!members.is_empty(), "ring needs at least one member");
+        assert!(
+            members.iter().all(|m| node_ids.contains(m)),
+            "every ring member must be a provisioned node"
+        );
+        let mut members = members.to_vec();
+        members.sort_unstable_by_key(|n| n.0);
+        members.dedup();
+        Self::build(node_ids, members, profile, shard_max_bytes, station_base)
+    }
+
+    fn build(
+        node_ids: Vec<NodeId>,
+        members: Vec<NodeId>,
+        profile: Arc<LatencyProfile>,
+        shard_max_bytes: Option<usize>,
+        station_base: u32,
+    ) -> Arc<Self> {
         let shards: Vec<Arc<Shard>> =
             node_ids.iter().map(|_| Arc::new(Shard::new(shard_max_bytes))).collect();
-        let ring = Ring::new(&node_ids);
         let up = node_ids.iter().map(|_| AtomicBool::new(true)).collect();
         let slowdown_ns = node_ids.iter().map(|_| AtomicU64::new(0)).collect();
         Arc::new(Self {
             shards,
             node_ids,
-            ring,
+            router: EpochRouter::new(members),
             profile,
             station_base,
             up,
             slowdown_ns,
-            epoch: AtomicU64::new(0),
+            reshard_started: AtomicU64::new(0),
+            keys_migrated: AtomicU64::new(0),
+            migration_aborts: AtomicU64::new(0),
+            forced_completes: AtomicU64::new(0),
         })
     }
 
@@ -124,9 +324,16 @@ impl KvCluster {
         KvClient { cluster: Arc::clone(self), local: None }
     }
 
-    /// Which node's shard stores `key`.
+    /// Which node's shard stores `key` — the **post-migration** owner
+    /// while a reshard is in flight (where the key will live). Advisory
+    /// outside the route lock: re-check [`ring_epoch`](Self::ring_epoch)
+    /// before acting on a cached answer.
     pub fn shard_node(&self, key: &[u8]) -> NodeId {
-        self.ring.node_for(key)
+        let s = self.router.state.read();
+        match &s.migration {
+            Some(m) => m.target.node_for(key),
+            None => s.stable.node_for(key),
+        }
     }
 
     fn node_index(&self, node: NodeId) -> usize {
@@ -140,29 +347,257 @@ impl KvCluster {
         &self.shards[self.node_index(node)]
     }
 
+    fn node_up(&self, node: NodeId) -> bool {
+        self.up[self.node_index(node)].load(Ordering::Acquire)
+    }
+
+    /// Per-key routing decision; must be called under the route lock.
+    fn decide(&self, s: &RouteState, key: &[u8]) -> Target {
+        match &s.migration {
+            None => Target::Direct(s.stable.node_for(key)),
+            Some(m) => {
+                let old = s.stable.node_for(key);
+                let new = m.target.node_for(key);
+                if old == new {
+                    Target::Direct(old)
+                } else {
+                    Target::Migrating { old, new }
+                }
+            }
+        }
+    }
+
     /// Crash `node`: its shard state is wiped immediately (volatile
-    /// cache memory dies with the process) and every request routed to
-    /// it surfaces [`KvError::NodeDown`] until [`restart`](Self::restart).
-    /// The ring keeps the node's points, so no key silently re-hashes to
-    /// a surviving shard. Bumps the ring epoch.
+    /// cache memory dies with the process — data *and* moved-out markers)
+    /// and every request routed to it surfaces [`KvError::NodeDown`]
+    /// until [`restart`](Self::restart). The ring keeps the node's
+    /// points, so no key silently re-hashes to a surviving shard. Bumps
+    /// the ring epoch.
+    ///
+    /// A crash while a migration is in flight resolves it
+    /// deterministically: a join **aborts** (joiner wiped, markers
+    /// dropped, old ring restored), a leave **force-completes**
+    /// (authority flips to the target ring; the unmoved remainder
+    /// degrades to cache misses). Moved или unmoved, no key can be served
+    /// stale afterwards — at most it misses and reloads.
     pub fn crash(&self, node: NodeId) {
+        let mut guard = self.router.state.write();
         let idx = self.node_index(node);
         self.shards[idx].clear();
         self.up[idx].store(false, Ordering::Release);
-        self.epoch.fetch_add(1, Ordering::AcqRel);
+        let s = &mut *guard;
+        if let Some(m) = &s.migration {
+            match m.kind {
+                MigrationKind::Join(j) => {
+                    // Abort: wipe the joiner so partial imports can never
+                    // resurface on a later join, drop every marker so the
+                    // old owners are authoritative again. Keys already
+                    // moved degrade to misses — never stale hits.
+                    self.shards[self.node_index(j)].clear();
+                    for sh in &self.shards {
+                        sh.clear_moved();
+                    }
+                    s.migration = None;
+                    self.migration_aborts.fetch_add(1, Ordering::Relaxed);
+                }
+                MigrationKind::Leave(_) => {
+                    // Force-complete: adopt the target ring now. Unmoved
+                    // keys sit on the (off-ring) leaver and simply miss.
+                    self.finish_migration(s);
+                    self.forced_completes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.router.bump();
     }
 
     /// Restart a crashed node with a **cold** cache (the wipe happened at
     /// crash time; cleared again here for belt-and-braces). Bumps the
-    /// ring epoch.
+    /// ring epoch. An in-flight migration keeps running — a restart only
+    /// adds back an empty, healthy shard.
     pub fn restart(&self, node: NodeId) {
+        let _guard = self.router.state.write();
         let idx = self.node_index(node);
         self.shards[idx].clear();
         self.up[idx].store(true, Ordering::Release);
-        self.epoch.fetch_add(1, Ordering::AcqRel);
+        self.router.bump();
     }
 
-    /// Number of nodes (up or down) backing this cluster.
+    // ---- live membership -------------------------------------------------
+
+    /// Start migrating `node` **onto** the ring. Returns `false` (no-op)
+    /// if a migration is already in flight, the node is not provisioned,
+    /// already a member, or down. Bumps the ring epoch; drive the
+    /// transfer with [`migration_step`](Self::migration_step).
+    pub fn begin_join(&self, node: NodeId) -> bool {
+        let mut guard = self.router.state.write();
+        let s = &mut *guard;
+        if s.migration.is_some()
+            || !self.node_ids.contains(&node)
+            || s.members.contains(&node)
+            || !self.node_up(node)
+        {
+            return false;
+        }
+        // The joiner starts cold: residue from an earlier epoch would
+        // shadow migrated values (reads try the new owner first).
+        self.shards[self.node_index(node)].clear();
+        let mut members_after = s.members.clone();
+        members_after.push(node);
+        members_after.sort_unstable_by_key(|n| n.0);
+        let target = Arc::new(Ring::new(&members_after));
+        let queue = self.enumerate_moves(s, &target);
+        s.migration = Some(MigrationState {
+            kind: MigrationKind::Join(node),
+            target,
+            members_after,
+            queue,
+            cursor: 0,
+        });
+        self.reshard_started.fetch_add(1, Ordering::Relaxed);
+        self.router.bump();
+        true
+    }
+
+    /// Start migrating `node` **off** the ring. Returns `false` (no-op)
+    /// if a migration is already in flight, the node is not a member, or
+    /// it is the last member. Leaving a *down* node is allowed — that is
+    /// how a dead node is deprovisioned (its shard is empty, so the
+    /// migration completes on the first step).
+    pub fn begin_leave(&self, node: NodeId) -> bool {
+        let mut guard = self.router.state.write();
+        let s = &mut *guard;
+        if s.migration.is_some() || !s.members.contains(&node) || s.members.len() <= 1 {
+            return false;
+        }
+        let members_after: Vec<NodeId> =
+            s.members.iter().copied().filter(|m| *m != node).collect();
+        let target = Arc::new(Ring::new(&members_after));
+        let queue = self.enumerate_moves(s, &target);
+        s.migration = Some(MigrationState {
+            kind: MigrationKind::Leave(node),
+            target,
+            members_after,
+            queue,
+            cursor: 0,
+        });
+        self.reshard_started.fetch_add(1, Ordering::Relaxed);
+        self.router.bump();
+        true
+    }
+
+    /// Keys whose ownership differs between the current stable ring and
+    /// `target`, enumerated from the shards that currently own them.
+    fn enumerate_moves(&self, s: &RouteState, target: &Ring) -> Vec<Vec<u8>> {
+        let mut moves = Vec::new();
+        for &m in &s.members {
+            for key in self.shards[self.node_index(m)].keys_with_prefix(b"") {
+                if s.stable.node_for(&key) == m && target.node_for(&key) != m {
+                    moves.push(key);
+                }
+            }
+        }
+        moves
+    }
+
+    /// Move up to `max_keys` keys of the in-flight migration to their new
+    /// owners; returns the number moved. When the queue drains, stragglers
+    /// (keys written to old owners after enumeration) are swept until a
+    /// sweep comes back clean — then the migration **completes**: markers
+    /// drop, the target ring becomes stable, a leaver's shard is wiped,
+    /// and the epoch bumps. Each transferred key charges the destination
+    /// shard `kv_migrate_per_key` (+ payload) of service.
+    pub fn migration_step(&self, max_keys: usize) -> usize {
+        let mut guard = self.router.state.write();
+        let mut moved = 0usize;
+        loop {
+            let s = &mut *guard;
+            let Some(m) = s.migration.as_mut() else { break };
+            if m.cursor >= m.queue.len() {
+                let target = Arc::clone(&m.target);
+                let stragglers = self.enumerate_moves(s, &target);
+                let m = s.migration.as_mut().expect("checked above");
+                if stragglers.is_empty() {
+                    self.finish_migration(s);
+                    break;
+                }
+                m.queue = stragglers;
+                m.cursor = 0;
+                continue;
+            }
+            if moved >= max_keys {
+                break;
+            }
+            let key = std::mem::take(&mut m.queue[m.cursor]);
+            m.cursor += 1;
+            let old = s.stable.node_for(&key);
+            let new = m.target.node_for(&key);
+            // Source down: the entry already died with the crash-wipe.
+            if !self.node_up(old) {
+                continue;
+            }
+            let Some((value, version)) = self.shard(old).migrate_out(&key) else { continue };
+            // Destination down: drop the value (it would be unreachable
+            // there anyway); the marker keeps the old owner honest.
+            if self.node_up(new) {
+                let p = &self.profile;
+                let payload = (value.len() as u64).div_ceil(1024) * p.kv_payload_per_kib;
+                charge(
+                    Station::KvShard(self.station_base + new.0),
+                    p.kv_migrate_per_key + payload,
+                );
+                self.shard(new).install(&key, &value, version);
+            }
+            moved += 1;
+            self.keys_migrated.fetch_add(1, Ordering::Relaxed);
+        }
+        moved
+    }
+
+    /// Adopt the target ring: drop every moved-out marker, wipe a leaving
+    /// node's shard, install the new membership and bump the epoch.
+    /// Called with the route write lock held.
+    fn finish_migration(&self, s: &mut RouteState) {
+        let m = s.migration.take().expect("no migration to finish");
+        for sh in &self.shards {
+            sh.clear_moved();
+        }
+        if let MigrationKind::Leave(l) = m.kind {
+            self.shards[self.node_index(l)].clear();
+        }
+        s.members = m.members_after;
+        s.stable = m.target;
+        self.router.bump();
+    }
+
+    /// Is a membership migration in flight?
+    pub fn migration_active(&self) -> bool {
+        self.router.state.read().migration.is_some()
+    }
+
+    /// The node joining or leaving, while a migration is in flight.
+    pub fn migrating_node(&self) -> Option<NodeId> {
+        self.router.state.read().migration.as_ref().map(|m| m.kind.node())
+    }
+
+    /// Current ring membership (sorted; a subset of [`nodes`](Self::nodes)).
+    pub fn members(&self) -> Vec<NodeId> {
+        self.router.state.read().members.clone()
+    }
+
+    /// Reshard counter snapshot.
+    pub fn reshard_stats(&self) -> ReshardStats {
+        ReshardStats {
+            reshard_started: self.reshard_started.load(Ordering::Relaxed),
+            keys_migrated: self.keys_migrated.load(Ordering::Relaxed),
+            migration_aborts: self.migration_aborts.load(Ordering::Relaxed),
+            forced_completes: self.forced_completes.load(Ordering::Relaxed),
+        }
+    }
+
+    // ---------------------------------------------------------------------
+
+    /// Number of provisioned nodes (members or spares, up or down).
     pub fn node_count(&self) -> usize {
         self.node_ids.len()
     }
@@ -176,9 +611,16 @@ impl KvCluster {
         }
     }
 
-    /// Monotonic counter bumped on every crash/restart.
+    /// Monotonic counter bumped on every membership event: crash,
+    /// restart, migration begin/complete/abort.
     pub fn ring_epoch(&self) -> u64 {
-        self.epoch.load(Ordering::Acquire)
+        self.router.epoch()
+    }
+
+    /// The epoch'd router (read surface for consumers that need the
+    /// epoch alongside routing, e.g. fenced CAS callers).
+    pub fn router(&self) -> &EpochRouter {
+        &self.router
     }
 
     /// Fault-plane slow-down: every access to `node` charges `extra_ns`
@@ -243,7 +685,7 @@ impl KvCluster {
         &self.profile
     }
 
-    /// Nodes backing this cluster.
+    /// Provisioned nodes backing this cluster (ring members *and* spares).
     pub fn nodes(&self) -> &[NodeId] {
         &self.node_ids
     }
@@ -258,51 +700,105 @@ pub struct KvClient {
 }
 
 impl KvClient {
-    /// Charge the network hop, check liveness, then charge shard service
-    /// (with any fault-plane slow-down). A request to a crashed node pays
-    /// the hop — the packet travelled before the timeout — but no shard
-    /// service, and surfaces [`KvError::NodeDown`].
-    fn try_access(&self, key: &[u8], payload_len: usize) -> Result<NodeId, KvError> {
-        let target = self.cluster.shard_node(key);
+    /// Charge the network hop to `target`.
+    fn charge_hop(&self, target: NodeId) {
         let p = &self.cluster.profile;
         let hop = match self.local {
             Some(local) if target == local => p.net_local,
             _ => p.net_hop_remote,
         };
         charge(Station::Network, hop);
+    }
+
+    /// Charge the network hop, check liveness, then charge shard service
+    /// (with any fault-plane slow-down). A request to a crashed node pays
+    /// the hop — the packet travelled before the timeout — but no shard
+    /// service, and surfaces [`KvError::NodeDown`].
+    fn access(&self, target: NodeId, payload_len: usize) -> Result<(), KvError> {
+        self.charge_hop(target);
         let idx = self.cluster.node_index(target);
         if !self.cluster.up[idx].load(Ordering::Acquire) {
             return Err(KvError::NodeDown(target));
         }
+        let p = &self.cluster.profile;
         let extra = self.cluster.slowdown_ns[idx].load(Ordering::Acquire);
         let payload = (payload_len as u64).div_ceil(1024) * p.kv_payload_per_kib;
         charge(
             Station::KvShard(self.cluster.station_base + target.0),
             p.kv_op + payload + extra,
         );
-        Ok(target)
+        Ok(())
     }
 
-    fn charge_access(&self, key: &[u8], payload_len: usize) -> NodeId {
-        match self.try_access(key, payload_len) {
-            Ok(node) => node,
-            Err(KvError::NodeDown(n)) => {
+    /// Write target for `key` under the route lock: the pre-migration
+    /// owner until the key moves (the moved-out marker flips authority),
+    /// then the post-migration owner. Marker state cannot change while
+    /// the route read lock is held (migration steps take it exclusively).
+    fn write_target(&self, s: &RouteState, key: &[u8]) -> NodeId {
+        match self.cluster.decide(s, key) {
+            Target::Direct(n) => n,
+            Target::Migrating { old, new } => {
+                // A down pre-migration owner cannot serve the write (and
+                // its markers died with it): route to the new owner.
+                if !self.cluster.node_up(old) || self.cluster.shard(old).is_moved(key) {
+                    new
+                } else {
+                    old
+                }
+            }
+        }
+    }
+
+    /// Migration-window read: post-migration owner first (a hit there is
+    /// always newest), pre-migration owner as fallback; its moved-out
+    /// marker makes the new owner's miss authoritative.
+    fn get_migrating(
+        &self,
+        old: NodeId,
+        new: NodeId,
+        key: &[u8],
+    ) -> Result<Option<(Value, u64)>, KvError> {
+        self.access(new, 0)?;
+        if let Some(hit) = self.cluster.shard(new).get(key) {
+            return Ok(Some(hit));
+        }
+        self.access(old, 0)?;
+        match self.cluster.shard(old).get_unless_moved(key) {
+            Ok(v) => Ok(v),
+            Err(KeyMoved) => Ok(None),
+        }
+    }
+
+    fn fault_panic(e: KvError) -> ! {
+        match e {
+            KvError::NodeDown(n) => {
                 panic!("kv access to crashed node {n:?}; use the try_* surface to handle faults")
+            }
+            KvError::WrongEpoch { seen, current } => {
+                panic!("kv op fenced on stale epoch {seen} (current {current}); refresh and retry")
             }
         }
     }
 
     /// `gets`: value and CAS version.
     pub fn get(&self, key: &[u8]) -> Option<(Value, u64)> {
-        let node = self.charge_access(key, 0);
-        self.cluster.shard(node).get(key)
+        match self.try_get(key) {
+            Ok(v) => v,
+            Err(e) => Self::fault_panic(e),
+        }
     }
 
     /// Fault-aware `gets`: surfaces [`KvError::NodeDown`] for crashed
     /// shards instead of panicking.
     pub fn try_get(&self, key: &[u8]) -> Result<Option<(Value, u64)>, KvError> {
-        let node = self.try_access(key, 0)?;
-        Ok(self.cluster.shard(node).get(key))
+        let s = self.cluster.router.state.read();
+        match self.cluster.decide(&s, key) {
+            Target::Direct(n) => {
+                self.access(n, 0)?;
+                Ok(self.cluster.shard(n).get(key))
+            }
+            Target::Migrating { old, new } => self.get_migrating(old, new, key),
+        }
     }
 
     /// Batched `gets`: group keys by owning shard node and pay **one**
@@ -312,39 +808,62 @@ impl KvClient {
     pub fn multi_gets(&self, keys: &[&[u8]]) -> Vec<Option<(Value, u64)>> {
         match self.try_multi_gets(keys) {
             Ok(out) => out,
-            Err(KvError::NodeDown(n)) => {
-                panic!("kv access to crashed node {n:?}; use the try_* surface to handle faults")
-            }
+            Err(e) => Self::fault_panic(e),
         }
     }
 
     /// Fault-aware [`multi_gets`](Self::multi_gets): if *any* owning node
     /// is down the whole batch fails with [`KvError::NodeDown`] — a batch
     /// with a hole would force callers to guess which misses are real.
-    /// Hops charged up to the failure point stand (the packets flew).
+    /// The batch is scatter-gathered in full, so hops charged to healthy
+    /// groups stand (the packets flew). Callers that can use a batch with
+    /// holes should prefer
+    /// [`try_multi_gets_partial`](Self::try_multi_gets_partial).
     pub fn try_multi_gets(&self, keys: &[&[u8]]) -> Result<Vec<Option<(Value, u64)>>, KvError> {
+        let partial = self.try_multi_gets_partial(keys);
+        match partial.failed.first() {
+            Some((node, _)) => Err(KvError::NodeDown(*node)),
+            None => Ok(partial.results),
+        }
+    }
+
+    /// Partial-failure batched `gets`: every healthy node group's results
+    /// are returned even when another group's node is down mid-batch —
+    /// the unfetched keys are reported per down node instead of poisoning
+    /// the whole batch. Keys in mid-migration ranges are routed
+    /// individually (new owner first, old-owner fallback) — the
+    /// documented read amplification of a live reshard.
+    pub fn try_multi_gets_partial(&self, keys: &[&[u8]]) -> PartialMultiGet {
+        let s = self.cluster.router.state.read();
         let mut out: Vec<Option<(Value, u64)>> = vec![None; keys.len()];
         // Group key indices by owning node, preserving first-seen order.
         // Node counts are small (one per cluster node), so a linear scan
         // beats a hash map here.
         let mut groups: Vec<(NodeId, Vec<usize>)> = Vec::new();
+        let mut migrating: Vec<(usize, NodeId, NodeId)> = Vec::new();
         for (i, key) in keys.iter().enumerate() {
-            let node = self.cluster.shard_node(key);
-            match groups.iter_mut().find(|(n, _)| *n == node) {
-                Some((_, idxs)) => idxs.push(i),
-                None => groups.push((node, vec![i])),
+            match self.cluster.decide(&s, key) {
+                Target::Direct(node) => match groups.iter_mut().find(|(n, _)| *n == node) {
+                    Some((_, idxs)) => idxs.push(i),
+                    None => groups.push((node, vec![i])),
+                },
+                Target::Migrating { old, new } => migrating.push((i, old, new)),
             }
         }
+        let mut failed: Vec<(NodeId, Vec<usize>)> = Vec::new();
+        let mut fail = |node: NodeId, i: usize| match failed.iter_mut().find(|(n, _)| *n == node) {
+            Some((_, idxs)) => idxs.push(i),
+            None => failed.push((node, vec![i])),
+        };
         let p = &self.cluster.profile;
         for (node, idxs) in &groups {
-            let hop = match self.local {
-                Some(local) if *node == local => p.net_local,
-                _ => p.net_hop_remote,
-            };
-            charge(Station::Network, hop);
+            self.charge_hop(*node);
             let idx = self.cluster.node_index(*node);
             if !self.cluster.up[idx].load(Ordering::Acquire) {
-                return Err(KvError::NodeDown(*node));
+                for &i in idxs {
+                    fail(*node, i);
+                }
+                continue;
             }
             let extra = self.cluster.slowdown_ns[idx].load(Ordering::Acquire);
             let batch: Vec<&[u8]> = idxs.iter().map(|&i| keys[i]).collect();
@@ -360,7 +879,14 @@ impl KvClient {
                 out[i] = r;
             }
         }
-        Ok(out)
+        for (i, old, new) in migrating {
+            match self.get_migrating(old, new, keys[i]) {
+                Ok(v) => out[i] = v,
+                Err(KvError::NodeDown(n)) => fail(n, i),
+                Err(e @ KvError::WrongEpoch { .. }) => Self::fault_panic(e),
+            }
+        }
+        PartialMultiGet { results: out, failed }
     }
 
     /// Batched `get` (no versions): convenience over [`KvClient::multi_gets`].
@@ -370,32 +896,42 @@ impl KvClient {
 
     /// Unconditional store; returns the new version.
     pub fn set(&self, key: &[u8], value: &[u8]) -> u64 {
-        let node = self.charge_access(key, value.len());
-        self.cluster.shard(node).set(key, value)
+        match self.try_set(key, value) {
+            Ok(v) => v,
+            Err(e) => Self::fault_panic(e),
+        }
     }
 
     /// Fault-aware [`set`](Self::set).
     pub fn try_set(&self, key: &[u8], value: &[u8]) -> Result<u64, KvError> {
-        let node = self.try_access(key, value.len())?;
-        Ok(self.cluster.shard(node).set(key, value))
+        let s = self.cluster.router.state.read();
+        let n = self.write_target(&s, key);
+        self.access(n, value.len())?;
+        Ok(self.cluster.shard(n).set(key, value))
     }
 
     /// Store if absent.
     pub fn add(&self, key: &[u8], value: &[u8]) -> Option<u64> {
-        let node = self.charge_access(key, value.len());
-        self.cluster.shard(node).add(key, value)
+        match self.try_add(key, value) {
+            Ok(v) => v,
+            Err(e) => Self::fault_panic(e),
+        }
     }
 
     /// Fault-aware [`add`](Self::add).
     pub fn try_add(&self, key: &[u8], value: &[u8]) -> Result<Option<u64>, KvError> {
-        let node = self.try_access(key, value.len())?;
-        Ok(self.cluster.shard(node).add(key, value))
+        let s = self.cluster.router.state.read();
+        let n = self.write_target(&s, key);
+        self.access(n, value.len())?;
+        Ok(self.cluster.shard(n).add(key, value))
     }
 
     /// Check-and-swap.
     pub fn cas(&self, key: &[u8], expected_version: u64, value: &[u8]) -> CasOutcome {
-        let node = self.charge_access(key, value.len());
-        self.cluster.shard(node).cas(key, expected_version, value)
+        match self.try_cas(key, expected_version, value) {
+            Ok(v) => v,
+            Err(e) => Self::fault_panic(e),
+        }
     }
 
     /// Fault-aware [`cas`](Self::cas).
@@ -405,20 +941,52 @@ impl KvClient {
         expected_version: u64,
         value: &[u8],
     ) -> Result<CasOutcome, KvError> {
-        let node = self.try_access(key, value.len())?;
-        Ok(self.cluster.shard(node).cas(key, expected_version, value))
+        let s = self.cluster.router.state.read();
+        let n = self.write_target(&s, key);
+        self.access(n, value.len())?;
+        Ok(self.cluster.shard(n).cas(key, expected_version, value))
+    }
+
+    /// Epoch-fenced CAS: rejects with [`KvError::WrongEpoch`] when ring
+    /// membership changed since the caller read `seen_epoch` (alongside
+    /// the version it is CASing against). The fence closes the
+    /// stale-owner window: a CAS routed under an old view can never land
+    /// on a shard that has since ceded the key. On `WrongEpoch`, re-read
+    /// (fresh value, version **and** epoch) and retry — migration
+    /// preserves versions, so an otherwise-valid retry lands.
+    pub fn try_cas_fenced(
+        &self,
+        key: &[u8],
+        expected_version: u64,
+        value: &[u8],
+        seen_epoch: u64,
+    ) -> Result<CasOutcome, KvError> {
+        let s = self.cluster.router.state.read();
+        let current = self.cluster.router.epoch();
+        let n = self.write_target(&s, key);
+        if seen_epoch != current {
+            // The request travelled before the fence rejected it.
+            self.charge_hop(n);
+            return Err(KvError::WrongEpoch { seen: seen_epoch, current });
+        }
+        self.access(n, value.len())?;
+        Ok(self.cluster.shard(n).cas(key, expected_version, value))
     }
 
     /// Delete; true if the key existed.
     pub fn delete(&self, key: &[u8]) -> bool {
-        let node = self.charge_access(key, 0);
-        self.cluster.shard(node).delete(key)
+        match self.try_delete(key) {
+            Ok(v) => v,
+            Err(e) => Self::fault_panic(e),
+        }
     }
 
     /// Fault-aware [`delete`](Self::delete).
     pub fn try_delete(&self, key: &[u8]) -> Result<bool, KvError> {
-        let node = self.try_access(key, 0)?;
-        Ok(self.cluster.shard(node).delete(key))
+        let s = self.cluster.router.state.read();
+        let n = self.write_target(&s, key);
+        self.access(n, 0)?;
+        Ok(self.cluster.shard(n).delete(key))
     }
 
     /// The cluster this client talks to.
@@ -667,5 +1235,327 @@ mod tests {
         assert_eq!(st.sets, 1);
         assert_eq!(st.gets, 2);
         assert_eq!(st.hits, 1);
+    }
+}
+
+#[cfg(test)]
+mod reshard_tests {
+    use super::*;
+
+    fn cluster(nodes: u32) -> Arc<KvCluster> {
+        KvCluster::new(Topology::new(nodes, 4), Arc::new(LatencyProfile::default()))
+    }
+
+    fn fill(client: &KvClient, n: usize) -> Vec<String> {
+        let keys: Vec<String> = (0..n).map(|i| format!("/reshard/f{i:03}")).collect();
+        for (i, k) in keys.iter().enumerate() {
+            client.set(k.as_bytes(), format!("v{i}").as_bytes());
+        }
+        keys
+    }
+
+    fn drive_to_completion(c: &KvCluster) {
+        let mut spins = 0;
+        while c.migration_active() {
+            c.migration_step(8);
+            spins += 1;
+            assert!(spins < 10_000, "migration never completed");
+        }
+    }
+
+    #[test]
+    fn leave_migrates_remapped_keys_and_reads_stay_consistent() {
+        let c = cluster(3);
+        let client = c.client(NodeId(0));
+        let keys = fill(&client, 120);
+        let epoch_before = c.ring_epoch();
+        assert!(c.begin_leave(NodeId(2)));
+        assert!(c.migration_active());
+        assert_eq!(c.migrating_node(), Some(NodeId(2)));
+        assert!(c.ring_epoch() > epoch_before, "begin bumps the epoch");
+        // Mid-migration: every key still reads its written value.
+        c.migration_step(10);
+        for (i, k) in keys.iter().enumerate() {
+            let (v, _) = client.get(k.as_bytes()).expect("readable mid-migration");
+            assert_eq!(&*v, format!("v{i}").as_bytes());
+        }
+        drive_to_completion(&c);
+        assert_eq!(c.members(), vec![NodeId(0), NodeId(1)]);
+        // The leaver's shard is empty and no key routes to it.
+        for k in &keys {
+            assert_ne!(c.shard_node(k.as_bytes()), NodeId(2));
+            let (v, _) = client.get(k.as_bytes()).expect("readable after migration");
+            assert!(v.len() >= 2);
+        }
+        let st = c.reshard_stats();
+        assert_eq!(st.reshard_started, 1);
+        assert!(st.keys_migrated > 0, "a 3->2 shrink must move keys");
+        assert_eq!(st.migration_aborts, 0);
+    }
+
+    #[test]
+    fn join_moves_ranges_to_the_new_member() {
+        let c = cluster(3);
+        let client = c.client(NodeId(0));
+        // Start with node 2 off the ring.
+        assert!(c.begin_leave(NodeId(2)));
+        drive_to_completion(&c);
+        let keys = fill(&client, 120);
+        assert!(c.begin_join(NodeId(2)));
+        drive_to_completion(&c);
+        assert_eq!(c.members(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        let moved: usize =
+            keys.iter().filter(|k| c.shard_node(k.as_bytes()) == NodeId(2)).count();
+        assert!(moved > 0, "a join must take over some ranges");
+        for (i, k) in keys.iter().enumerate() {
+            let (v, _) = client.get(k.as_bytes()).expect("readable after join");
+            assert_eq!(&*v, format!("v{i}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn begin_rejects_invalid_membership_changes() {
+        let c = cluster(2);
+        assert!(!c.begin_join(NodeId(0)), "already a member");
+        assert!(!c.begin_join(NodeId(9)), "not provisioned");
+        assert!(!c.begin_leave(NodeId(9)), "not a member");
+        assert!(c.begin_leave(NodeId(1)));
+        assert!(!c.begin_leave(NodeId(0)), "one migration at a time");
+        drive_to_completion(&c);
+        assert!(!c.begin_leave(NodeId(0)), "cannot leave the last member");
+        c.crash(NodeId(1));
+        assert!(!c.begin_join(NodeId(1)), "a down node cannot join");
+    }
+
+    #[test]
+    fn writes_during_migration_route_by_marker_and_survive() {
+        let c = cluster(3);
+        let client = c.client(NodeId(0));
+        let keys = fill(&client, 150);
+        assert!(c.begin_leave(NodeId(2)));
+        // Move roughly half, then overwrite every key mid-window.
+        c.migration_step(25);
+        for (i, k) in keys.iter().enumerate() {
+            client.set(k.as_bytes(), format!("w{i}").as_bytes());
+        }
+        // Every key reads the overwrite, wherever it lives right now.
+        for (i, k) in keys.iter().enumerate() {
+            let (v, _) = client.get(k.as_bytes()).unwrap();
+            assert_eq!(&*v, format!("w{i}").as_bytes(), "mid-migration write lost");
+        }
+        drive_to_completion(&c);
+        for (i, k) in keys.iter().enumerate() {
+            let (v, _) = client.get(k.as_bytes()).unwrap();
+            assert_eq!(&*v, format!("w{i}").as_bytes(), "post-migration write lost");
+        }
+    }
+
+    #[test]
+    fn migrated_keys_keep_their_cas_version() {
+        let c = cluster(3);
+        let client = c.client(NodeId(0));
+        let keys = fill(&client, 80);
+        let versions: Vec<u64> =
+            keys.iter().map(|k| client.get(k.as_bytes()).unwrap().1).collect();
+        assert!(c.begin_leave(NodeId(2)));
+        drive_to_completion(&c);
+        for (k, ver) in keys.iter().zip(&versions) {
+            let (_, now) = client.get(k.as_bytes()).unwrap();
+            assert_eq!(now, *ver, "migration must preserve CAS versions");
+            // And the pre-migration token still swaps.
+            assert!(matches!(
+                client.cas(k.as_bytes(), *ver, b"swapped"),
+                CasOutcome::Stored { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn fenced_cas_rejects_stale_epoch_and_lands_after_refresh() {
+        let c = cluster(3);
+        let client = c.client(NodeId(0));
+        let keys = fill(&client, 60);
+        let k = keys[0].as_bytes();
+        let seen = c.ring_epoch();
+        let (_, ver) = client.get(k).unwrap();
+        // Membership changes between the read and the CAS.
+        assert!(c.begin_leave(NodeId(2)));
+        drive_to_completion(&c);
+        let out = client.try_cas_fenced(k, ver, b"stale-route", seen);
+        match out {
+            Err(KvError::WrongEpoch { seen: s, current }) => {
+                assert_eq!(s, seen);
+                assert!(current > seen);
+            }
+            other => panic!("expected WrongEpoch, got {other:?}"),
+        }
+        // Refresh: re-read version + epoch, retry — versions survived the
+        // move, so the CAS lands.
+        let fresh_epoch = c.ring_epoch();
+        let (_, fresh_ver) = client.get(k).unwrap();
+        assert_eq!(fresh_ver, ver, "version preserved across the reshard");
+        assert!(matches!(
+            client.try_cas_fenced(k, fresh_ver, b"landed", fresh_epoch),
+            Ok(CasOutcome::Stored { .. })
+        ));
+    }
+
+    #[test]
+    fn joiner_crash_aborts_join_deterministically() {
+        let c = cluster(3);
+        let client = c.client(NodeId(0));
+        assert!(c.begin_leave(NodeId(2)));
+        drive_to_completion(&c);
+        let keys = fill(&client, 150);
+        let owner_before: Vec<NodeId> =
+            keys.iter().map(|k| c.shard_node(k.as_bytes())).collect();
+        assert!(c.begin_join(NodeId(2)));
+        c.migration_step(20); // partial transfer
+        c.crash(NodeId(2));
+        assert!(!c.migration_active(), "crash resolves the migration");
+        assert_eq!(c.members(), vec![NodeId(0), NodeId(1)], "old ring restored");
+        assert_eq!(c.reshard_stats().migration_aborts, 1);
+        // No key routes to the dead joiner; reads are never stale — at
+        // worst a moved key degraded to a miss.
+        for (i, (k, owner)) in keys.iter().zip(&owner_before).enumerate() {
+            assert_eq!(c.shard_node(k.as_bytes()), *owner);
+            // A moved key lost with the joiner reads as a clean miss.
+            if let Some((v, _)) = client.try_get(k.as_bytes()).unwrap() {
+                assert_eq!(&*v, format!("v{i}").as_bytes());
+            }
+        }
+        // The cluster keeps serving writes on the restored ring.
+        assert!(client.try_set(keys[0].as_bytes(), b"fresh").is_ok());
+    }
+
+    #[test]
+    fn leaver_crash_force_completes_leave() {
+        let c = cluster(3);
+        let client = c.client(NodeId(0));
+        let keys = fill(&client, 150);
+        assert!(c.begin_leave(NodeId(2)));
+        c.migration_step(20); // partial transfer
+        c.crash(NodeId(2));
+        assert!(!c.migration_active());
+        assert_eq!(c.members(), vec![NodeId(0), NodeId(1)], "target ring adopted");
+        assert_eq!(c.reshard_stats().forced_completes, 1);
+        for (i, k) in keys.iter().enumerate() {
+            assert_ne!(c.shard_node(k.as_bytes()), NodeId(2));
+            // An unmoved key that died with the leaver is a clean miss.
+            if let Some((v, _)) = client.try_get(k.as_bytes()).unwrap() {
+                assert_eq!(&*v, format!("v{i}").as_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn unrelated_crash_during_join_aborts_without_stale_reads() {
+        let c = cluster(4);
+        let client = c.client(NodeId(0));
+        assert!(c.begin_leave(NodeId(3)));
+        drive_to_completion(&c);
+        let keys = fill(&client, 150);
+        assert!(c.begin_join(NodeId(3)));
+        c.migration_step(15);
+        // A *source* node crashes mid-join: its markers died with it, so
+        // continuing would risk stale double-copies — the join aborts.
+        c.crash(NodeId(1));
+        assert!(!c.migration_active());
+        assert_eq!(c.reshard_stats().migration_aborts, 1);
+        for (i, k) in keys.iter().enumerate() {
+            match client.try_get(k.as_bytes()) {
+                Ok(Some((v, _))) => assert_eq!(&*v, format!("v{i}").as_bytes()),
+                Ok(None) => {}
+                Err(KvError::NodeDown(n)) => assert_eq!(n, NodeId(1)),
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn leave_of_a_down_node_completes_immediately() {
+        let c = cluster(3);
+        c.crash(NodeId(2));
+        assert!(c.begin_leave(NodeId(2)), "deprovisioning a dead node");
+        c.migration_step(1);
+        assert!(!c.migration_active(), "nothing to move from a wiped shard");
+        assert_eq!(c.members(), vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn epoch_is_monotonic_across_join_leave_storm() {
+        let c = cluster(4);
+        let client = c.client(NodeId(0));
+        fill(&client, 60);
+        let mut last = c.ring_epoch();
+        for round in 0..3 {
+            let n = NodeId(1 + (round % 3));
+            assert!(c.begin_leave(n));
+            let e = c.ring_epoch();
+            assert!(e > last);
+            last = e;
+            drive_to_completion(&c);
+            let e = c.ring_epoch();
+            assert!(e > last, "completion bumps the epoch");
+            last = e;
+            assert!(c.begin_join(n));
+            drive_to_completion(&c);
+            let e = c.ring_epoch();
+            assert!(e > last);
+            last = e;
+        }
+    }
+
+    #[test]
+    fn migration_charges_transfer_service_to_the_destination() {
+        let c = cluster(2);
+        let client = c.client(NodeId(0));
+        for i in 0..60 {
+            client.set(format!("/xfer/f{i}").as_bytes(), b"0123456789");
+        }
+        c.begin_leave(NodeId(1));
+        let ((), t) = simnet::with_recording(|| {
+            drive_to_completion(&c);
+        });
+        let moved = c.reshard_stats().keys_migrated;
+        assert!(moved > 0);
+        let p = c.profile();
+        assert!(
+            t.station_ns(Station::KvShard(0)) >= moved * p.kv_migrate_per_key,
+            "each migrated key charges the destination shard"
+        );
+    }
+
+    #[test]
+    fn partial_multi_get_keeps_healthy_groups_on_mid_batch_crash() {
+        let c = cluster(4);
+        let client = c.client(NodeId(0));
+        let keys: Vec<String> = (0..200).map(|i| format!("/pmg/f{i}")).collect();
+        for (i, k) in keys.iter().enumerate() {
+            client.set(k.as_bytes(), format!("v{i}").as_bytes());
+        }
+        let victim = c.shard_node(keys[0].as_bytes());
+        c.crash(victim);
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_bytes()).collect();
+        let p = client.try_multi_gets_partial(&refs);
+        assert!(!p.is_complete());
+        assert_eq!(p.failed.len(), 1, "exactly one node group failed");
+        assert_eq!(p.failed[0].0, victim);
+        let failed: std::collections::HashSet<usize> =
+            p.failed[0].1.iter().copied().collect();
+        assert!(!failed.is_empty());
+        assert!(failed.len() < keys.len(), "healthy groups must survive");
+        for (i, k) in keys.iter().enumerate() {
+            if failed.contains(&i) {
+                assert_eq!(c.shard_node(k.as_bytes()), victim);
+                assert!(p.results[i].is_none(), "unfetched keys stay None");
+            } else {
+                let (v, _) = p.results[i].clone().expect("healthy group result kept");
+                assert_eq!(&*v, format!("v{i}").as_bytes());
+            }
+        }
+        assert_eq!(p.failed_keys(), failed.len());
+        // The whole-batch surface still fails closed.
+        assert_eq!(client.try_multi_gets(&refs), Err(KvError::NodeDown(victim)));
     }
 }

@@ -12,7 +12,10 @@
 //!   CLOCK eviction, byte accounting; reads share an `RwLock`,
 //! * [`cluster`] — the cluster facade plus the per-node client handle
 //!   that charges simulated network/service costs; batched `multi_get`
-//!   pays one round trip per shard node per batch.
+//!   pays one round trip per shard node per batch. Ring membership is
+//!   **live**: `begin_join`/`begin_leave` start an epoch'd migration
+//!   (driven by `migration_step`) that moves only remapped key ranges
+//!   while clients keep reading and writing, fenced by epoch-checked CAS.
 //!
 //! Two small extensions beyond memcached's wire surface exist because
 //! Pacon's design needs them: prefix enumeration (for consistent-region
@@ -26,6 +29,9 @@ pub mod cluster;
 pub mod ring;
 pub mod shard;
 
-pub use cluster::{KvClient, KvCluster, KvError, NodeStatus};
+pub use cluster::{
+    EpochRouter, KvClient, KvCluster, KvError, MigrationKind, NodeStatus, PartialMultiGet,
+    ReshardStats,
+};
 pub use ring::Ring;
-pub use shard::{CasOutcome, Shard, ShardStats, Value};
+pub use shard::{CasOutcome, KeyMoved, Shard, ShardStats, Value};

@@ -28,6 +28,11 @@ use syncguard::{level, RwLock};
 /// A cached value: shared, immutable bytes. Cloning is a refcount bump.
 pub type Value = Arc<[u8]>;
 
+/// Marker result: the key was migrated off this shard by a live reshard;
+/// the shard is no longer authoritative for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyMoved;
+
 /// Result of a CAS attempt.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CasOutcome {
@@ -121,6 +126,12 @@ struct Inner {
     hand: usize,
     next_version: u64,
     used_bytes: usize,
+    /// Keys migrated off this shard by a live reshard. While a marker is
+    /// present this shard is no longer authoritative for the key: a local
+    /// miss means "moved", not "absent". Cleared when the migration
+    /// completes or aborts, and by [`Shard::clear`] (crash wipes markers
+    /// with the rest of volatile memory).
+    moved_out: std::collections::HashSet<Vec<u8>>,
 }
 
 /// A single cache shard. Thread-safe; reads share the lock.
@@ -145,6 +156,7 @@ impl Shard {
                 hand: 0,
                 next_version: 1,
                 used_bytes: 0,
+                moved_out: std::collections::HashSet::new(),
             }),
             stats: Counters::default(),
             max_bytes,
@@ -310,17 +322,104 @@ impl Shard {
         self.len() == 0
     }
 
-    /// Drop everything (cache rebuild after failure recovery).
+    /// Drop everything (cache rebuild after failure recovery). Also drops
+    /// migration markers — a crashed node's markers die with its memory.
     pub fn clear(&self) {
         let mut g = self.inner.write();
         g.map.clear();
         g.ring.clear();
         g.hand = 0;
         g.used_bytes = 0;
+        g.moved_out.clear();
     }
 
     pub fn stats(&self) -> ShardStats {
         self.stats.snapshot()
+    }
+
+    // ---- live-reshard surface (used only by the cluster's migration
+    // driver and the epoch router; see `cluster` module docs) ----
+
+    /// Migration export: remove `key` and leave a moved-out marker so this
+    /// shard stops answering authoritatively for it. Returns the entry
+    /// that should be installed on the new owner; `None` (no marker left)
+    /// if the key is absent — an absent key needs no forwarding, a miss on
+    /// both owners is already consistent.
+    pub fn migrate_out(&self, key: &[u8]) -> Option<(Value, u64)> {
+        let mut g = self.inner.write();
+        let e = g.map.remove(key)?;
+        g.used_bytes -= entry_cost(key, &e.value);
+        g.moved_out.insert(key.to_vec());
+        Some((e.value, e.version))
+    }
+
+    /// Migration import: install `key` with its **source** version so CAS
+    /// tokens handed out before the move keep working after it. The
+    /// version clock is lifted to `max(next_version, version)` so later
+    /// writes can never mint a version at or below the imported one.
+    /// A newer local entry (a write already routed here) wins: the stale
+    /// import is dropped and `false` returned. Respects the byte budget —
+    /// an over-budget install evicts cold residents, never the import.
+    pub fn install(&self, key: &[u8], value: &[u8], version: u64) -> bool {
+        let mut guard = self.inner.write();
+        let g = &mut *guard;
+        if let Some(e) = g.map.get(key) {
+            if e.version >= version {
+                return false;
+            }
+        }
+        g.next_version = g.next_version.max(version);
+        match g.map.entry(key.to_vec()) {
+            MapEntry::Occupied(mut o) => {
+                let e = o.get_mut();
+                g.used_bytes = g.used_bytes - e.value.len() + value.len();
+                e.value = Arc::from(value);
+                e.version = version;
+            }
+            MapEntry::Vacant(slot) => {
+                g.used_bytes += entry_cost(key, value);
+                if self.max_bytes.is_some() {
+                    g.ring.push(key.to_vec());
+                }
+                // Imports arrive referenced: they were hot enough to be
+                // cached at the source, so the over-budget sweep below
+                // must shed cold residents, not the key it is admitting.
+                slot.insert(Entry {
+                    value: Arc::from(value),
+                    version,
+                    referenced: AtomicBool::new(true),
+                });
+            }
+        }
+        self.evict_over_budget(g);
+        true
+    }
+
+    /// Has `key` been migrated off this shard (moved-out marker present)?
+    pub fn is_moved(&self, key: &[u8]) -> bool {
+        self.inner.read().moved_out.contains(key)
+    }
+
+    /// Single-acquisition read for the migration fallback path: the value
+    /// if this shard still holds it, or `None` tagged with whether the
+    /// miss is a moved-out marker (authoritative elsewhere) or a plain
+    /// absence.
+    pub fn get_unless_moved(&self, key: &[u8]) -> Result<Option<(Value, u64)>, KeyMoved> {
+        let g = self.inner.read();
+        if g.moved_out.contains(key) {
+            return Err(KeyMoved);
+        }
+        Ok(self.lookup(&g, key))
+    }
+
+    /// Drop all moved-out markers (migration completed or aborted).
+    pub fn clear_moved(&self) {
+        self.inner.write().moved_out.clear();
+    }
+
+    /// Number of moved-out markers (test/debug surface).
+    pub fn moved_count(&self) -> usize {
+        self.inner.read().moved_out.len()
     }
 
     /// Single-lookup store (entry API — one hash per call). New entries
@@ -644,5 +743,89 @@ mod extended_op_tests {
         let (a, _) = s.get(b"k").unwrap();
         let (b, _) = s.get(b"k").unwrap();
         assert!(Arc::ptr_eq(&a, &b), "hits must share one allocation");
+    }
+}
+
+#[cfg(test)]
+mod migration_tests {
+    use super::*;
+
+    #[test]
+    fn migrate_out_marks_and_install_preserves_version() {
+        let src = Shard::new(None);
+        let dst = Shard::new(None);
+        src.set(b"k", b"v0");
+        let v = src.set(b"k", b"v1");
+        let (val, ver) = src.migrate_out(b"k").expect("entry present");
+        assert_eq!(ver, v);
+        assert!(src.is_moved(b"k"));
+        assert_eq!(src.get_unless_moved(b"k"), Err(KeyMoved));
+        assert_eq!(src.used_bytes(), 0, "export releases the bytes");
+
+        assert!(dst.install(b"k", &val, ver));
+        let (got, got_ver) = dst.get(b"k").unwrap();
+        assert_eq!(&*got, b"v1");
+        assert_eq!(got_ver, ver, "CAS version survives the move");
+        // A CAS with the pre-move version must still land on the new owner.
+        assert!(matches!(dst.cas(b"k", ver, b"v2"), CasOutcome::Stored { .. }));
+    }
+
+    #[test]
+    fn install_lifts_version_clock_so_versions_never_regress() {
+        let dst = Shard::new(None);
+        assert!(dst.install(b"k", b"moved", 500));
+        let v_next = dst.set(b"other", b"x");
+        assert!(v_next > 500, "post-install writes mint versions above the import");
+        let v_k = dst.set(b"k", b"newer");
+        assert!(v_k > 500);
+    }
+
+    #[test]
+    fn install_never_clobbers_a_newer_local_write() {
+        let dst = Shard::new(None);
+        dst.install(b"k", b"old", 5);
+        let v_new = dst.set(b"k", b"fresh");
+        assert!(v_new > 5);
+        assert!(!dst.install(b"k", b"stale-retransmit", 5), "stale import dropped");
+        assert_eq!(&*dst.get(b"k").unwrap().0, b"fresh");
+    }
+
+    #[test]
+    fn migrate_out_of_absent_key_leaves_no_marker() {
+        let src = Shard::new(None);
+        assert!(src.migrate_out(b"nope").is_none());
+        assert!(!src.is_moved(b"nope"));
+        assert_eq!(src.get_unless_moved(b"nope"), Ok(None));
+    }
+
+    #[test]
+    fn clear_and_clear_moved_drop_markers() {
+        let s = Shard::new(None);
+        s.set(b"a", b"1");
+        s.set(b"b", b"2");
+        s.migrate_out(b"a");
+        s.migrate_out(b"b");
+        assert_eq!(s.moved_count(), 2);
+        s.clear_moved();
+        assert_eq!(s.moved_count(), 0);
+        s.set(b"c", b"3");
+        s.migrate_out(b"c");
+        s.clear();
+        assert_eq!(s.moved_count(), 0, "crash wipes markers with the data");
+    }
+
+    #[test]
+    fn over_budget_install_evicts_cold_residents_not_the_import() {
+        // Budget for 3 entries; two cold residents, one referenced.
+        let budget = 3 * entry_cost(b"key-0", b"0123456789");
+        let s = Shard::new(Some(budget));
+        s.set(b"key-0", b"0123456789");
+        s.set(b"key-1", b"0123456789");
+        s.set(b"key-2", b"0123456789");
+        s.get(b"key-0"); // hot: reference bit protects it
+        assert!(s.install(b"migrated", b"0123456789", 999));
+        assert!(s.used_bytes() <= budget);
+        assert!(s.get(b"migrated").is_some(), "the import must be admitted");
+        assert!(s.get(b"key-0").is_some(), "the hot resident survives");
     }
 }

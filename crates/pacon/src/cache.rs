@@ -84,7 +84,13 @@ impl MetaCache {
                     core.degraded.note_success(core.sim_ns());
                     Ok(v)
                 }
-                Err(KvError::NodeDown(_)) => Err(CacheError::Unavailable),
+                // NodeDown: still dark. WrongEpoch: the cluster answered
+                // but this probe's routing view is stale — let the next
+                // probe run with a refreshed epoch rather than declaring
+                // recovery on a fenced-off write.
+                Err(KvError::NodeDown(_) | KvError::WrongEpoch { .. }) => {
+                    Err(CacheError::Unavailable)
+                }
             };
         }
         // Deterministic per-call jitter seed: the logical clock tick is
@@ -100,10 +106,20 @@ impl MetaCache {
                     }
                     return Ok(v);
                 }
-                Err(KvError::NodeDown(_)) => {
+                Err(e) => {
                     match policy.next_backoff(attempt, slept, seed) {
                         Some(delay) => {
-                            core.counters.incr("rpc_retries");
+                            match e {
+                                KvError::NodeDown(_) => core.counters.incr("rpc_retries"),
+                                // A fenced write raced a membership
+                                // change; the re-run closure reads a
+                                // fresh epoch. Cannot repeat without
+                                // another reshard, but it shares the
+                                // backoff budget as a churn bound.
+                                KvError::WrongEpoch { .. } => {
+                                    core.counters.incr("wrong_epoch_retries")
+                                }
+                            }
                             slept += delay;
                             core.advance(delay);
                             attempt += 1;
@@ -148,27 +164,43 @@ impl MetaCache {
         true
     }
 
-    /// Fault-aware [`Self::multi_get`]. The whole batch fails together:
-    /// a batch with a hole would force callers to guess which misses are
-    /// real (see `memkv::KvClient::try_multi_gets`).
+    /// Fault-aware [`Self::multi_get`], fault-isolated per node group: a
+    /// node crashing mid-batch no longer discards the results already
+    /// fetched from healthy groups
+    /// (`memkv::KvClient::try_multi_gets_partial`). Keys owned by a down
+    /// node are salvaged per-key through the guarded retry envelope;
+    /// keys that stay unreachable are reported as misses — the caller's
+    /// per-path DFS fallback *is* the degraded read, counted here.
     pub fn try_multi_get(
         &self,
         paths: &[&str],
     ) -> Result<Vec<Option<(CachedMeta, u64)>>, CacheError> {
         let keys: Vec<&[u8]> = paths.iter().map(|p| p.as_bytes()).collect();
-        Ok(self
-            .guarded(|kv| kv.try_multi_gets(&keys))?
-            .into_iter()
-            .zip(paths)
-            .map(|(r, path)| {
-                let hit =
-                    r.and_then(|(bytes, ver)| CachedMeta::decode(&bytes).map(|m| (m, ver)));
-                if hit.is_some() && self.purge_if_stale(path) {
-                    return None;
+        let partial = self.guarded(|kv| Ok(kv.try_multi_gets_partial(&keys)))?;
+        let mut failed = vec![false; paths.len()];
+        for (_, idxs) in &partial.failed {
+            for &i in idxs {
+                failed[i] = true;
+            }
+        }
+        let mut out = Vec::with_capacity(paths.len());
+        for (i, (r, path)) in partial.results.into_iter().zip(paths).enumerate() {
+            if failed[i] {
+                match self.try_get(path) {
+                    Ok(hit) => out.push(hit),
+                    Err(CacheError::Unavailable) => {
+                        if let Some(core) = &self.fault {
+                            core.counters.incr("degraded_reads");
+                        }
+                        out.push(None);
+                    }
                 }
-                hit
-            })
-            .collect())
+                continue;
+            }
+            let hit = r.and_then(|(bytes, ver)| CachedMeta::decode(&bytes).map(|m| (m, ver)));
+            out.push(if hit.is_some() && self.purge_if_stale(path) { None } else { hit });
+        }
+        Ok(out)
     }
 
     /// Fault-aware [`Self::put`].
@@ -208,6 +240,10 @@ impl MetaCache {
         mut f: impl FnMut(&mut CachedMeta) -> Result<(), E>,
     ) -> Result<Result<Option<CachedMeta>, E>, CacheError> {
         for _ in 0..MAX_CAS_ATTEMPTS {
+            // Epoch before the get: the fence below is then conservative —
+            // any membership change since this read (a reshard could have
+            // moved the key mid-loop) rejects the CAS, never the reverse.
+            let seen_epoch = self.kv.cluster().ring_epoch();
             let Some((mut meta, version)) = self.try_get(path)? else {
                 return Ok(Ok(None));
             };
@@ -215,7 +251,22 @@ impl MetaCache {
                 return Ok(Err(e));
             }
             let bytes = meta.encode();
-            match self.guarded(|kv| kv.try_cas(path.as_bytes(), version, &bytes))? {
+            let outcome = self.guarded(|kv| {
+                match kv.try_cas_fenced(path.as_bytes(), version, &bytes, seen_epoch) {
+                    // Stale routing view: surface as a version conflict so
+                    // this loop re-reads value, version *and* epoch.
+                    // (Retrying inside `guarded` would re-send the same
+                    // stale epoch forever.)
+                    Err(KvError::WrongEpoch { .. }) => {
+                        if let Some(core) = &self.fault {
+                            core.counters.incr("wrong_epoch_retries");
+                        }
+                        Ok(CasOutcome::Conflict { current_version: version })
+                    }
+                    other => other,
+                }
+            })?;
+            match outcome {
                 CasOutcome::Stored { .. } => return Ok(Ok(Some(meta))),
                 CasOutcome::Conflict { .. } => continue,
                 CasOutcome::NotFound => return Ok(Ok(None)),

@@ -479,6 +479,7 @@ impl PaconClient {
         let cluster = cache.kv().cluster();
         let mut nodes: Vec<NodeId> = Vec::new();
         for p in paths {
+            // lint: allow(stale-owner, accounting only — the grouping feeds read_rtts_saved; the authoritative per-key routing happens inside try_multi_get under the cluster's route lock)
             let n = cluster.shard_node(p.as_bytes());
             if !nodes.contains(&n) {
                 nodes.push(n);
@@ -717,6 +718,7 @@ impl PaconClient {
                 // copy coherent too: a writeback already queued for this
                 // path reads the cache at commit time, and a stale inline
                 // record would clobber the bytes just written.
+                // lint: allow(stale-owner, best-effort liveness probe — a stale owner only skips or attempts the coherence update; the update itself re-routes under the cluster's route lock)
                 let shard = self.core.cache_cluster.shard_node(path.as_bytes());
                 if self.core.cache_cluster.node_status(shard) == memkv::NodeStatus::Up {
                     let _ = self.cache.update::<()>(path, |m| {

@@ -677,7 +677,30 @@ impl PaconRegion {
             E::DuplicateCommitSends { node, count } => {
                 self.publishers[node.0 as usize].arm_duplicates(count)
             }
+            E::JoinNode(n) => {
+                let _ = self.core.cache_cluster.begin_join(n);
+            }
+            E::LeaveNode(n) => {
+                let _ = self.core.cache_cluster.begin_leave(n);
+            }
+            E::CrashDuringMigration => {
+                // Crash whichever node is mid-join/mid-leave — the
+                // worst-case elasticity fault; the cluster resolves the
+                // migration deterministically (join aborts, leave
+                // force-completes).
+                if let Some(n) = self.core.cache_cluster.migrating_node() {
+                    self.core.cache_cluster.crash(n);
+                }
+            }
         }
+    }
+
+    /// Drive an in-flight cache-ring migration forward by up to
+    /// `max_keys` key transfers — the chaos/reshard driver's per-tick
+    /// pump (a real deployment's background transfer thread). No-op when
+    /// no migration is active. Returns keys moved this call.
+    pub fn pump_reshard(&self, max_keys: usize) -> usize {
+        self.core.cache_cluster.migration_step(max_keys)
     }
 
     /// Is node `n`'s commit link currently down?

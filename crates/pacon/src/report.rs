@@ -88,6 +88,19 @@ pub struct RegionReport {
     pub degraded_window_ns: u64,
     /// Keys re-populated into the cache from DFS loads during recovery.
     pub rewarm_keys: u64,
+    /// Cache-ring epoch: bumped on every membership event (crash,
+    /// restart, migration begin/complete/abort). Monotonic.
+    pub ring_epoch: u64,
+    /// Live reshards started (`begin_join` + `begin_leave`).
+    pub reshard_started: u64,
+    /// Keys transferred to their new owners by live reshards.
+    pub keys_migrated: u64,
+    /// Fenced CAS attempts rejected on a stale routing epoch and retried
+    /// with a refreshed view.
+    pub wrong_epoch_retries: u64,
+    /// Join migrations aborted by a crash (plus leave migrations
+    /// force-completed, folded in as the other deterministic resolution).
+    pub migration_aborts: u64,
 }
 
 impl RegionReport {
@@ -175,11 +188,21 @@ impl fmt::Display for RegionReport {
             self.rollback_dropped_ops,
             self.replay_pruned
         )?;
-        write!(
+        writeln!(
             f,
             "  fault:  {} rpc retries, {} degraded reads, {} rewarmed keys, \
              degraded window {} ns",
             self.rpc_retries, self.degraded_reads, self.rewarm_keys, self.degraded_window_ns
+        )?;
+        write!(
+            f,
+            "  ring:   epoch {}, {} reshards, {} keys migrated, \
+             {} wrong-epoch retries, {} aborts",
+            self.ring_epoch,
+            self.reshard_started,
+            self.keys_migrated,
+            self.wrong_epoch_retries,
+            self.migration_aborts
         )
     }
 }
@@ -189,6 +212,7 @@ impl PaconRegion {
     pub fn report(&self) -> RegionReport {
         let core = self.core();
         let kv = core.cache_cluster.stats();
+        let reshard = core.cache_cluster.reshard_stats();
         RegionReport {
             workspace: core.root.clone(),
             nodes: core.config.topology.nodes,
@@ -228,6 +252,11 @@ impl PaconRegion {
             degraded_reads: core.counters.get("degraded_reads"),
             degraded_window_ns: core.degraded.window_ns(core.sim_ns()),
             rewarm_keys: core.counters.get("rewarm_keys"),
+            ring_epoch: core.cache_cluster.ring_epoch(),
+            reshard_started: reshard.reshard_started,
+            keys_migrated: reshard.keys_migrated,
+            wrong_epoch_retries: core.counters.get("wrong_epoch_retries"),
+            migration_aborts: reshard.migration_aborts + reshard.forced_completes,
         }
     }
 }

@@ -204,11 +204,16 @@ fn cache_storm(seed: u64) {
     let oracle_check = dfs.client();
 
     // Phase 1: the storm. One namespace op and one stable stat per tick.
+    let mut last_epoch = core.cache_cluster.ring_epoch();
     while core.sim_ns() < STORM_END + STEP_NS {
         core.advance(STEP_NS);
         for ev in plan.advance_to(core.sim_ns()) {
             region.apply_fault(ev);
         }
+        // Ring-epoch monotonicity holds through every fault event.
+        let epoch = core.cache_cluster.ring_epoch();
+        assert!(epoch >= last_epoch, "ring epoch regressed: {last_epoch} -> {epoch}");
+        last_epoch = epoch;
 
         match rng.gen_range(0u32..9) {
             0..=1 => {
@@ -361,11 +366,15 @@ fn link_storm_with_writes(seed: u64) -> FsResult<()> {
     let _trace = TraceOnPanic { plan: &plan, name: format!("link-storm-{seed}.trace") };
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5851f42d4c957f2d);
 
+    let mut last_epoch = core.cache_cluster.ring_epoch();
     while core.sim_ns() < STORM_END + STEP_NS {
         core.advance(STEP_NS);
         for ev in plan.advance_to(core.sim_ns()) {
             region.apply_fault(ev);
         }
+        let epoch = core.cache_cluster.ring_epoch();
+        assert!(epoch >= last_epoch, "ring epoch regressed: {last_epoch} -> {epoch}");
+        last_epoch = epoch;
         let i = rng.gen_range(0usize..12);
         let c = &clients[(i / 3) % 3];
         match rng.gen_range(0u32..8) {
@@ -412,6 +421,217 @@ fn link_storm_with_writes(seed: u64) -> FsResult<()> {
     Ok(())
 }
 
+/// Reshard-heavy plan: every round reshapes the ring (leave, then either
+/// a crash of the migrating node mid-transfer or a clean re-join), mixed
+/// with plain cache crashes so elasticity and the fault plane overlap.
+fn reshard_plan(seed: u64) -> FaultPlan {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let span = (STORM_END - STORM_START) / STORM_ROUNDS as u64;
+    let mut events = Vec::new();
+    for r in 0..STORM_ROUNDS {
+        let slot = STORM_START + r as u64 * span;
+        let t_fault = slot + rng.gen_range(0..span / 4);
+        let t_mid = slot + span / 4 + rng.gen_range(0..span / 4);
+        let t_clear = slot + span / 2 + rng.gen_range(0..span / 2);
+        let node = NodeId(rng.gen_range(0..NODES));
+        match rng.gen_range(0u32..3) {
+            // Clean elasticity cycle: shrink the ring, then grow it back.
+            // (If the leave's transfer is still in flight at t_clear the
+            // join is a documented no-op; per-tick pumping below makes
+            // that rare.)
+            0 => {
+                events.push((t_fault, FaultEvent::LeaveNode(node)));
+                events.push((t_clear, FaultEvent::JoinNode(node)));
+            }
+            // Crash the migrating node itself mid-transfer: the leave
+            // force-completes (or an in-flight join aborts), then the
+            // victim restarts cold and rejoins.
+            1 => {
+                events.push((t_fault, FaultEvent::LeaveNode(node)));
+                events.push((t_mid, FaultEvent::CrashDuringMigration));
+                events.push((t_clear, FaultEvent::RestartCacheNode(node)));
+                events.push(((t_clear + span / 8).min(STORM_END), FaultEvent::JoinNode(node)));
+            }
+            // Plain crash/restart overlapping whatever migration the
+            // neighbouring rounds left running.
+            _ => {
+                events.push((t_fault, FaultEvent::CrashCacheNode(node)));
+                events.push((t_clear, FaultEvent::RestartCacheNode(node)));
+            }
+        }
+    }
+    FaultPlan::from_events(events)
+}
+
+/// Scenario C: live resharding under the fault plane. The ring shrinks,
+/// grows and loses nodes mid-transfer while the metadata workload keeps
+/// running; the driver pumps the migration a few keys per tick, exactly
+/// like a background transfer thread would. Every acked namespace update
+/// must still reach the backup, every mid-storm stat of a committed path
+/// must stay readable and agree with the backup, the ring epoch must be
+/// monotonic tick over tick, and the region must end Healthy with the
+/// reshard counters showing real work.
+fn reshard_storm(seed: u64) {
+    let profile = Arc::new(LatencyProfile::zero());
+    let cred = Credentials::new(1, 1);
+    let dfs = DfsCluster::with_default_config(Arc::clone(&profile));
+    let mut config = PaconConfig::new("/w", Topology::new(NODES, 1), cred);
+    config.max_commit_retries = 200;
+    let region = PaconRegion::launch_paused(config, &dfs).unwrap();
+    let clients: Vec<_> = (0..NODES).map(|i| region.client(ClientId(i))).collect();
+    let mut workers: Vec<_> = (0..NODES as usize).map(|n| region.take_worker(n)).collect();
+    let core = region.core();
+
+    let mut acked: Vec<Acked> = Vec::new();
+    for d in 0..4 {
+        clients[d % 3].mkdir(&sdir(d), &cred, 0o755).unwrap();
+        acked.push(Acked::Mkdir(sdir(d)));
+    }
+    for i in 0..12 {
+        clients[(i / 3) % 3].create(&sfile(i), &cred, 0o644).unwrap();
+        acked.push(Acked::Create(sfile(i)));
+    }
+    drain(&region, &mut workers);
+
+    let plan = reshard_plan(seed);
+    let _trace = TraceOnPanic { plan: &plan, name: format!("reshard-storm-{seed}.trace") };
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x2545f4914f6cdd1d);
+    let oracle_check = dfs.client();
+
+    let mut last_epoch = core.cache_cluster.ring_epoch();
+    while core.sim_ns() < STORM_END + STEP_NS {
+        core.advance(STEP_NS);
+        for ev in plan.advance_to(core.sim_ns()) {
+            region.apply_fault(ev);
+        }
+        let epoch = core.cache_cluster.ring_epoch();
+        assert!(epoch >= last_epoch, "ring epoch regressed: {last_epoch} -> {epoch}");
+        last_epoch = epoch;
+
+        // Background transfer: a bounded batch of keys per tick.
+        region.pump_reshard(rng.gen_range(1usize..8));
+
+        match rng.gen_range(0u32..9) {
+            0..=1 => {
+                let d = rng.gen_range(0usize..4);
+                if clients[d % 3].mkdir(&tdir(d), &cred, 0o755).is_ok() {
+                    acked.push(Acked::Mkdir(tdir(d)));
+                }
+            }
+            2..=5 => {
+                let i = rng.gen_range(0usize..12);
+                if clients[(i / 3) % 3].create(&tfile(i), &cred, 0o644).is_ok() {
+                    acked.push(Acked::Create(tfile(i)));
+                }
+            }
+            _ => {
+                let i = rng.gen_range(0usize..12);
+                if clients[(i / 3) % 3].unlink(&tfile(i), &cred).is_ok() {
+                    acked.push(Acked::Unlink(tfile(i)));
+                }
+            }
+        }
+
+        // Committed paths stay readable through any reshard state —
+        // migrating keys are double-read (new owner then old), crashed
+        // owners fall back to the DFS — and never go staler than the
+        // backup.
+        let p = sfile(rng.gen_range(0usize..12));
+        let st = clients[rng.gen_range(0usize..3)].stat(&p, &cred);
+        assert!(st.is_ok(), "stable path {p} unreadable mid-reshard: {st:?}");
+        let backup = oracle_check.stat(&p, &cred).expect("stable path on backup");
+        assert_eq!(st.unwrap().kind, backup.kind, "reshard read of {p} staler than backup");
+
+        step_all(&mut workers);
+    }
+    assert_eq!(plan.remaining(), 0, "storm events all applied");
+
+    // Heal: CrashDuringMigration picks its own victim, so restart
+    // whatever is still down rather than scripting it, then run any
+    // in-flight transfer to completion.
+    for n in 0..NODES {
+        if core.cache_cluster.node_status(NodeId(n)) == memkv::NodeStatus::Down {
+            region.apply_fault(FaultEvent::RestartCacheNode(NodeId(n)));
+        }
+    }
+    let mut spins = 0;
+    while core.cache_cluster.migration_active() {
+        region.pump_reshard(16);
+        spins += 1;
+        assert!(spins < 50_000, "migration never converged after the storm");
+    }
+    assert!(core.cache_cluster.ring_epoch() >= last_epoch, "teardown regressed the epoch");
+
+    recover(&region, &clients, &cred, &mut workers);
+    for c in &clients {
+        c.flush_publishes().unwrap();
+    }
+    drain(&region, &mut workers);
+    for c in &clients {
+        c.flush_publishes().unwrap();
+        assert_eq!(c.unacked_publishes(), 0, "redelivery window not empty after drain");
+    }
+
+    let oracle = oracle_dfs(&profile, &cred, &acked);
+    assert_matches_oracle(&dfs, &oracle, &cred);
+    assert_eq!(core.degraded.mode(), DegradedMode::Healthy);
+
+    // The storm is not vacuous: every plan schedules at least one
+    // membership change, and the report surfaces the reshard telemetry.
+    let report = region.report();
+    assert!(report.reshard_started > 0, "plan scheduled no reshard");
+    assert!(report.ring_epoch > 0, "membership churn left the epoch at zero");
+    let text = report.to_string();
+    assert!(text.contains("ring:"), "report lost the ring line:\n{text}");
+}
+
+/// Satellite audit: a mid-batch cache-node crash must not discard the
+/// healthy groups of a multi-stat. Paths whose owner is up are answered
+/// from the cache; paths on the crashed owner are salvaged through the
+/// retry/degraded path (served from the backup), so every slot of the
+/// batch still returns Ok.
+#[test]
+fn multi_stat_survives_mid_batch_cache_crash() {
+    let profile = Arc::new(LatencyProfile::zero());
+    let cred = Credentials::new(1, 1);
+    let dfs = DfsCluster::with_default_config(Arc::clone(&profile));
+    let config = PaconConfig::new("/w", Topology::new(NODES, 1), cred);
+    let region = PaconRegion::launch_paused(config, &dfs).unwrap();
+    let client = region.client(ClientId(0));
+    let mut workers: Vec<_> = (0..NODES as usize).map(|n| region.take_worker(n)).collect();
+    let core = region.core();
+
+    for d in 0..4 {
+        client.mkdir(&sdir(d), &cred, 0o755).unwrap();
+    }
+    let paths: Vec<String> = (0..12).map(sfile).collect();
+    for p in &paths {
+        client.create(p, &cred, 0o644).unwrap();
+    }
+    drain(&region, &mut workers);
+    // Warm the cache so the batch is cache-resident, then crash one
+    // owner mid-universe.
+    for p in &paths {
+        client.stat(p, &cred).unwrap();
+    }
+    region.apply_fault(FaultEvent::CrashCacheNode(NodeId(1)));
+
+    let degraded_before = core.counters.get("degraded_reads");
+    let stats = client.stat_many(&paths, &cred);
+    assert_eq!(stats.len(), paths.len());
+    for (p, st) in paths.iter().zip(&stats) {
+        let st = st.as_ref().unwrap_or_else(|e| panic!("{p} lost from the batch: {e:?}"));
+        assert_eq!(st.kind, FileKind::File, "{p} came back with the wrong kind");
+    }
+    // The crashed node's share of the batch went to the backup; the
+    // healthy groups did not (the counter moved by less than the batch).
+    let fell_through = core.counters.get("degraded_reads") - degraded_before;
+    assert!(
+        fell_through < paths.len() as u64,
+        "every key fell through to the backup — healthy groups were discarded"
+    );
+}
+
 // ---- fixed seeds: the CI chaos job runs exactly these three ----------
 
 #[test]
@@ -432,6 +652,21 @@ fn cache_storm_seed_3() {
 #[test]
 fn link_storm_seed_1() {
     link_storm_with_writes(0x11A7_0001).unwrap();
+}
+
+#[test]
+fn reshard_storm_seed_1() {
+    reshard_storm(0x4E5A_0001);
+}
+
+#[test]
+fn reshard_storm_seed_2() {
+    reshard_storm(0x4E5A_0002);
+}
+
+#[test]
+fn reshard_storm_seed_3() {
+    reshard_storm(0x4E5A_0003);
 }
 
 /// The two regression seeds below each reproduced a distinct ordering
@@ -461,5 +696,10 @@ proptest! {
     #[test]
     fn any_link_storm_preserves_acked_writes(seed in any::<u64>()) {
         link_storm_with_writes(seed).unwrap();
+    }
+
+    #[test]
+    fn any_reshard_storm_preserves_acked_updates(seed in any::<u64>()) {
+        reshard_storm(seed);
     }
 }

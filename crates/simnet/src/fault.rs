@@ -44,6 +44,18 @@ pub enum FaultEvent {
     /// The next `count` commit messages published to this node's queue
     /// are delivered twice (duplicated send; idempotence must absorb).
     DuplicateCommitSends { node: NodeId, count: u32 },
+    /// Start a live reshard migrating this node *onto* the cache ring
+    /// (no-op if it is already a member or a migration is in flight).
+    JoinNode(NodeId),
+    /// Start a live reshard migrating this node *off* the cache ring
+    /// (no-op if it is not a member, is the last member, or a migration
+    /// is in flight).
+    LeaveNode(NodeId),
+    /// Crash whichever node is currently joining/leaving — the
+    /// worst-case elasticity fault. The migration must resolve
+    /// deterministically (join aborts, leave force-completes). No-op if
+    /// no migration is in flight.
+    CrashDuringMigration,
 }
 
 struct PlanState {

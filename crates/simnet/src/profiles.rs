@@ -81,6 +81,11 @@ pub struct LatencyProfile {
     pub kv_multi_per_key: u64,
     /// Extra shard service time per KiB of payload (inline small files).
     pub kv_payload_per_kib: u64,
+    /// Destination-shard service time per key transferred by a live
+    /// reshard (bulk install: no request decode, no reply). Sits below
+    /// `kv_op` — migration streams batches, it does not replay client
+    /// traffic.
+    pub kv_migrate_per_key: u64,
 
     // ---- Pacon client-side costs ----
     /// Client CPU per Pacon op: batch permission check, key construction,
@@ -125,6 +130,7 @@ impl Default for LatencyProfile {
             kv_op: 10_000,
             kv_multi_per_key: 1_500,
             kv_payload_per_kib: 1_000,
+            kv_migrate_per_key: 2_000,
 
             pacon_client_overhead: 5_000,
             queue_push: 5_500,
@@ -162,6 +168,7 @@ impl LatencyProfile {
             kv_op: 0,
             kv_multi_per_key: 0,
             kv_payload_per_kib: 0,
+            kv_migrate_per_key: 0,
             pacon_client_overhead: 0,
             queue_push: 0,
             commit_dispatch: 0,
@@ -198,6 +205,7 @@ impl LatencyProfile {
             kv_op: s(self.kv_op),
             kv_multi_per_key: s(self.kv_multi_per_key),
             kv_payload_per_kib: s(self.kv_payload_per_kib),
+            kv_migrate_per_key: s(self.kv_migrate_per_key),
             pacon_client_overhead: s(self.pacon_client_overhead),
             queue_push: s(self.queue_push),
             commit_dispatch: s(self.commit_dispatch),
@@ -235,6 +243,9 @@ mod tests {
         // singles even before saved network hops are counted.
         assert!(p.kv_multi_per_key < p.kv_op);
         assert!(p.kv_op + 31 * p.kv_multi_per_key < 32 * p.kv_op);
+        // A bulk-migrated key is cheaper than a client-driven set: no
+        // request decode, no reply path.
+        assert!(p.kv_migrate_per_key < p.kv_op);
     }
 
     #[test]

@@ -25,6 +25,9 @@
 //!                 held across the queue send it is redelivering.
 //! QUEUE           mq PUSH/PULL queue state; PUB/SUB hub.
 //! QUEUE_SUB       PUB/SUB per-subscriber buffers (locked under the hub).
+//! ROUTE           memkv epoch router (ring membership + live-migration
+//!                 state); read-held across the shard ops it routes, so
+//!                 it sits just outside SHARD.
 //! SHARD           memkv cache shards.
 //! FS_CLIENT       per-client fs caches: dfs dentry cache, indexfs bulk
 //!                 buffer.
@@ -51,6 +54,7 @@ pub const BARRIER: u16 = 40;
 pub const REDELIVERY: u16 = 45;
 pub const QUEUE: u16 = 50;
 pub const QUEUE_SUB: u16 = 55;
+pub const ROUTE: u16 = 58;
 pub const SHARD: u16 = 60;
 pub const FS_CLIENT: u16 = 70;
 pub const FS_CLIENT_LEASE: u16 = 72;
@@ -74,6 +78,7 @@ pub const ALL: &[(&str, u16)] = &[
     ("REDELIVERY", REDELIVERY),
     ("QUEUE", QUEUE),
     ("QUEUE_SUB", QUEUE_SUB),
+    ("ROUTE", ROUTE),
     ("SHARD", SHARD),
     ("FS_CLIENT", FS_CLIENT),
     ("FS_CLIENT_LEASE", FS_CLIENT_LEASE),

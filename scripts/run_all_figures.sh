@@ -19,6 +19,7 @@ bins=(
   read_path
   wal_commit
   qsim_scale
+  reshard
 )
 for b in "${bins[@]}"; do
   echo "=== $b ==="

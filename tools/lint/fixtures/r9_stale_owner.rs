@@ -1,0 +1,33 @@
+// Seeded violation for R9: the advisory owner from `shard_node` is
+// cached and acted on with no `ring_epoch` re-check — a live reshard
+// can remap the key right after the lookup, so the batch lands on the
+// pre-migration node. Analyzed as `crates/pacon/src/fix_r9.rs`.
+pub fn group_by_owner(cluster: &KvCluster, keys: &[&[u8]]) -> Vec<(NodeId, usize)> {
+    let mut groups = Vec::new();
+    for (i, key) in keys.iter().enumerate() {
+        let owner = cluster.shard_node(key);
+        groups.push((owner, i));
+    }
+    groups
+}
+
+// Green: the same grouping, but the cached owners are validated against
+// the ring epoch before use — a bump discards the plan.
+pub fn group_with_epoch_check(cluster: &KvCluster, keys: &[&[u8]]) -> Option<Vec<(NodeId, usize)>> {
+    let before = cluster.ring_epoch();
+    let mut groups = Vec::new();
+    for (i, key) in keys.iter().enumerate() {
+        groups.push((cluster.shard_node(key), i));
+    }
+    if cluster.ring_epoch() != before {
+        return None;
+    }
+    Some(groups)
+}
+
+// Green: a deliberate advisory use with a written-down reason.
+pub fn owner_for_metrics(cluster: &KvCluster, key: &[u8]) -> NodeId {
+    // Telemetry label only: a stale owner mislabels one sample, it
+    // never routes an op. lint: allow(stale-owner)
+    cluster.shard_node(key)
+}

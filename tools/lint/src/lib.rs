@@ -27,6 +27,10 @@
 //! - **R8 retry-loop** — no `try_*` cache/kv call retried in a loop
 //!   without a bounded budget and backoff (`RetryPolicy::next_backoff`)
 //!   in core-crate library code.
+//! - **R9 stale-owner** — no `shard_node(..)` lookup outside `memkv`
+//!   in a function that never re-checks `ring_epoch()`: a live reshard
+//!   can remap the key after the lookup, so cached owners must be
+//!   epoch-validated.
 //! - **lock-order** — every static hold-while-acquiring edge must
 //!   descend the level hierarchy declared in
 //!   `crates/syncguard/src/level.rs`; inversions report both sites.
@@ -124,6 +128,7 @@ pub fn analyze(files: &[(String, String)]) -> Result<Analysis, String> {
         }
         analysis.findings.append(&mut rules::r5(f));
         analysis.findings.append(&mut rules::r8(f));
+        analysis.findings.append(&mut rules::r9(f));
     }
 
     let ws = Workspace::build(&facts);
@@ -164,6 +169,7 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
     let (mut findings, unwraps) = rules::token_rules(&facts);
     findings.append(&mut rules::r5(&facts));
     findings.append(&mut rules::r8(&facts));
+    findings.append(&mut rules::r9(&facts));
     for _ in 0..unwraps {
         findings.push(Finding {
             rule: Rule::R4Unwrap,

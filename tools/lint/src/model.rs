@@ -31,6 +31,10 @@ pub enum Rule {
     /// Retry loop around a fault-surface cache/kv call with no bounded
     /// budget or backoff (`RetryPolicy::next_backoff`-style) in sight.
     R8UnboundedRetryLoop,
+    /// `shard_node(..)` consulted outside `crates/memkv` in a function
+    /// that never re-checks `ring_epoch()` — the advisory owner can go
+    /// stale across a live reshard.
+    R9StaleOwner,
     /// Static may-hold-while-acquiring edge that inverts the declared
     /// lock-level hierarchy.
     LockOrder,
@@ -49,6 +53,7 @@ impl Rule {
             Rule::R6HoldAcrossBlocking => "hold-across-blocking",
             Rule::R7CommitPathBypass => "commit-path",
             Rule::R8UnboundedRetryLoop => "retry-loop",
+            Rule::R9StaleOwner => "stale-owner",
             Rule::LockOrder => "lock-order",
         }
     }
@@ -65,6 +70,7 @@ impl fmt::Display for Rule {
             Rule::R6HoldAcrossBlocking => "R6 hold-across-blocking",
             Rule::R7CommitPathBypass => "R7 commit-path-bypass",
             Rule::R8UnboundedRetryLoop => "R8 retry-loop",
+            Rule::R9StaleOwner => "R9 stale-owner",
             Rule::LockOrder => "lock-order",
         };
         f.write_str(s)

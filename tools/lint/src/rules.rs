@@ -276,6 +276,51 @@ pub fn r8(f: &FileFacts) -> Vec<Finding> {
     findings
 }
 
+/// R9: `shard_node(..)` consulted outside `crates/memkv` in a function
+/// that never re-checks `ring_epoch()`. The owner `shard_node` returns
+/// is advisory — the authoritative routing decision is taken under the
+/// route lock inside the cluster's client ops — so code that caches the
+/// `NodeId` (for batching, affinity, metrics) can act on a pre-reshard
+/// owner once a live join/leave bumps the epoch. Every such use must
+/// either re-check `ring_epoch` in the same function (and discard the
+/// cached owner on a bump) or carry an explicit
+/// `lint: allow(stale-owner)` justification. Inside `memkv` the rule is
+/// moot: the cluster consults the ring under its own lock.
+pub fn r9(f: &FileFacts) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let krate = f.crate_name.as_deref();
+    if !krate.is_some_and(|c| CORE_CRATES.contains(&c)) || krate == Some("memkv") {
+        return findings;
+    }
+    for ff in &f.fns {
+        // Evidence the function is epoch-aware: any `ring_epoch()` call
+        // means the cached owner is validated before use.
+        if ff.calls.iter().any(|c| c.name == "ring_epoch") {
+            continue;
+        }
+        for call in &ff.calls {
+            if call.name != "shard_node" {
+                continue;
+            }
+            if f.allows(call.line, Rule::R9StaleOwner.slug()) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: Rule::R9StaleOwner,
+                file: f.rel.clone(),
+                line: call.line,
+                message: "`shard_node(..)` owner cached without a `ring_epoch` re-check — \
+                          a live reshard can remap the key after this lookup; re-check the \
+                          epoch before acting on the node, or mark the line \
+                          `lint: allow(stale-owner)` with a justification"
+                    .to_string(),
+                related: Vec::new(),
+            });
+        }
+    }
+    findings
+}
+
 /// Point mutations on the dfs surface — everything that changes
 /// namespace state outside the sanctioned batch/idempotent entry
 /// points.

@@ -103,6 +103,22 @@ fn r8_retry_loop_fixture_fires() {
 }
 
 #[test]
+fn r9_stale_owner_fixture_fires() {
+    let a = run(&[("crates/pacon/src/fix_r9.rs", "r9_stale_owner.rs")]);
+    // Only the unchecked grouping fires: the epoch-validated variant
+    // and the allow-marked telemetry lookup stay silent.
+    assert_eq!(lines_of(&a, Rule::R9StaleOwner), vec![8], "{:?}", a.findings);
+    assert!(a.findings[0].message.contains("ring_epoch"), "{}", a.findings[0].message);
+    // Inside memkv the cluster consults its own ring under the route
+    // lock — the rule must not fire on the implementation itself.
+    let b = run(&[("crates/memkv/src/fix_r9.rs", "r9_stale_owner.rs")]);
+    assert!(lines_of(&b, Rule::R9StaleOwner).is_empty(), "{:?}", b.findings);
+    // Outside the core crates the lookup is not the lint's business.
+    let c = run(&[("crates/bench/src/fix_r9.rs", "r9_stale_owner.rs")]);
+    assert!(lines_of(&c, Rule::R9StaleOwner).is_empty(), "{:?}", c.findings);
+}
+
+#[test]
 fn inverted_two_lock_fixture_reports_both_sites() {
     let a = run(&[("crates/pacon/src/fix_inversion.rs", "inversion_two_locks.rs")]);
     let inv: Vec<_> = a.findings.iter().filter(|f| f.rule == Rule::LockOrder).collect();
